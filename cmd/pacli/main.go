@@ -1,0 +1,145 @@
+// Command pacli is a small interactive / batch KV shell over a real-time
+// PA-Tree, for poking at the library by hand:
+//
+//	$ pacli
+//	> put 42 hello
+//	> get 42
+//	hello
+//	> scan 0 100
+//	42 hello
+//	> stats
+//	...
+//
+// Commands: put <key> <value> | get <key> | del <key> | scan <lo> <hi>
+// [limit] | sync | stats | help | quit. Reads stdin, so it also works as
+// a batch processor: `pacli < script.txt`.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	patree "github.com/patree/patree"
+)
+
+func main() {
+	db, err := patree.Open(patree.Options{Persistence: patree.Weak})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	sc := bufio.NewScanner(os.Stdin)
+	interactive := isTTY()
+	if interactive {
+		fmt.Println("pa-tree shell; 'help' for commands")
+	}
+	for {
+		if interactive {
+			fmt.Print("> ")
+		}
+		if !sc.Scan() {
+			break
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Println("put <key> <value> | get <key> | del <key> | scan <lo> <hi> [limit] | sync | stats | quit")
+		case "put":
+			if len(fields) < 3 {
+				fmt.Println("usage: put <key> <value>")
+				continue
+			}
+			k, err := parseKey(fields[1])
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			if err := db.Put(k, []byte(strings.Join(fields[2:], " "))); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "get":
+			k, err := parseKey(fields[1])
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			v, ok, err := db.Get(k)
+			switch {
+			case err != nil:
+				fmt.Println("error:", err)
+			case !ok:
+				fmt.Println("(not found)")
+			default:
+				fmt.Println(string(v))
+			}
+		case "del":
+			k, err := parseKey(fields[1])
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			ok, err := db.Delete(k)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else if !ok {
+				fmt.Println("(not found)")
+			}
+		case "scan":
+			if len(fields) < 3 {
+				fmt.Println("usage: scan <lo> <hi> [limit]")
+				continue
+			}
+			lo, err1 := parseKey(fields[1])
+			hi, err2 := parseKey(fields[2])
+			if err1 != nil || err2 != nil {
+				fmt.Println("bad bounds")
+				continue
+			}
+			limit := 0
+			if len(fields) > 3 {
+				limit, _ = strconv.Atoi(fields[3])
+			}
+			pairs, err := db.Scan(lo, hi, limit)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, kv := range pairs {
+				fmt.Printf("%d %s\n", kv.Key, kv.Value)
+			}
+		case "sync":
+			if err := db.Sync(); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "stats":
+			st := db.Stats()
+			fmt.Printf("keys=%d height=%d ops=%d reads=%d writes=%d probes=%d bufferHit=%.1f%%\n",
+				st.NumKeys, st.Height, st.Ops, st.ReadsIssued, st.WritesIssue, st.Probes, st.BufferHit*100)
+		default:
+			fmt.Printf("unknown command %q; try help\n", fields[0])
+		}
+	}
+}
+
+func parseKey(s string) (uint64, error) {
+	k, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad key %q", s)
+	}
+	return k, nil
+}
+
+func isTTY() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,55 @@
+// Quickstart: open a PA-Tree, write, read, scan, inspect stats.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	patree "github.com/patree/patree"
+)
+
+func main() {
+	// An in-memory device with strong persistence: every Put is on the
+	// "device" before it returns.
+	db, err := patree.Open(patree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Point writes and reads.
+	for i := uint64(1); i <= 1000; i++ {
+		if err := db.Put(i, []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	v, ok, err := db.Get(500)
+	if err != nil || !ok {
+		log.Fatalf("get: %v %v", ok, err)
+	}
+	fmt.Printf("key 500 -> %s\n", v)
+
+	// Replace-if-present and delete.
+	if ok, _ := db.Update(500, []byte("replaced")); !ok {
+		log.Fatal("update missed")
+	}
+	if ok, _ := db.Delete(666); !ok {
+		log.Fatal("delete missed")
+	}
+
+	// Range scan.
+	pairs, err := db.Scan(495, 505, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("scan [495, 505]:")
+	for _, kv := range pairs {
+		fmt.Printf("  %d -> %s\n", kv.Key, kv.Value)
+	}
+
+	st := db.Stats()
+	fmt.Printf("stats: keys=%d height=%d ops=%d buffer-hit=%.1f%%\n",
+		st.NumKeys, st.Height, st.Ops, st.BufferHit*100)
+}

@@ -1,0 +1,129 @@
+// Stockmatch mirrors the paper's SSE workload: an order book stored in a
+// PA-Tree under composite (stock, price, seq) keys, so matching an
+// incoming order against outstanding ones is a range scan over the
+// stock's price band — exactly the access pattern §V describes for the
+// Shanghai Stock Exchange traces.
+//
+//	go run ./examples/stockmatch
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	patree "github.com/patree/patree"
+	"github.com/patree/patree/internal/sim"
+)
+
+// orderKey packs stock id (12 bits), price in ticks (20 bits) and a
+// sequence number (32 bits) so orders cluster by stock and sort by price.
+func orderKey(stock int, price uint32, seq uint64) uint64 {
+	return uint64(stock&0xFFF)<<52 | uint64(price&0xFFFFF)<<32 | (seq & 0xFFFFFFFF)
+}
+
+type order struct {
+	stock  int
+	price  uint32
+	volume uint32
+	buy    bool
+	seq    uint64
+}
+
+func (o order) encode() []byte {
+	v := make([]byte, 13)
+	binary.LittleEndian.PutUint32(v[0:4], uint32(o.stock))
+	binary.LittleEndian.PutUint32(v[4:8], o.price)
+	binary.LittleEndian.PutUint32(v[8:12], o.volume)
+	if o.buy {
+		v[12] = 1
+	}
+	return v
+}
+
+func decodeOrder(key uint64, v []byte) order {
+	return order{
+		stock:  int(binary.LittleEndian.Uint32(v[0:4])),
+		price:  binary.LittleEndian.Uint32(v[4:8]),
+		volume: binary.LittleEndian.Uint32(v[8:12]),
+		buy:    v[12] == 1,
+		seq:    key & 0xFFFFFFFF,
+	}
+}
+
+func main() {
+	db, err := patree.Open(patree.Options{Persistence: patree.Weak})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	rng := sim.NewRNG(7)
+	seq := uint64(0)
+
+	// Seed the book with resting sell orders on a few stocks.
+	for i := 0; i < 5000; i++ {
+		seq++
+		o := order{
+			stock:  int(rng.Uint64n(8)),
+			price:  5000 + uint32(rng.Uint64n(200)),
+			volume: 100 + uint32(rng.Uint64n(900)),
+			buy:    false,
+			seq:    seq,
+		}
+		if err := db.Put(orderKey(o.stock, o.price, o.seq), o.encode()); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// An aggressive buy order arrives: match it against resting sells at
+	// or below its limit price, lowest price first.
+	buy := order{stock: 3, price: 5060, volume: 2000, buy: true}
+	fmt.Printf("incoming: BUY %d of stock %d, limit %d ticks\n", buy.volume, buy.stock, buy.price)
+
+	lo := orderKey(buy.stock, 0, 0)
+	hi := orderKey(buy.stock, buy.price, ^uint64(0)&0xFFFFFFFF)
+	book, err := db.Scan(lo, hi, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	remaining := buy.volume
+	fills := 0
+	for _, kv := range book {
+		if remaining == 0 {
+			break
+		}
+		rest := decodeOrder(kv.Key, kv.Value)
+		take := rest.volume
+		if take > remaining {
+			take = remaining
+		}
+		remaining -= take
+		fills++
+		fmt.Printf("  fill %4d @ %d ticks (resting order seq %d)\n", take, rest.price, rest.seq)
+		if take == rest.volume {
+			if _, err := db.Delete(kv.Key); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			rest.volume -= take
+			if err := db.Put(kv.Key, rest.encode()); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("matched %d fills, %d unfilled\n", fills, remaining)
+	if remaining > 0 {
+		seq++
+		buy.seq = seq
+		if err := db.Put(orderKey(buy.stock, buy.price, seq), buy.encode()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("residual posted to the book")
+	}
+	if err := db.Sync(); err != nil { // group-commit the batch (§III-C weak persistence)
+		log.Fatal(err)
+	}
+	st := db.Stats()
+	fmt.Printf("book size %d orders; tree height %d\n", st.NumKeys, st.Height)
+}

@@ -1,0 +1,101 @@
+// Taxirange mirrors the paper's T-Drive workload: taxi position reports
+// keyed by the z-order (Morton) code of their grid cell, queried with
+// z-code range scans plus an in-rectangle post-filter — the classic way a
+// one-dimensional B+ tree serves two-dimensional data.
+//
+//	go run ./examples/taxirange
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	patree "github.com/patree/patree"
+	"github.com/patree/patree/internal/sim"
+	"github.com/patree/patree/internal/zorder"
+)
+
+const gridBits = 10 // 1024 x 1024 city grid
+
+// reportKey embeds the cell z-code in the high bits and a sequence number
+// below, so reports in the same cell stay unique and adjacent.
+func reportKey(x, y uint32, seq uint64) uint64 {
+	return zorder.Encode(x, y)<<16 | (seq & 0xFFFF)
+}
+
+func main() {
+	db, err := patree.Open(patree.Options{Persistence: patree.Weak})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// A fleet random-walks the grid, reporting positions (70% of the
+	// paper's T-Drive operations are exactly these inserts).
+	rng := sim.NewRNG(11)
+	const taxis = 500
+	xs := make([]uint32, taxis)
+	ys := make([]uint32, taxis)
+	for i := range xs {
+		xs[i] = uint32(rng.Uint64n(1 << gridBits))
+		ys[i] = uint32(rng.Uint64n(1 << gridBits))
+	}
+	seq := uint64(0)
+	for step := 0; step < 40; step++ {
+		for i := 0; i < taxis; i++ {
+			xs[i] = walk(rng, xs[i])
+			ys[i] = walk(rng, ys[i])
+			seq++
+			val := make([]byte, 12)
+			binary.LittleEndian.PutUint32(val[0:4], uint32(i))
+			binary.LittleEndian.PutUint64(val[4:12], seq)
+			if err := db.Put(reportKey(xs[i], ys[i], seq), val); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("stored %d position reports (tree height %d)\n", db.Stats().NumKeys, db.Stats().Height)
+
+	// "Which taxis passed through this 16x16-cell neighbourhood?"
+	// Centre the window on taxi 0's current position so it is non-empty.
+	x0, y0 := xs[0]&^15, ys[0]&^15
+	if x0 < 16 {
+		x0 = 16
+	}
+	if y0 < 16 {
+		y0 = 16
+	}
+	x1, y1 := x0+15, y0+15
+	lo, hi := zorder.RangeOf(x0, y0, x1, y1)
+	pairs, err := db.Scan(lo<<16, hi<<16|0xFFFF, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The z-range covers a superset of the rectangle; post-filter.
+	hits := 0
+	seen := map[uint32]bool{}
+	for _, kv := range pairs {
+		if !zorder.InRect(kv.Key>>16, x0, y0, x1, y1) {
+			continue
+		}
+		hits++
+		seen[binary.LittleEndian.Uint32(kv.Value[0:4])] = true
+	}
+	fmt.Printf("z-range scanned %d records, %d inside the rectangle, %d distinct taxis\n",
+		len(pairs), hits, len(seen))
+}
+
+func walk(rng *sim.RNG, v uint32) uint32 {
+	switch rng.Uint64n(3) {
+	case 0:
+		if v > 0 {
+			return v - 1
+		}
+	case 1:
+		if v < (1<<gridBits)-1 {
+			return v + 1
+		}
+	}
+	return v
+}

@@ -1,0 +1,3 @@
+module github.com/patree/patree
+
+go 1.22

@@ -1,0 +1,239 @@
+package blink
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/patree/patree/internal/baseline/syncbtree"
+	"github.com/patree/patree/internal/nvme"
+	"github.com/patree/patree/internal/sim"
+	"github.com/patree/patree/internal/simos"
+	"github.com/patree/patree/internal/storage"
+)
+
+type rig struct {
+	eng  *sim.Engine
+	os   *simos.Sched
+	dev  *nvme.SimDevice
+	tree *Tree
+	live map[*simos.Thread]bool
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	r := &rig{live: map[*simos.Thread]bool{}}
+	r.eng = sim.NewEngine()
+	r.os = simos.New(r.eng, simos.Config{})
+	r.dev = nvme.NewSimDevice(r.eng, nvme.SimConfig{Seed: 3})
+	io := syncbtree.NewDedicated(r.dev, r.os)
+	r.os.Spawn("fmt", func(th *simos.Thread) {
+		tree, err := Format(th, r.os, io, cfg)
+		if err != nil {
+			t.Errorf("format: %v", err)
+			return
+		}
+		r.tree = tree
+	})
+	r.eng.RunFor(10 * time.Millisecond)
+	if r.tree == nil {
+		t.Fatal("format did not finish")
+	}
+	return r
+}
+
+func (r *rig) spawn(name string, body func(*simos.Thread)) {
+	var th *simos.Thread
+	th = r.os.Spawn(name, func(tt *simos.Thread) {
+		defer func() { r.live[tt] = false }()
+		body(tt)
+	})
+	r.live[th] = true
+}
+
+func (r *rig) drive(t *testing.T) {
+	t.Helper()
+	for i := 0; i < 100_000_000; i++ {
+		anyLive := false
+		for _, l := range r.live {
+			if l {
+				anyLive = true
+				break
+			}
+		}
+		if !anyLive {
+			return
+		}
+		if !r.eng.Step() {
+			t.Fatal("deadlock: engine drained with live workers")
+		}
+	}
+	t.Fatal("step budget exhausted")
+}
+
+func TestBlinkNodeRoundTrip(t *testing.T) {
+	n := &node{id: 5, leaf: true, right: 9, high: 100}
+	n.keys = []uint64{1, 2, 3}
+	n.vals = [][]byte{[]byte("a"), {}, []byte("ccc")}
+	got, err := decode(5, n.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.leaf || got.right != 9 || got.high != 100 || len(got.keys) != 3 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if string(got.vals[2]) != "ccc" {
+		t.Fatalf("vals = %q", got.vals)
+	}
+	inner := &node{id: 6, level: 1, right: 7, high: 50,
+		keys: []uint64{10, 20}, kids: []storage.PageID{1, 2, 3}}
+	gi, err := decode(6, inner.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.leaf || gi.kids[2] != 3 || gi.keys[1] != 20 {
+		t.Fatalf("inner = %+v", gi)
+	}
+	// Corruption rejected.
+	buf := n.encode()
+	buf[30] ^= 1
+	if _, err := decode(5, buf); err != ErrCorrupt {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBlinkBasicOps(t *testing.T) {
+	r := newRig(t, Config{})
+	r.spawn("w", func(th *simos.Thread) {
+		for i := 0; i < 500; i++ {
+			if _, err := r.tree.Insert(th, uint64(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+				t.Errorf("insert %d: %v", i, err)
+				return
+			}
+		}
+		for i := 0; i < 500; i++ {
+			val, found, err := r.tree.Search(th, uint64(i))
+			if err != nil || !found || string(val) != fmt.Sprintf("v%d", i) {
+				t.Errorf("search %d: %q %v %v", i, val, found, err)
+				return
+			}
+		}
+		if _, found, _ := r.tree.Search(th, 99999); found {
+			t.Error("phantom key")
+		}
+		pairs, err := r.tree.RangeScan(th, 100, 149, 0)
+		if err != nil || len(pairs) != 50 {
+			t.Errorf("range: %d, %v", len(pairs), err)
+		}
+		if ok, _ := r.tree.Delete(th, 10); !ok {
+			t.Error("delete failed")
+		}
+		if _, found, _ := r.tree.Search(th, 10); found {
+			t.Error("deleted key found")
+		}
+		if ok, _ := r.tree.Update(th, 20, []byte("new")); !ok {
+			t.Error("update failed")
+		}
+		if ok, _ := r.tree.Update(th, 77777, []byte("x")); ok {
+			t.Error("update of absent key succeeded")
+		}
+	})
+	r.drive(t)
+	if r.tree.Height() < 2 {
+		t.Fatalf("height = %d", r.tree.Height())
+	}
+	if r.tree.NumKeys() != 499 {
+		t.Fatalf("numKeys = %d", r.tree.NumKeys())
+	}
+}
+
+func TestBlinkConcurrentInserts(t *testing.T) {
+	r := newRig(t, Config{})
+	const workers = 8
+	const per = 150
+	for w := 0; w < workers; w++ {
+		w := w
+		r.spawn(fmt.Sprintf("w%d", w), func(th *simos.Thread) {
+			rng := sim.NewRNG(uint64(w + 1))
+			for i := 0; i < per; i++ {
+				k := uint64(w*10000) + rng.Uint64n(5000)
+				if _, err := r.tree.Insert(th, k, []byte("v")); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if _, found, err := r.tree.Search(th, k); !found || err != nil {
+					t.Errorf("readback %d: %v %v", k, found, err)
+					return
+				}
+			}
+		})
+	}
+	r.drive(t)
+	// Full scan returns sorted unique keys matching NumKeys.
+	var n int
+	r.spawn("verify", func(th *simos.Thread) {
+		pairs, err := r.tree.RangeScan(th, 0, ^uint64(0), 0)
+		if err != nil {
+			t.Errorf("scan: %v", err)
+			return
+		}
+		for i := 1; i < len(pairs); i++ {
+			if pairs[i].Key <= pairs[i-1].Key {
+				t.Errorf("scan unordered at %d", i)
+				return
+			}
+		}
+		n = len(pairs)
+	})
+	r.drive(t)
+	if uint64(n) != r.tree.NumKeys() {
+		t.Fatalf("scan found %d keys, tree says %d", n, r.tree.NumKeys())
+	}
+}
+
+func TestBlinkLargeValuesMultiSplit(t *testing.T) {
+	r := newRig(t, Config{})
+	r.spawn("w", func(th *simos.Thread) {
+		big := make([]byte, storage.MaxValueSize)
+		for i := 0; i < 60; i++ {
+			if _, err := r.tree.Insert(th, uint64(i), big); err != nil {
+				t.Errorf("insert %d: %v", i, err)
+				return
+			}
+		}
+		for i := 0; i < 60; i++ {
+			val, found, _ := r.tree.Search(th, uint64(i))
+			if !found || len(val) != storage.MaxValueSize {
+				t.Errorf("key %d: found=%v len=%d", i, found, len(val))
+				return
+			}
+		}
+	})
+	r.drive(t)
+}
+
+func TestBlinkWeakPersistence(t *testing.T) {
+	r := newRig(t, Config{Persistence: syncbtree.Weak, CachePages: 4096})
+	r.spawn("w", func(th *simos.Thread) {
+		for i := 0; i < 200; i++ {
+			r.tree.Insert(th, 1, []byte(fmt.Sprintf("v%d", i)))
+		}
+		if err := r.tree.Sync(th); err != nil {
+			t.Errorf("sync: %v", err)
+		}
+	})
+	r.drive(t)
+	if w := r.dev.Stats().CompletedWrites; w > 20 {
+		t.Fatalf("weak blink issued %d writes for 200 same-key updates", w)
+	}
+}
+
+func TestBlinkValueTooLarge(t *testing.T) {
+	r := newRig(t, Config{})
+	r.spawn("w", func(th *simos.Thread) {
+		if _, err := r.tree.Insert(th, 1, make([]byte, storage.MaxValueSize+1)); err == nil {
+			t.Error("oversized insert accepted")
+		}
+	})
+	r.drive(t)
+}

@@ -1,0 +1,156 @@
+package syncbtree
+
+import (
+	"github.com/patree/patree/internal/metrics"
+	"github.com/patree/patree/internal/simos"
+	"github.com/patree/patree/internal/storage"
+)
+
+// Latches is a blocking latch table for simulated threads: the same
+// shared/exclusive semantics and FIFO fairness as PA-Tree's operation
+// latches, but implemented — as the paper's baselines are — with
+// semaphore-style blocking: a thread that cannot take a latch parks and
+// is woken by the releaser, paying syscall and context-switch costs.
+type Latches struct {
+	sched *simos.Sched
+	nodes map[storage.PageID]*blockLatch
+	waits uint64
+}
+
+type blockWaiter struct {
+	mode   Mode
+	parker *simos.Parker
+}
+
+type blockLatch struct {
+	r, w    int
+	pending []blockWaiter
+}
+
+// Mode aliases the latch modes.
+type Mode int
+
+// Latch modes.
+const (
+	SLatch Mode = iota
+	XLatch
+)
+
+// NewLatches creates an empty blocking latch table.
+func NewLatches(sched *simos.Sched) *Latches {
+	return &Latches{sched: sched, nodes: make(map[storage.PageID]*blockLatch)}
+}
+
+func (l *blockLatch) admits(m Mode) bool {
+	if m == XLatch {
+		return l.r == 0 && l.w == 0
+	}
+	return l.w == 0
+}
+
+func (l *blockLatch) take(m Mode) {
+	if m == XLatch {
+		l.w++
+	} else {
+		l.r++
+	}
+}
+
+// Acquire blocks th until the latch on id is held in mode m. Every call
+// pays the semaphore syscall cost (CatSync), like sem_wait.
+func (t *Latches) Acquire(th *simos.Thread, id storage.PageID, m Mode) {
+	th.Work(metrics.CatSync, t.sched.Config().SyscallCost)
+	nl := t.nodes[id]
+	if nl == nil {
+		nl = &blockLatch{}
+		t.nodes[id] = nl
+	}
+	if len(nl.pending) == 0 && nl.admits(m) {
+		nl.take(m)
+		return
+	}
+	t.waits++
+	p := t.sched.NewParker()
+	nl.pending = append(nl.pending, blockWaiter{mode: m, parker: p})
+	p.Park(th) // releaser takes the latch on our behalf before unparking
+}
+
+// Release drops a latch and wakes eligible waiters in FIFO order, paying
+// the sem_post syscall cost per wake.
+func (t *Latches) Release(th *simos.Thread, id storage.PageID, m Mode) {
+	nl := t.nodes[id]
+	if nl == nil {
+		panic("syncbtree: release of unlatched node")
+	}
+	if m == XLatch {
+		nl.w--
+	} else {
+		nl.r--
+	}
+	if nl.w < 0 || nl.r < 0 {
+		panic("syncbtree: latch underflow")
+	}
+	for len(nl.pending) > 0 && nl.admits(nl.pending[0].mode) {
+		wtr := nl.pending[0]
+		nl.pending = nl.pending[1:]
+		nl.take(wtr.mode)
+		th.Work(metrics.CatSync, t.sched.Config().SyscallCost)
+		wtr.parker.Unpark()
+	}
+	if nl.r == 0 && nl.w == 0 && len(nl.pending) == 0 {
+		delete(t.nodes, id)
+	}
+}
+
+// Waits returns how many acquisitions had to block.
+func (t *Latches) Waits() uint64 { return t.waits }
+
+// Active returns the number of nodes with latch state.
+func (t *Latches) Active() int { return len(t.nodes) }
+
+// CASLatch is a test-and-set spinlock used by the lock-free baselines
+// (Blink-Tree, LCB-Tree): acquiring costs only a CAS (no syscall), but
+// contention burns CPU spinning and yields between attempts.
+type CASLatch struct {
+	sched *simos.Sched
+	held  map[storage.PageID]bool
+}
+
+// NewCASLatch creates a CAS-latch namespace.
+func NewCASLatch(sched *simos.Sched) *CASLatch {
+	return &CASLatch{sched: sched, held: make(map[storage.PageID]bool)}
+}
+
+// Lock spins until the latch on id is taken.
+func (c *CASLatch) Lock(th *simos.Thread, id storage.PageID) {
+	const casCost = 30 // nanoseconds per CAS attempt
+	for {
+		th.Work(metrics.CatSync, casCost)
+		if !c.held[id] {
+			c.held[id] = true
+			return
+		}
+		// Contended: brief spin then yield the core.
+		th.Work(metrics.CatSync, 200)
+		th.Yield()
+	}
+}
+
+// TryLock attempts a single CAS.
+func (c *CASLatch) TryLock(th *simos.Thread, id storage.PageID) bool {
+	th.Work(metrics.CatSync, 30)
+	if c.held[id] {
+		return false
+	}
+	c.held[id] = true
+	return true
+}
+
+// Unlock releases the latch on id.
+func (c *CASLatch) Unlock(th *simos.Thread, id storage.PageID) {
+	th.Work(metrics.CatSync, 30)
+	if !c.held[id] {
+		panic("syncbtree: CAS unlock of free latch")
+	}
+	delete(c.held, id)
+}

@@ -1,0 +1,277 @@
+// Package buffer implements the two software buffers of §III-C over the
+// NVMe interface.
+//
+// The strong-persistence buffer (ReadOnly) caches clean page images only.
+// Crucially, a page written by an update operation enters the cache only
+// after its write I/O *completes* — never at submission — so cached data
+// is always consistent with the NVM contents and a power failure can never
+// expose a cached-but-unpersisted page (the rule §III-C derives).
+//
+// The weak-persistence buffer (ReadWrite) additionally absorbs writes in
+// memory, marking pages dirty; dirty pages reach the device only on
+// eviction or Sync(), which merges multiple updates of a hot page into one
+// NVMe write and cuts the write-amplification factor.
+//
+// Buffers are passive: they never perform I/O. Eviction hands dirty
+// victims back to the caller, which owns scheduling the write-back.
+package buffer
+
+import "github.com/patree/patree/internal/storage"
+
+// Stats counts buffer effectiveness.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	// WriteMerges counts writes absorbed into an already-dirty page — the
+	// write-amplification savings of weak persistence.
+	WriteMerges uint64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 when no lookups happened.
+func (s Stats) HitRate() float64 {
+	tot := s.Hits + s.Misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(tot)
+}
+
+// entry is an LRU node.
+type entry struct {
+	id    storage.PageID
+	data  []byte
+	dirty bool
+	// epoch is a globally unique stamp assigned on each dirtying write;
+	// it guards MarkClean. Global monotonicity matters: if epochs were
+	// per-entry they would restart when a page is evicted and re-cached,
+	// and a stale write-back completion could then clean a newer dirty
+	// version, silently losing an update.
+	epoch      uint64
+	prev, next *entry
+}
+
+// lru is an intrusive LRU list with a map index. Capacity is in pages;
+// capacity 0 disables the cache entirely.
+type lru struct {
+	cap       int
+	m         map[storage.PageID]*entry
+	head      entry // most-recent sentinel
+	stats     Stats
+	nextEpoch uint64
+}
+
+func newLRU(capacity int) *lru {
+	l := &lru{cap: capacity, m: make(map[storage.PageID]*entry)}
+	l.head.prev = &l.head
+	l.head.next = &l.head
+	return l
+}
+
+func (l *lru) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (l *lru) pushFront(e *entry) {
+	e.prev = &l.head
+	e.next = l.head.next
+	l.head.next.prev = e
+	l.head.next = e
+}
+
+func (l *lru) get(id storage.PageID) *entry {
+	e := l.m[id]
+	if e == nil {
+		l.stats.Misses++
+		return nil
+	}
+	l.stats.Hits++
+	l.unlink(e)
+	l.pushFront(e)
+	return e
+}
+
+// peek looks up without touching recency or stats.
+func (l *lru) peek(id storage.PageID) *entry { return l.m[id] }
+
+// put inserts or refreshes id with data, returning an evicted entry (if
+// the capacity forced one out) for the caller to handle.
+func (l *lru) put(id storage.PageID, data []byte, dirty bool) (evicted *entry) {
+	if l.cap <= 0 {
+		return nil
+	}
+	if e := l.m[id]; e != nil {
+		e.data = data
+		if dirty {
+			if e.dirty {
+				l.stats.WriteMerges++
+			}
+			e.dirty = true
+			l.nextEpoch++
+			e.epoch = l.nextEpoch
+		}
+		l.unlink(e)
+		l.pushFront(e)
+		return nil
+	}
+	e := &entry{id: id, data: data, dirty: dirty}
+	if dirty {
+		l.nextEpoch++
+		e.epoch = l.nextEpoch
+	}
+	l.m[id] = e
+	l.pushFront(e)
+	if len(l.m) > l.cap {
+		victim := l.head.prev
+		l.unlink(victim)
+		delete(l.m, victim.id)
+		l.stats.Evictions++
+		return victim
+	}
+	return nil
+}
+
+func (l *lru) remove(id storage.PageID) {
+	if e := l.m[id]; e != nil {
+		l.unlink(e)
+		delete(l.m, id)
+	}
+}
+
+// ReadOnly is the strong-persistence buffer: clean pages only.
+type ReadOnly struct{ l *lru }
+
+// NewReadOnly creates a read-only buffer holding up to capacity pages.
+// Capacity 0 disables caching (every Get misses).
+func NewReadOnly(capacity int) *ReadOnly { return &ReadOnly{l: newLRU(capacity)} }
+
+// Get returns the cached image of id, if present. The returned slice is
+// owned by the buffer; callers must not mutate it.
+func (b *ReadOnly) Get(id storage.PageID) ([]byte, bool) {
+	if e := b.l.get(id); e != nil {
+		return e.data, true
+	}
+	return nil, false
+}
+
+// FillOnRead caches data after a read I/O completed. The buffer takes
+// ownership of data.
+func (b *ReadOnly) FillOnRead(id storage.PageID, data []byte) {
+	b.l.put(id, data, false)
+}
+
+// FillOnWriteComplete caches data after a write I/O *completed*. Callers
+// must not invoke this at submission time — see the package comment.
+func (b *ReadOnly) FillOnWriteComplete(id storage.PageID, data []byte) {
+	b.l.put(id, data, false)
+}
+
+// Invalidate drops id from the cache (e.g. when a page is freed).
+func (b *ReadOnly) Invalidate(id storage.PageID) { b.l.remove(id) }
+
+// Len returns the number of cached pages.
+func (b *ReadOnly) Len() int { return len(b.l.m) }
+
+// Stats returns cumulative counters.
+func (b *ReadOnly) Stats() Stats { return b.l.stats }
+
+// ResetStats zeroes the counters.
+func (b *ReadOnly) ResetStats() { b.l.stats = Stats{} }
+
+// Dirty describes a dirty page handed back by the ReadWrite buffer.
+type Dirty struct {
+	ID    storage.PageID
+	Data  []byte
+	Epoch uint64
+}
+
+// ReadWrite is the weak-persistence buffer.
+type ReadWrite struct{ l *lru }
+
+// NewReadWrite creates a read-write buffer holding up to capacity pages.
+// Capacity 0 disables caching.
+func NewReadWrite(capacity int) *ReadWrite { return &ReadWrite{l: newLRU(capacity)} }
+
+// Get returns the cached image of id, if present.
+func (b *ReadWrite) Get(id storage.PageID) ([]byte, bool) {
+	if e := b.l.get(id); e != nil {
+		return e.data, true
+	}
+	return nil, false
+}
+
+// FillOnRead caches a clean page after a read I/O completed. If filling
+// evicts a dirty victim, it is returned for write-back.
+func (b *ReadWrite) FillOnRead(id storage.PageID, data []byte) (Dirty, bool) {
+	return wrapEvict(b.l.put(id, data, false))
+}
+
+// Write absorbs a page update in memory, marking it dirty. No I/O happens;
+// if the insert evicts a dirty victim, it is returned for write-back.
+func (b *ReadWrite) Write(id storage.PageID, data []byte) (Dirty, bool) {
+	return wrapEvict(b.l.put(id, data, true))
+}
+
+func wrapEvict(e *entry) (Dirty, bool) {
+	if e == nil || !e.dirty {
+		return Dirty{}, false
+	}
+	return Dirty{ID: e.id, Data: e.data, Epoch: e.epoch}, true
+}
+
+// DirtyPages snapshots all dirty pages (for Sync). Order is eviction
+// order, coldest first.
+func (b *ReadWrite) DirtyPages() []Dirty {
+	var out []Dirty
+	for e := b.l.head.prev; e != &b.l.head; e = e.prev {
+		if e.dirty {
+			out = append(out, Dirty{ID: e.id, Data: e.data, Epoch: e.epoch})
+		}
+	}
+	return out
+}
+
+// MarkClean marks id clean if its dirty epoch still equals epoch; a page
+// rewritten after the snapshot keeps its dirty bit, so no update can be
+// lost between a Sync snapshot and its write-back completions.
+func (b *ReadWrite) MarkClean(id storage.PageID, epoch uint64) {
+	if e := b.l.peek(id); e != nil && e.dirty && e.epoch == epoch {
+		e.dirty = false
+	}
+}
+
+// Invalidate drops id, returning its content if it was dirty so the
+// caller can decide what to do with the lost update (used when freeing
+// pages: the answer is "nothing").
+func (b *ReadWrite) Invalidate(id storage.PageID) (Dirty, bool) {
+	e := b.l.peek(id)
+	if e == nil {
+		return Dirty{}, false
+	}
+	b.l.remove(id)
+	if e.dirty {
+		return Dirty{ID: e.id, Data: e.data, Epoch: e.epoch}, true
+	}
+	return Dirty{}, false
+}
+
+// DirtyCount returns the number of dirty pages.
+func (b *ReadWrite) DirtyCount() int {
+	n := 0
+	for e := b.l.head.next; e != &b.l.head; e = e.next {
+		if e.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of cached pages.
+func (b *ReadWrite) Len() int { return len(b.l.m) }
+
+// Stats returns cumulative counters.
+func (b *ReadWrite) Stats() Stats { return b.l.stats }
+
+// ResetStats zeroes the counters.
+func (b *ReadWrite) ResetStats() { b.l.stats = Stats{} }

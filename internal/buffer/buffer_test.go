@@ -1,0 +1,260 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/patree/patree/internal/storage"
+)
+
+func pid(i int) storage.PageID { return storage.PageID(i) }
+
+func TestReadOnlyBasicHitMiss(t *testing.T) {
+	b := NewReadOnly(2)
+	if _, ok := b.Get(pid(1)); ok {
+		t.Fatal("hit on empty buffer")
+	}
+	b.FillOnRead(pid(1), []byte("one"))
+	got, ok := b.Get(pid(1))
+	if !ok || string(got) != "one" {
+		t.Fatalf("get = %q, %v", got, ok)
+	}
+	st := b.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", st.HitRate())
+	}
+}
+
+func TestReadOnlyLRUEviction(t *testing.T) {
+	b := NewReadOnly(2)
+	b.FillOnRead(pid(1), []byte("1"))
+	b.FillOnRead(pid(2), []byte("2"))
+	b.Get(pid(1)) // 1 becomes most recent
+	b.FillOnRead(pid(3), []byte("3"))
+	if _, ok := b.Get(pid(2)); ok {
+		t.Fatal("LRU victim 2 still cached")
+	}
+	if _, ok := b.Get(pid(1)); !ok {
+		t.Fatal("recently-used 1 evicted")
+	}
+	if _, ok := b.Get(pid(3)); !ok {
+		t.Fatal("new page 3 missing")
+	}
+	if b.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", b.Stats().Evictions)
+	}
+}
+
+func TestReadOnlyZeroCapacityDisabled(t *testing.T) {
+	b := NewReadOnly(0)
+	b.FillOnRead(pid(1), []byte("1"))
+	if b.Len() != 0 {
+		t.Fatal("zero-capacity buffer cached a page")
+	}
+	if _, ok := b.Get(pid(1)); ok {
+		t.Fatal("zero-capacity buffer hit")
+	}
+}
+
+func TestReadOnlyWriteCompleteUpdates(t *testing.T) {
+	b := NewReadOnly(4)
+	b.FillOnRead(pid(1), []byte("old"))
+	b.FillOnWriteComplete(pid(1), []byte("new"))
+	got, _ := b.Get(pid(1))
+	if string(got) != "new" {
+		t.Fatalf("got %q", got)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("len = %d", b.Len())
+	}
+}
+
+func TestReadOnlyInvalidate(t *testing.T) {
+	b := NewReadOnly(4)
+	b.FillOnRead(pid(1), []byte("1"))
+	b.Invalidate(pid(1))
+	if _, ok := b.Get(pid(1)); ok {
+		t.Fatal("invalidated page still cached")
+	}
+	b.Invalidate(pid(42)) // no-op must not panic
+}
+
+func TestReadWriteDirtyLifecycle(t *testing.T) {
+	b := NewReadWrite(4)
+	if _, ev := b.Write(pid(1), []byte("v1")); ev {
+		t.Fatal("unexpected eviction")
+	}
+	if b.DirtyCount() != 1 {
+		t.Fatalf("dirty = %d", b.DirtyCount())
+	}
+	dirty := b.DirtyPages()
+	if len(dirty) != 1 || dirty[0].ID != pid(1) || string(dirty[0].Data) != "v1" {
+		t.Fatalf("dirty pages = %+v", dirty)
+	}
+	b.MarkClean(pid(1), dirty[0].Epoch)
+	if b.DirtyCount() != 0 {
+		t.Fatal("MarkClean did not clean")
+	}
+	// Page stays cached after cleaning.
+	if got, ok := b.Get(pid(1)); !ok || string(got) != "v1" {
+		t.Fatal("clean page lost")
+	}
+}
+
+func TestReadWriteMarkCleanEpochGuard(t *testing.T) {
+	b := NewReadWrite(4)
+	b.Write(pid(1), []byte("v1"))
+	snap := b.DirtyPages()
+	// A second write lands between snapshot and write-back completion.
+	b.Write(pid(1), []byte("v2"))
+	b.MarkClean(pid(1), snap[0].Epoch)
+	if b.DirtyCount() != 1 {
+		t.Fatal("stale MarkClean wiped a newer update")
+	}
+	cur := b.DirtyPages()
+	b.MarkClean(pid(1), cur[0].Epoch)
+	if b.DirtyCount() != 0 {
+		t.Fatal("current-epoch MarkClean failed")
+	}
+}
+
+func TestReadWriteWriteMergeCounting(t *testing.T) {
+	b := NewReadWrite(4)
+	b.Write(pid(1), []byte("a"))
+	b.Write(pid(1), []byte("b"))
+	b.Write(pid(1), []byte("c"))
+	if got := b.Stats().WriteMerges; got != 2 {
+		t.Fatalf("write merges = %d, want 2", got)
+	}
+	got, _ := b.Get(pid(1))
+	if string(got) != "c" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestReadWriteEvictionReturnsDirtyVictim(t *testing.T) {
+	b := NewReadWrite(2)
+	b.Write(pid(1), []byte("1"))
+	b.FillOnRead(pid(2), []byte("2"))
+	// Insert a third page; LRU victim is dirty page 1.
+	victim, ev := b.FillOnRead(pid(3), []byte("3"))
+	if !ev || victim.ID != pid(1) || string(victim.Data) != "1" {
+		t.Fatalf("victim = %+v, %v", victim, ev)
+	}
+	// Clean victims are not surfaced.
+	_, ev = b.Write(pid(4), []byte("4")) // evicts clean page 2
+	if ev {
+		t.Fatal("clean victim surfaced as dirty")
+	}
+}
+
+func TestReadWriteInvalidateDirty(t *testing.T) {
+	b := NewReadWrite(4)
+	b.Write(pid(1), []byte("1"))
+	d, wasDirty := b.Invalidate(pid(1))
+	if !wasDirty || string(d.Data) != "1" {
+		t.Fatalf("invalidate = %+v, %v", d, wasDirty)
+	}
+	if _, ok := b.Get(pid(1)); ok {
+		t.Fatal("page still present")
+	}
+	if _, wasDirty := b.Invalidate(pid(9)); wasDirty {
+		t.Fatal("absent page reported dirty")
+	}
+}
+
+func TestDirtyPagesColdestFirst(t *testing.T) {
+	b := NewReadWrite(8)
+	b.Write(pid(1), []byte("1"))
+	b.Write(pid(2), []byte("2"))
+	b.Write(pid(3), []byte("3"))
+	b.Get(pid(1)) // 1 becomes hottest
+	d := b.DirtyPages()
+	if len(d) != 3 || d[0].ID != pid(2) || d[2].ID != pid(1) {
+		t.Fatalf("order = %v", []storage.PageID{d[0].ID, d[1].ID, d[2].ID})
+	}
+}
+
+// Property: cache never exceeds capacity, and a Get after Fill returns the
+// last value written for that id (whichever of Write/FillOnRead came last)
+// as long as the page was not evicted.
+func TestBufferConsistencyProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const capacity = 8
+		b := NewReadWrite(capacity)
+		shadow := map[storage.PageID][]byte{} // last value per id
+		for _, o := range ops {
+			id := pid(int(o % 16))
+			val := []byte{byte(o >> 8)}
+			switch (o / 16) % 3 {
+			case 0:
+				b.Write(id, val)
+				shadow[id] = val
+			case 1:
+				b.FillOnRead(id, val)
+				shadow[id] = val
+			case 2:
+				if got, ok := b.Get(id); ok {
+					want := shadow[id]
+					if want == nil || got[0] != want[0] {
+						return false
+					}
+				}
+			}
+			if b.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: no dirty data is ever silently lost — every dirtying Write is
+// either still dirty in the buffer, or was handed out via eviction /
+// invalidation, or superseded by a newer write to the same page.
+func TestNoSilentDirtyLossProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const capacity = 4
+		b := NewReadWrite(capacity)
+		pending := map[storage.PageID]bool{} // dirty writes not yet accounted
+		for _, o := range ops {
+			id := pid(int(o % 8))
+			switch (o / 8) % 2 {
+			case 0:
+				if v, ev := b.Write(id, []byte{byte(o)}); ev {
+					delete(pending, v.ID)
+				}
+				pending[id] = true
+			case 1:
+				// The tree only fills pages it had to read from the device,
+				// i.e. pages not currently buffered dirty; mirror that here.
+				if pending[id] {
+					continue
+				}
+				if v, ev := b.FillOnRead(id, []byte{byte(o)}); ev {
+					delete(pending, v.ID)
+				}
+			}
+			// Every pending page must still be dirty in the buffer.
+			dirtyNow := map[storage.PageID]bool{}
+			for _, d := range b.DirtyPages() {
+				dirtyNow[d.ID] = true
+			}
+			for id := range pending {
+				if !dirtyNow[id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"time"
+
+	"github.com/patree/patree/internal/probe"
+	"github.com/patree/patree/internal/sched"
+)
+
+// Persistence selects the buffering mode of §III-C.
+type Persistence int
+
+const (
+	// StrongPersistence writes every node update straight to the NVM; the
+	// read-only buffer serves reads and is filled only on I/O completion.
+	// A completed update operation is durable.
+	StrongPersistence Persistence = iota
+	// WeakPersistence absorbs updates in a read-write buffer; dirty pages
+	// reach the NVM on eviction or Sync(), merging repeated writes.
+	WeakPersistence
+)
+
+// String names the mode.
+func (p Persistence) String() string {
+	if p == WeakPersistence {
+		return "weak"
+	}
+	return "strong"
+}
+
+// Poller selects who probes the NVMe completion queue (§V-B, Figure 11).
+type Poller int
+
+const (
+	// PollerInline is PA-Tree proper: the working thread probes, guided by
+	// the scheduling policy.
+	PollerInline Poller = iota
+	// PollerDedicatedSpin is PAD-Tree: a dedicated thread probes in a
+	// tight loop.
+	PollerDedicatedSpin
+	// PollerDedicatedModel is PAD+-Tree: a dedicated thread probes gated
+	// by the workload-aware model.
+	PollerDedicatedModel
+)
+
+// String names the poller mode.
+func (p Poller) String() string {
+	switch p {
+	case PollerDedicatedSpin:
+		return "PAD"
+	case PollerDedicatedModel:
+		return "PAD+"
+	default:
+		return "inline"
+	}
+}
+
+// CostModel holds the virtual CPU cost constants charged by the working
+// thread. They are calibrated so PA-Tree's per-operation CPU and its
+// Figure 9 breakdown land in the paper's observed ranges (see DESIGN.md);
+// the baselines share the same index-logic costs, so all CPU-efficiency
+// comparisons are apples-to-apples.
+type CostModel struct {
+	// NodeVisit: decode a 512B page and binary-search it (real work).
+	NodeVisit time.Duration
+	// LeafMutate: apply an insert/update/delete and re-encode (real work).
+	LeafMutate time.Duration
+	// Split: split a node and fix separators (real work).
+	Split time.Duration
+	// LatchOp: acquire or release one operation latch (synchronization).
+	LatchOp time.Duration
+	// IOSubmit: append one command to the submission queue (NVMe).
+	IOSubmit time.Duration
+	// ProbeCall / ProbePerCQE: poll the completion queue (NVMe).
+	ProbeCall   time.Duration
+	ProbePerCQE time.Duration
+	// SchedStep: one pass of the main loop's bookkeeping (scheduling).
+	SchedStep time.Duration
+	// ReadyPushPop: ready-queue operation (scheduling).
+	ReadyPushPop time.Duration
+	// IdleSpin: CPU burned per main-loop pass when there is nothing to do
+	// and the policy does not yield (scheduling); this is the waste that
+	// CPU yielding eliminates in Figure 13.
+	IdleSpin time.Duration
+	// CrossThreadHandoff: cache-coherence penalty per completion handed
+	// between a dedicated poller thread and the working thread
+	// (synchronization; Figure 11's PAD/PAD+ overhead).
+	CrossThreadHandoff time.Duration
+}
+
+// DefaultCosts returns the calibrated cost constants.
+func DefaultCosts() CostModel {
+	return CostModel{
+		NodeVisit:          700 * time.Nanosecond,
+		LeafMutate:         900 * time.Nanosecond,
+		Split:              1200 * time.Nanosecond,
+		LatchOp:            40 * time.Nanosecond,
+		IOSubmit:           250 * time.Nanosecond,
+		ProbeCall:          300 * time.Nanosecond,
+		ProbePerCQE:        60 * time.Nanosecond,
+		SchedStep:          60 * time.Nanosecond,
+		ReadyPushPop:       40 * time.Nanosecond,
+		IdleSpin:           1 * time.Microsecond,
+		CrossThreadHandoff: 150 * time.Nanosecond,
+	}
+}
+
+// Config parameterizes a Tree.
+type Config struct {
+	// Persistence selects strong or weak buffering semantics.
+	Persistence Persistence
+	// BufferPages is the buffer capacity in 512B pages (0 disables
+	// buffering, the §V-A configuration).
+	BufferPages int
+	// QueueDepth is the submission queue depth to allocate.
+	QueueDepth int
+	// Policy is the probe/yield policy; nil selects the workload-aware
+	// policy with the package-default trained model and 50µs yield
+	// granularity.
+	Policy sched.Policy
+	// Prioritized enables the §IV-B prioritized ready queue
+	// (write-latch holders first, then admission order); when false a
+	// plain FIFO is used (the Figure 12 ablation).
+	Prioritized bool
+	// Poller selects inline (PA-Tree), dedicated spin (PAD-Tree) or
+	// dedicated model-gated (PAD+-Tree) polling.
+	Poller Poller
+	// Costs are the virtual CPU constants; zero value selects defaults.
+	Costs CostModel
+	// MaxProbeBatch bounds completions reaped per probe (0 = unlimited).
+	MaxProbeBatch int
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2048
+	}
+	if c.Costs == (CostModel{}) {
+		c.Costs = DefaultCosts()
+	}
+	if c.Policy == nil {
+		m, err := probe.Default()
+		if err != nil {
+			panic("core: default probe model training failed: " + err.Error())
+		}
+		c.Policy = sched.NewWorkload(m, nil, 20*time.Microsecond)
+	}
+	return c
+}

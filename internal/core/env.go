@@ -1,0 +1,72 @@
+// Package core implements PA-Tree itself: a B+ tree whose index
+// operations are decomposed into state machines (§III-A) that one working
+// thread executes in an interleaved, polled-mode, asynchronous fashion,
+// with operation latches (§III-B), strong/weak persistent buffering
+// (§III-C) and the workload-aware scheduler of §IV.
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/patree/patree/internal/metrics"
+	"github.com/patree/patree/internal/sim"
+	"github.com/patree/patree/internal/simos"
+)
+
+// Env abstracts the execution context of the working thread, so the same
+// tree code runs on a simulated thread (deterministic experiments,
+// virtual-time CPU accounting) and on a real goroutine (the examples).
+type Env interface {
+	// Now returns the current time on the environment's clock.
+	Now() sim.Time
+	// Work accounts d of CPU time in category cat. On the simulated
+	// environment this actually consumes virtual CPU (and may involve
+	// preemption); on the real environment it only accounts.
+	Work(cat metrics.CPUCategory, d time.Duration)
+	// Sleep blocks the working thread for d, yielding its CPU.
+	Sleep(d time.Duration)
+	// CPU returns the cumulative per-category CPU account.
+	CPU() *metrics.CPUAccount
+}
+
+// SimEnv adapts a simulated OS thread to Env.
+type SimEnv struct{ T *simos.Thread }
+
+// Now implements Env.
+func (e SimEnv) Now() sim.Time { return e.T.Now() }
+
+// Work implements Env.
+func (e SimEnv) Work(cat metrics.CPUCategory, d time.Duration) { e.T.Work(cat, d) }
+
+// Sleep implements Env.
+func (e SimEnv) Sleep(d time.Duration) { e.T.Sleep(d) }
+
+// CPU implements Env.
+func (e SimEnv) CPU() *metrics.CPUAccount { return &e.T.CPU }
+
+// RealEnv is the wall-clock environment used by the examples: Work only
+// accounts (the real CPU cost is whatever the host spends), Sleep calls
+// time.Sleep, and Now is time since construction.
+type RealEnv struct {
+	start   time.Time
+	account *metrics.CPUAccount
+	stopped atomic.Bool
+}
+
+// NewRealEnv returns a wall-clock environment starting now.
+func NewRealEnv() *RealEnv {
+	return &RealEnv{start: time.Now(), account: &metrics.CPUAccount{}}
+}
+
+// Now implements Env.
+func (e *RealEnv) Now() sim.Time { return sim.Time(time.Since(e.start)) }
+
+// Work implements Env.
+func (e *RealEnv) Work(cat metrics.CPUCategory, d time.Duration) { e.account.Charge(cat, d) }
+
+// Sleep implements Env.
+func (e *RealEnv) Sleep(d time.Duration) { time.Sleep(d) }
+
+// CPU implements Env.
+func (e *RealEnv) CPU() *metrics.CPUAccount { return e.account }

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/patree/patree/internal/buffer"
+	"github.com/patree/patree/internal/latch"
+	"github.com/patree/patree/internal/sim"
+	"github.com/patree/patree/internal/storage"
+)
+
+// Kind identifies an index operation type. Point and range search are the
+// paper's "search operations"; insert, update and delete are its "update
+// operations".
+type Kind int
+
+const (
+	// KindSearch is a point lookup.
+	KindSearch Kind = iota
+	// KindRange is a range scan over [Key, EndKey] with an optional limit.
+	KindRange
+	// KindInsert inserts or overwrites a key.
+	KindInsert
+	// KindUpdate overwrites an existing key; it reports Found=false and
+	// changes nothing when the key is absent.
+	KindUpdate
+	// KindDelete removes a key.
+	KindDelete
+	// KindSync flushes all buffered updates to the NVM (weak persistence)
+	// and persists the meta page; provided per §III-C.
+	KindSync
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSearch:
+		return "search"
+	case KindRange:
+		return "range"
+	case KindInsert:
+		return "insert"
+	case KindUpdate:
+		return "update"
+	case KindDelete:
+		return "delete"
+	case KindSync:
+		return "sync"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// IsUpdate reports whether the kind mutates the index.
+func (k Kind) IsUpdate() bool {
+	return k == KindInsert || k == KindUpdate || k == KindDelete || k == KindSync
+}
+
+// KV is one key/value pair returned by a range scan.
+type KV struct {
+	Key   uint64
+	Value []byte
+}
+
+// Result is the outcome of a completed operation.
+type Result struct {
+	// Found reports whether the key existed (search/update/delete) or a
+	// previous value was replaced (insert).
+	Found bool
+	// Value is the value found by a point search.
+	Value []byte
+	// Pairs are the range-scan results in ascending key order.
+	Pairs []KV
+	// Err is non-nil if the operation failed (e.g. value too large).
+	Err error
+	// Admitted and Completed bound the operation's processing; their
+	// difference is the latency reported in the paper's figures.
+	Admitted, Completed sim.Time
+}
+
+// Latency returns Completed - Admitted.
+func (r Result) Latency() sim.Duration { return r.Completed.Sub(r.Admitted) }
+
+// opState is the coarse position of an operation in its transition graph
+// (§III-A, Figure 5). Waiting states are not separate enum values: an op
+// is I/O-blocked or latch-blocked while its callbacks are outstanding,
+// and the callbacks move it back to the ready set.
+type opState int
+
+const (
+	stEntry        opState = iota // (re)start at the root
+	stChildGranted                // latch on op.cur held; handle coupling
+	stReadNode                    // need the content of op.cur
+	stProcess                     // have op.curNode; run index logic
+	stWriteNext                   // strong mode: issue the next queued write
+	stSyncRun                     // sync op: drive the flush pipeline
+	stDone
+)
+
+// heldLatch records one latch the op holds.
+type heldLatch struct {
+	id   storage.PageID
+	mode latch.Mode
+}
+
+// writeReq is a queued page write (strong mode).
+type writeReq struct {
+	id   storage.PageID
+	data []byte
+}
+
+// Op is one in-flight index operation: its parameters, its state-machine
+// position, the latches it holds, and its pending I/O. Ops are created by
+// the constructors below, admitted with Tree.Admit, and completed via the
+// Done callback on the working thread.
+type Op struct {
+	kind   Kind
+	key    uint64
+	endKey uint64
+	limit  int
+	value  []byte
+
+	// Done runs on the working thread when the operation completes.
+	Done func(*Op)
+	// Res is the outcome; valid once Done runs.
+	Res Result
+
+	seq      uint64
+	state    opState
+	mode     latch.Mode
+	depth    int // 0 at root
+	cur      storage.PageID
+	curNode  *storage.Node
+	prevNode *storage.Node // parent retained while deciding child split
+	held     []heldLatch
+	inReady  bool
+
+	// ioData carries a completed read's page image into stReadNode; ioFor
+	// records which page it belongs to, so a stale image can never be
+	// consumed for a different node (e.g. after the buffer turned the
+	// original lookup into a hit, or after a root-change restart).
+	// pendingErr carries an I/O error into the next scheduling of the op.
+	ioData     []byte
+	ioFor      storage.PageID
+	pendingErr error
+
+	// modified are the decoded nodes this op has mutated; they stay
+	// latched until their writes are durable (strong) or buffered (weak).
+	modified []*storage.Node
+	writes   []writeReq
+	wIdx     int
+	commit   func()
+
+	// sync bookkeeping
+	syncStarted     bool
+	syncQueue       []buffer.Dirty
+	syncOutstanding int
+	syncFlushSent   bool
+	syncFlushDone   bool
+
+	holdsWrite bool
+
+	// pessimistic marks an update operation's second attempt: the first
+	// descent takes shared latches on inner nodes and an exclusive latch
+	// only on the leaf (optimistic latch coupling, per Bayer & Schkolnick
+	// [3]); if the leaf turns out to need a split, the operation restarts
+	// with exclusive coupling the whole way down.
+	pessimistic bool
+}
+
+// Kind returns the operation type.
+func (o *Op) Kind() Kind { return o.kind }
+
+// Key returns the primary key parameter.
+func (o *Op) Key() uint64 { return o.key }
+
+// NewSearch builds a point-search operation.
+func NewSearch(key uint64, done func(*Op)) *Op {
+	return &Op{kind: KindSearch, key: key, mode: latch.Shared, Done: done}
+}
+
+// NewRange builds a range scan over [lo, hi]; limit <= 0 means unlimited.
+func NewRange(lo, hi uint64, limit int, done func(*Op)) *Op {
+	return &Op{kind: KindRange, key: lo, endKey: hi, limit: limit, mode: latch.Shared, Done: done}
+}
+
+// NewInsert builds an insert-or-replace operation.
+func NewInsert(key uint64, value []byte, done func(*Op)) *Op {
+	return &Op{kind: KindInsert, key: key, value: value, mode: latch.Exclusive, Done: done}
+}
+
+// NewUpdate builds a replace-if-present operation.
+func NewUpdate(key uint64, value []byte, done func(*Op)) *Op {
+	return &Op{kind: KindUpdate, key: key, value: value, mode: latch.Exclusive, Done: done}
+}
+
+// NewDelete builds a delete operation.
+func NewDelete(key uint64, done func(*Op)) *Op {
+	return &Op{kind: KindDelete, key: key, mode: latch.Exclusive, Done: done}
+}
+
+// NewSync builds a sync operation (§III-C).
+func NewSync(done func(*Op)) *Op {
+	return &Op{kind: KindSync, mode: latch.Exclusive, Done: done}
+}

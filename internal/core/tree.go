@@ -1,0 +1,1252 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/patree/patree/internal/buffer"
+	"github.com/patree/patree/internal/latch"
+	"github.com/patree/patree/internal/metrics"
+	"github.com/patree/patree/internal/nvme"
+	"github.com/patree/patree/internal/sched"
+	"github.com/patree/patree/internal/sim"
+	"github.com/patree/patree/internal/storage"
+)
+
+// innerSplitMargin is how far below the hard inner capacity a node must be
+// before we descend through it on the insert path: a single leaf overflow
+// can cascade up to ceil(log2(leaf entries)) separators into one parent
+// (multi-split of small entries around one large value), so parents keep
+// at least this much slack. See DESIGN.md.
+const innerSplitMargin = 6
+
+// ErrValueTooLarge mirrors storage.ErrValueTooLarge at the operation level.
+var ErrValueTooLarge = storage.ErrValueTooLarge
+
+// ErrStopped is returned for operations admitted after Stop.
+var ErrStopped = errors.New("core: tree stopped")
+
+// Stats aggregates the tree-side measurements the experiments report.
+type Stats struct {
+	Completed       [6]uint64 // by Kind
+	Latency         *metrics.Histogram
+	SearchLatency   *metrics.Histogram
+	UpdateLatency   *metrics.Histogram
+	Probes          uint64
+	ProbeHits       uint64 // probes that reaped >= 1 completion
+	CompletionsSeen uint64
+	Yields          uint64
+	YieldTime       time.Duration
+	// IdleSpinTime is CPU burned busy-polling with nothing to do; it is
+	// charged to the "others" category and reported separately so the
+	// Figure 9 / Table II attribution can exclude it (perf-style cycle
+	// attribution does not see a wait loop as scheduling work).
+	IdleSpinTime time.Duration
+	ReadsIssued     uint64
+	WritesIssued    uint64
+	Splits          uint64
+}
+
+// TotalOps returns the number of completed operations.
+func (s Stats) TotalOps() uint64 {
+	var t uint64
+	for _, c := range s.Completed {
+		t += c
+	}
+	return t
+}
+
+// Tree is a PA-Tree instance bound to a device queue pair and an
+// execution environment. All methods except Admit and Stop must be called
+// from the working thread.
+type Tree struct {
+	cfg Config
+	dev nvme.Device
+	qp  nvme.QueuePair
+	env Env
+
+	// In-memory superblock state (persisted via the meta page on Sync).
+	rootID    storage.PageID
+	height    int
+	numKeys   uint64
+	syncEpoch uint64
+	alloc     *storage.Allocator
+
+	latches *latch.Table
+	ro      *buffer.ReadOnly  // strong persistence
+	rw      *buffer.ReadWrite // weak persistence
+
+	// inflight tracks weak-mode write-backs between submission and
+	// completion so read misses never fetch stale pages from the device.
+	inflight map[storage.PageID][]byte
+	bgQueue  []buffer.Dirty // dirty evictions awaiting submission
+
+	policy  sched.Policy
+	ready   sched.ReadyQueue
+	stalled []*Op // ops whose submission hit a full queue
+
+	inboxMu sync.Mutex
+	inbox   []*Op
+	stopped atomic.Bool
+	running bool
+
+	seq        uint64
+	dbgPush    uint64
+	dbgPop     uint64
+	liveSet    map[uint64]*Op
+	liveOps    int
+	ioBlocked  int
+	charges    [5]time.Duration
+	stats      Stats
+	pollerLive bool
+}
+
+// New creates a tree on dev using an existing on-device image described
+// by meta (use Format to initialize a fresh device).
+func New(dev nvme.Device, cfg Config, env Env, meta *storage.Meta) (*Tree, error) {
+	cfg = cfg.WithDefaults()
+	qp, err := dev.AllocQueuePair(cfg.QueueDepth)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		cfg:       cfg,
+		dev:       dev,
+		qp:        qp,
+		env:       env,
+		rootID:    meta.Root,
+		height:    int(meta.Height),
+		numKeys:   meta.NumKeys,
+		syncEpoch: meta.SyncEpoch,
+		alloc:     storage.NewAllocator(meta.Watermark),
+		latches:   latch.NewTable(),
+		inflight:  make(map[storage.PageID][]byte),
+		policy:    cfg.Policy,
+	}
+	if cfg.Persistence == WeakPersistence {
+		t.rw = buffer.NewReadWrite(cfg.BufferPages)
+	} else {
+		t.ro = buffer.NewReadOnly(cfg.BufferPages)
+	}
+	if cfg.Prioritized {
+		t.ready = sched.NewPriority()
+	} else {
+		t.ready = sched.NewFIFO()
+	}
+	t.stats.Latency = metrics.NewHistogram()
+	t.stats.SearchLatency = metrics.NewHistogram()
+	t.stats.UpdateLatency = metrics.NewHistogram()
+	return t, nil
+}
+
+// Format initializes a fresh device with an empty tree (meta page + empty
+// root leaf) using direct synchronous I/O, and returns the meta image.
+func Format(dev nvme.Device) (*storage.Meta, error) {
+	root := storage.NewLeaf(1)
+	meta := &storage.Meta{Root: 1, Height: 1, Watermark: 2}
+	if err := syncWrite(dev, 1, root.Encode()); err != nil {
+		return nil, err
+	}
+	if err := syncWrite(dev, 0, meta.Encode()); err != nil {
+		return nil, err
+	}
+	return meta, nil
+}
+
+// ReadMeta loads the meta page from the device synchronously.
+func ReadMeta(dev nvme.Device) (*storage.Meta, error) {
+	buf := make([]byte, storage.PageSize)
+	if err := syncRead(dev, 0, buf); err != nil {
+		return nil, err
+	}
+	return storage.DecodeMeta(buf)
+}
+
+// syncWrite performs a blocking single-page write: submit, then poll.
+// Used only for setup/recovery paths, never on the index hot path.
+func syncWrite(dev nvme.Device, id storage.PageID, data []byte) error {
+	return syncIO(dev, &nvme.Command{Op: nvme.OpWrite, LBA: uint64(id), Blocks: 1, Buf: data})
+}
+
+func syncRead(dev nvme.Device, id storage.PageID, buf []byte) error {
+	return syncIO(dev, &nvme.Command{Op: nvme.OpRead, LBA: uint64(id), Blocks: 1, Buf: buf})
+}
+
+func syncIO(dev nvme.Device, cmd *nvme.Command) error {
+	qp, err := dev.AllocQueuePair(4)
+	if err != nil {
+		return err
+	}
+	defer qp.Free()
+	done := false
+	var ioErr error
+	cmd.Callback = func(c nvme.Completion) { done = true; ioErr = c.Err }
+	if err := qp.Submit(cmd); err != nil {
+		return err
+	}
+	// On the simulated device, completions appear as the engine advances;
+	// tests drive the engine before relying on the result. On the real
+	// device, poll until done.
+	if sd, ok := dev.(*nvme.SimDevice); ok {
+		sd.Advance()
+		qp.Probe(0)
+		if !done {
+			return fmt.Errorf("core: sync I/O did not complete")
+		}
+		return ioErr
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !done {
+		qp.Probe(0)
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: sync I/O timed out")
+		}
+	}
+	return ioErr
+}
+
+// now returns the environment clock.
+func (t *Tree) now() sim.Time { return t.env.Now() }
+
+// charge accumulates CPU cost; chargeFlush turns the accumulation into
+// actual environment work (one batch per main-loop pass keeps the
+// simulated-thread handoff overhead low).
+func (t *Tree) charge(cat metrics.CPUCategory, d time.Duration) { t.charges[cat] += d }
+
+func (t *Tree) chargeFlush() {
+	for cat, d := range t.charges {
+		if d > 0 {
+			t.env.Work(metrics.CPUCategory(cat), d)
+			t.charges[cat] = 0
+		}
+	}
+}
+
+// Admit hands an operation to the working thread. Safe to call from any
+// goroutine (real mode) or any simulation context (sim mode).
+func (t *Tree) Admit(o *Op) {
+	o.Res.Admitted = t.now()
+	if t.stopped.Load() {
+		o.Res.Err = ErrStopped
+		o.Res.Completed = o.Res.Admitted
+		if o.Done != nil {
+			o.Done(o)
+		}
+		return
+	}
+	t.inboxMu.Lock()
+	t.inbox = append(t.inbox, o)
+	t.inboxMu.Unlock()
+}
+
+// Stop makes Run return once all admitted operations have completed.
+func (t *Tree) Stop() { t.stopped.Store(true) }
+
+// StatsSnapshot returns a copy of the tree statistics (histograms are
+// shared references; treat as read-only).
+func (t *Tree) StatsSnapshot() Stats { return t.stats }
+
+// ResetStats zeroes counters and histograms (used by the harness to
+// exclude warm-up).
+func (t *Tree) ResetStats() {
+	lat, sl, ul := t.stats.Latency, t.stats.SearchLatency, t.stats.UpdateLatency
+	lat.Reset()
+	sl.Reset()
+	ul.Reset()
+	t.stats = Stats{Latency: lat, SearchLatency: sl, UpdateLatency: ul}
+	t.latches.ResetStats()
+	if t.ro != nil {
+		t.ro.ResetStats()
+	}
+	if t.rw != nil {
+		t.rw.ResetStats()
+	}
+}
+
+// BufferStats returns the active buffer's counters.
+func (t *Tree) BufferStats() buffer.Stats {
+	if t.rw != nil {
+		return t.rw.Stats()
+	}
+	return t.ro.Stats()
+}
+
+// LatchWaits exposes latch contention (Figure 12 analysis).
+func (t *Tree) LatchWaits() uint64 { return t.latches.Waits() }
+
+// NumKeys returns the in-memory key count.
+func (t *Tree) NumKeys() uint64 { return t.numKeys }
+
+// Height returns the tree height (1 = single leaf).
+func (t *Tree) Height() int { return t.height }
+
+func (t *Tree) drainInbox() {
+	t.inboxMu.Lock()
+	batch := t.inbox
+	t.inbox = nil
+	t.inboxMu.Unlock()
+	for _, o := range batch {
+		t.seq++
+		o.seq = t.seq
+		o.state = stEntry
+		if o.kind == KindSync {
+			o.state = stSyncRun
+		}
+		t.liveOps++
+		if t.liveSet == nil {
+			t.liveSet = make(map[uint64]*Op)
+		}
+		t.liveSet[o.seq] = o
+		t.pushReady(o)
+	}
+}
+
+func (t *Tree) inboxEmpty() bool {
+	t.inboxMu.Lock()
+	n := len(t.inbox)
+	t.inboxMu.Unlock()
+	return n == 0
+}
+
+// pushReady moves an op into the ready set (idempotent).
+func (t *Tree) pushReady(o *Op) {
+	if o.inReady {
+		return
+	}
+	o.inReady = true
+	t.dbgPush++
+	t.charge(metrics.CatSched, t.cfg.Costs.ReadyPushPop)
+	t.ready.Push(sched.Entry{Seq: o.seq, HoldsWrite: o.holdsWrite, Op: o})
+}
+
+// Run executes the working-thread main loop (Algorithm 2; Algorithm 1 is
+// the same loop under the AlwaysProbe policy with a FIFO ready queue).
+// It returns after Stop() once every admitted operation has completed.
+func (t *Tree) Run() {
+	t.running = true
+	costs := &t.cfg.Costs
+	for {
+		t.drainInbox()
+		progressed := false
+		if e, ok := t.ready.Pop(); ok {
+			op := e.Op.(*Op)
+			t.dbgPop++
+			op.inReady = false
+			t.process(op)
+			progressed = true
+		}
+		if t.cfg.Poller == PollerInline {
+			t.charge(metrics.CatSched, t.policy.Overhead())
+			if t.policy.ShouldProbe(t.now(), t.ioBlocked) {
+				t.probe(t.policy)
+			}
+		}
+		t.resubmitStalled()
+		t.charge(metrics.CatSched, costs.SchedStep)
+		if !progressed && t.ready.Len() == 0 && t.inboxEmpty() {
+			if t.stopped.Load() && t.liveOps == 0 {
+				break
+			}
+			if y := t.policy.YieldFor(t.now(), t.ioBlocked); y > 0 {
+				t.chargeFlush()
+				t.stats.Yields++
+				t.stats.YieldTime += y
+				t.env.Sleep(y)
+			} else {
+				// Busy-poll: burn a spin quantum so virtual time advances
+				// (this is the CPU waste Figure 13 quantifies).
+				t.charge(metrics.CatOther, costs.IdleSpin)
+				t.stats.IdleSpinTime += costs.IdleSpin
+			}
+		}
+		t.chargeFlush()
+	}
+	t.running = false
+	t.chargeFlush()
+}
+
+// PollerPolicy returns the probe policy a dedicated polling thread should
+// run: PAD-Tree spins (always probe), PAD+-Tree shares the tree's
+// workload-aware policy (which is fed every submission either way).
+func (t *Tree) PollerPolicy() sched.Policy {
+	if t.cfg.Poller == PollerDedicatedModel {
+		return t.policy
+	}
+	return sched.NewAlwaysProbe()
+}
+
+// RunPoller executes a dedicated polling thread (PAD / PAD+, Figure 11).
+// Call in its own environment; it exits when the main Run loop exits.
+func (t *Tree) RunPoller(env Env, policy sched.Policy) {
+	t.pollerLive = true
+	costs := &t.cfg.Costs
+	for t.running || !t.stopped.Load() {
+		env.Work(metrics.CatSched, policy.Overhead())
+		if policy.ShouldProbe(env.Now(), t.ioBlocked) {
+			t.probePoller(env, policy)
+		} else if t.cfg.Poller == PollerDedicatedModel {
+			// Model-gated poller sleeps when nothing is predicted,
+			// keeping its CPU footprint near zero (PAD+).
+			env.Sleep(5 * time.Microsecond)
+		} else {
+			env.Work(metrics.CatSched, costs.IdleSpin)
+		}
+	}
+	t.pollerLive = false
+}
+
+// probe polls the completion queue from the working thread.
+func (t *Tree) probe(policy sched.Policy) int {
+	t.charge(metrics.CatNVMe, t.cfg.Costs.ProbeCall)
+	n := t.qp.Probe(t.cfg.MaxProbeBatch)
+	t.charge(metrics.CatNVMe, time.Duration(n)*t.cfg.Costs.ProbePerCQE)
+	policy.OnProbe(t.now())
+	t.stats.Probes++
+	if n > 0 {
+		t.stats.ProbeHits++
+		t.stats.CompletionsSeen += uint64(n)
+	}
+	return n
+}
+
+// probePoller polls from a dedicated thread, paying the cross-thread
+// handoff penalty per completion.
+func (t *Tree) probePoller(env Env, policy sched.Policy) int {
+	env.Work(metrics.CatNVMe, t.cfg.Costs.ProbeCall)
+	n := t.qp.Probe(t.cfg.MaxProbeBatch)
+	if n > 0 {
+		env.Work(metrics.CatNVMe, time.Duration(n)*t.cfg.Costs.ProbePerCQE)
+		env.Work(metrics.CatSync, time.Duration(n)*t.cfg.Costs.CrossThreadHandoff)
+	}
+	policy.OnProbe(env.Now())
+	t.stats.Probes++
+	if n > 0 {
+		t.stats.ProbeHits++
+		t.stats.CompletionsSeen += uint64(n)
+	}
+	return n
+}
+
+// resubmitStalled retries operations whose Submit hit a full queue.
+func (t *Tree) resubmitStalled() {
+	if len(t.stalled) == 0 {
+		return
+	}
+	batch := t.stalled
+	t.stalled = nil
+	for _, o := range batch {
+		t.pushReady(o)
+	}
+}
+
+// ─── Operation processing ───────────────────────────────────────────────
+
+// DebugTraceSeq enables transition tracing for one op seq (diagnostics).
+var DebugTraceSeq uint64
+
+// process runs o's transitions until it leaves the ready set (§III-A:
+// process(c) is the maximal sequence of transitions until the operation
+// completes or enters a waiting state).
+func (t *Tree) process(o *Op) {
+	for {
+		if DebugTraceSeq != 0 && o.seq == DebugTraceSeq {
+			fmt.Printf("TRACE op%d state=%d cur=%d depth=%d held=%v err=%v\n", o.seq, o.state, o.cur, o.depth, o.held, o.pendingErr)
+		}
+		if o.pendingErr != nil && o.state != stSyncRun {
+			t.failOp(o, o.pendingErr)
+			return
+		}
+		switch o.state {
+		case stEntry:
+			o.cur = t.rootID
+			o.depth = 0
+			o.prevNode = nil
+			o.state = stChildGranted
+			if !t.acquireLatch(o, o.cur, t.latchModeFor(o, t.height-1)) {
+				return // latch-blocked; grant moves us on
+			}
+
+		case stChildGranted:
+			if o.depth == 0 && o.cur != t.rootID {
+				// The root split while we were queued: restart from the
+				// real root (entry-latch recheck; see package docs).
+				t.releaseLatch(o, o.cur)
+				o.state = stEntry
+				continue
+			}
+			// Searches, scans, deletes and optimistic updates release the
+			// previous node as soon as the child latch is granted;
+			// pessimistic updates keep it until the child is known not to
+			// split.
+			if !t.pessimisticCoupling(o) {
+				t.releaseAllExcept(o, o.cur)
+				o.prevNode = nil
+			}
+			o.state = stReadNode
+
+		case stReadNode:
+			data, ok := t.lookupPage(o.cur)
+			if !ok {
+				if o.ioData != nil && o.ioFor == o.cur {
+					data = o.ioData
+				} else {
+					o.ioData = nil
+					if !t.submitRead(o) {
+						return // stalled or waiting
+					}
+					return // I/O-blocked
+				}
+			}
+			o.ioData = nil
+			node, err := storage.DecodeNode(o.cur, data)
+			if err != nil {
+				t.failOp(o, err)
+				return
+			}
+			t.charge(metrics.CatRealWork, t.cfg.Costs.NodeVisit)
+			o.curNode = node
+			o.state = stProcess
+
+		case stProcess:
+			if done := t.processNode(o); done {
+				return
+			}
+
+		case stWriteNext:
+			if o.wIdx >= len(o.writes) {
+				t.finishOp(o)
+				return
+			}
+			if !t.submitOpWrite(o) {
+				return // stalled or waiting
+			}
+			return // I/O-blocked until this write completes
+
+		case stSyncRun:
+			if t.runSync(o) {
+				return
+			}
+
+		case stDone:
+			return
+
+		default:
+			panic(fmt.Sprintf("core: bad op state %d", o.state))
+		}
+	}
+}
+
+// processNode executes the index logic on o.curNode. Returns true when
+// the op left the ready set (done or waiting).
+func (t *Tree) processNode(o *Op) bool {
+	node := o.curNode
+	isUpd := o.kind == KindInsert || o.kind == KindUpdate
+
+	if isUpd && node.IsLeaf() && !o.pessimistic && t.needsSplit(o, node) {
+		// Optimistic descent found a leaf that must split: restart with
+		// exclusive coupling (rare; see Op.pessimistic).
+		if o.kind == KindUpdate {
+			if _, found := node.SearchLeaf(o.key); !found {
+				o.Res.Found = false
+				t.finishOp(o)
+				return true
+			}
+		}
+		o.pessimistic = true
+		t.releaseAll(o)
+		o.state = stEntry
+		return false
+	}
+
+	if isUpd && o.pessimistic && t.needsSplit(o, node) {
+		if o.kind == KindUpdate {
+			// Confirm the key exists before splitting on its behalf.
+			if node.IsLeaf() {
+				if _, found := node.SearchLeaf(o.key); !found {
+					o.Res.Found = false
+					t.finishOp(o)
+					return true
+				}
+			}
+		}
+		t.splitCurrent(o)
+		// Re-process the (possibly new) current node.
+		return false
+	}
+
+	if node.IsLeaf() {
+		return t.leafAction(o)
+	}
+
+	// Inner node: the child to follow.
+	if isUpd && o.pessimistic {
+		// This node is split-safe: ancestors not pinned by modifications
+		// can be released (latch coupling for updates, §III-B).
+		t.releaseSafeAncestors(o)
+	}
+	idx := node.ChildIndex(o.key)
+	child := node.Children[idx]
+	o.prevNode = node
+	o.cur = child
+	o.depth++
+	o.state = stChildGranted
+	if !t.acquireLatch(o, child, t.latchModeFor(o, int(node.Level)-1)) {
+		return true // latch-blocked
+	}
+	return false
+}
+
+// latchModeFor returns the latch mode for a node at the given level on
+// o's traversal: searches take shared latches everywhere; optimistic
+// updates take shared latches on inner nodes and exclusive only on the
+// leaf; pessimistic updates take exclusive everywhere.
+func (t *Tree) latchModeFor(o *Op, level int) latch.Mode {
+	if o.kind == KindSearch || o.kind == KindRange {
+		return latch.Shared
+	}
+	if o.pessimistic || level <= 0 {
+		return latch.Exclusive
+	}
+	return latch.Shared
+}
+
+// pessimisticCoupling reports whether o keeps ancestors latched across
+// child acquisition.
+func (t *Tree) pessimisticCoupling(o *Op) bool {
+	return (o.kind == KindInsert || o.kind == KindUpdate) && o.pessimistic
+}
+
+// leafAction applies o to the leaf in o.curNode (which fits the change;
+// splits were handled before entering here).
+func (t *Tree) leafAction(o *Op) bool {
+	node := o.curNode
+	costs := &t.cfg.Costs
+	switch o.kind {
+	case KindSearch:
+		if i, found := node.SearchLeaf(o.key); found {
+			o.Res.Found = true
+			o.Res.Value = node.Vals[i]
+		}
+		t.finishOp(o)
+		return true
+
+	case KindRange:
+		i, _ := node.SearchLeaf(o.key)
+		for ; i < len(node.Keys); i++ {
+			if node.Keys[i] > o.endKey {
+				t.finishOp(o)
+				return true
+			}
+			o.Res.Pairs = append(o.Res.Pairs, KV{Key: node.Keys[i], Value: node.Vals[i]})
+			if o.limit > 0 && len(o.Res.Pairs) >= o.limit {
+				t.finishOp(o)
+				return true
+			}
+		}
+		if node.Next == storage.NilPage {
+			t.finishOp(o)
+			return true
+		}
+		// Continue into the right sibling with latch coupling; every key
+		// there exceeds everything in this leaf, so scanning resumes from
+		// the sibling's first slot.
+		o.key = 0
+		o.prevNode = node
+		o.cur = node.Next
+		o.depth++
+		o.state = stChildGranted
+		if !t.acquireLatch(o, o.cur, o.mode) {
+			return true
+		}
+		return false
+
+	case KindInsert, KindUpdate:
+		if len(o.value) > storage.MaxValueSize {
+			t.failOp(o, ErrValueTooLarge)
+			return true
+		}
+		i, found := node.SearchLeaf(o.key)
+		if o.kind == KindUpdate && !found {
+			o.Res.Found = false
+			t.finishOp(o)
+			return true
+		}
+		_ = i
+		replaced := node.InsertLeaf(o.key, o.value)
+		o.Res.Found = replaced
+		if !replaced {
+			t.numKeys++
+		}
+		t.charge(metrics.CatRealWork, costs.LeafMutate)
+		t.markModified(o, node)
+		return t.beginWriteback(o)
+
+	case KindDelete:
+		i, found := node.SearchLeaf(o.key)
+		if !found {
+			t.finishOp(o)
+			return true
+		}
+		node.DeleteLeafAt(i)
+		o.Res.Found = true
+		t.numKeys--
+		t.charge(metrics.CatRealWork, costs.LeafMutate)
+		t.markModified(o, node)
+		return t.beginWriteback(o)
+
+	default:
+		panic("core: unexpected kind in leafAction: " + o.kind.String())
+	}
+}
+
+// needsSplit decides whether the current node must be split before the
+// insert/update proceeds (top-down preemptive splitting; see DESIGN.md).
+func (t *Tree) needsSplit(o *Op, node *storage.Node) bool {
+	if !node.IsLeaf() {
+		return node.NumKeys() >= storage.InnerMaxKeys-innerSplitMargin
+	}
+	if len(o.value) > storage.MaxValueSize {
+		return false // leafAction will fail the op cleanly
+	}
+	if i, found := node.SearchLeaf(o.key); found {
+		return !node.LeafFitsReplace(i, len(o.value))
+	}
+	return !node.LeafFits(len(o.value))
+}
+
+// splitCurrent splits o.curNode (held X), inserting separators into the
+// held parent (creating a new root when the current node is the root).
+// For leaves it loops byte-balanced splits until the incoming value fits
+// the half covering the key. All modified nodes stay latched and are
+// queued for write-back.
+func (t *Tree) splitCurrent(o *Op) {
+	node := o.curNode
+	parent := o.prevNode
+	costs := &t.cfg.Costs
+
+	if parent == nil {
+		// Root split: hoist a new root above the current node.
+		newRootID := t.alloc.Alloc()
+		newRoot := storage.NewInner(newRootID, node.Level+1)
+		newRoot.Children = []storage.PageID{node.ID}
+		if !t.acquireLatch(o, newRootID, latch.Exclusive) {
+			panic("core: fresh root latch contended")
+		}
+		t.markModified(o, newRoot)
+		hoisted, newHeight := newRootID, t.height+1
+		prevCommit := o.commit
+		o.commit = func() {
+			if prevCommit != nil {
+				prevCommit()
+			}
+			t.rootID = hoisted
+			t.height = newHeight
+		}
+		parent = newRoot
+		o.prevNode = newRoot
+	}
+
+	if !node.IsLeaf() {
+		rightID := t.alloc.Alloc()
+		sep, right := node.SplitInner(rightID)
+		if !t.acquireLatch(o, rightID, latch.Exclusive) {
+			panic("core: fresh split node latch contended")
+		}
+		parent.InsertInner(sep, rightID)
+		t.charge(metrics.CatRealWork, costs.Split)
+		t.stats.Splits++
+		t.markModified(o, node)
+		t.markModified(o, right)
+		t.markModified(o, parent)
+		if o.key >= sep {
+			o.curNode = right
+			o.cur = rightID
+		}
+		return
+	}
+
+	// Leaf: split until the half covering the key fits the value.
+	target := node
+	t.markModified(o, parent)
+	for {
+		var fits bool
+		if i, found := target.SearchLeaf(o.key); found {
+			fits = target.LeafFitsReplace(i, len(o.value))
+		} else {
+			fits = target.LeafFits(len(o.value))
+		}
+		if fits {
+			break
+		}
+		if target.NumKeys() < 2 {
+			// By the MaxValueSize bound a single-entry leaf always fits
+			// one more maximal value; reaching here is a logic bug.
+			panic("core: unsplittable leaf cannot fit value")
+		}
+		rightID := t.alloc.Alloc()
+		sep, right := target.SplitLeaf(rightID)
+		if !t.acquireLatch(o, rightID, latch.Exclusive) {
+			panic("core: fresh split leaf latch contended")
+		}
+		parent.InsertInner(sep, rightID)
+		t.charge(metrics.CatRealWork, costs.Split)
+		t.stats.Splits++
+		t.markModified(o, target)
+		t.markModified(o, right)
+		if o.key >= sep {
+			target = right
+		}
+	}
+	if parent.NumKeys() > storage.InnerMaxKeys {
+		panic("core: parent overflow after leaf multi-split")
+	}
+	o.curNode = target
+	o.cur = target.ID
+}
+
+// markModified records node for write-back (ordered children-first at
+// queue-build time) and pins the op as a write-latch holder for the
+// prioritized scheduler.
+func (t *Tree) markModified(o *Op, node *storage.Node) {
+	for _, m := range o.modified {
+		if m == node {
+			return
+		}
+	}
+	o.modified = append(o.modified, node)
+	o.holdsWrite = true
+}
+
+// releaseSafeAncestors drops latches on every held node above the current
+// one that was not modified (modified pages stay latched until their
+// writes complete so no reader can observe in-flight data).
+func (t *Tree) releaseSafeAncestors(o *Op) {
+	if len(o.held) <= 1 {
+		return
+	}
+	kept := o.held[:0]
+	for _, h := range o.held {
+		if h.id == o.cur || o.isModified(h.id) {
+			kept = append(kept, h)
+			continue
+		}
+		t.charge(metrics.CatSync, t.cfg.Costs.LatchOp)
+		t.latches.Release(h.id, h.mode)
+	}
+	o.held = kept
+}
+
+func (o *Op) isModified(id storage.PageID) bool {
+	for _, m := range o.modified {
+		if m.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// beginWriteback finishes an update operation: strong mode queues one
+// write per modified page (leaves before parents, meta last) and moves
+// the op to the write pipeline; weak mode stores the pages into the
+// read-write buffer and completes immediately, scheduling evicted victims
+// in the background (§III-C). The return value follows the processNode
+// convention: true iff the op left the ready set.
+func (t *Tree) beginWriteback(o *Op) bool {
+	if t.cfg.Persistence == WeakPersistence {
+		for _, n := range o.modified {
+			t.bufferWrite(n.ID, n.Encode())
+		}
+		t.finishOp(o)
+		return true
+	}
+	// Strong: order children-first so a parent never points to an
+	// unwritten child on the device.
+	mods := append([]*storage.Node(nil), o.modified...)
+	for i := 0; i < len(mods); i++ {
+		for j := i + 1; j < len(mods); j++ {
+			if mods[j].Level < mods[i].Level {
+				mods[i], mods[j] = mods[j], mods[i]
+			}
+		}
+	}
+	for _, n := range mods {
+		o.writes = append(o.writes, writeReq{id: n.ID, data: n.Encode()})
+	}
+	if o.commit != nil {
+		// Root changed: persist the new meta image after everything else.
+		meta := t.pendingMeta(o)
+		o.writes = append(o.writes, writeReq{id: 0, data: meta.Encode()})
+	}
+	o.state = stWriteNext
+	return false // continue in process(): stWriteNext issues the first write
+}
+
+// pendingMeta builds the meta image as it must look after o commits.
+func (t *Tree) pendingMeta(o *Op) *storage.Meta {
+	// The commit closure updates rootID/height; peek at the new values by
+	// inspecting the newest modified root-level node.
+	root := t.rootID
+	height := t.height
+	for _, n := range o.modified {
+		if int(n.Level)+1 > height {
+			height = int(n.Level) + 1
+			root = n.ID
+		}
+	}
+	return &storage.Meta{
+		Root:      root,
+		Height:    uint8(height),
+		Watermark: t.alloc.Watermark(),
+		NumKeys:   t.numKeys,
+		SyncEpoch: t.syncEpoch,
+	}
+}
+
+// ─── Page access ────────────────────────────────────────────────────────
+
+// lookupPage consults the buffers (and, in weak mode, the in-flight
+// write-back table) for the page image of id.
+func (t *Tree) lookupPage(id storage.PageID) ([]byte, bool) {
+	if t.rw != nil {
+		if data, ok := t.rw.Get(id); ok {
+			return data, true
+		}
+		if data, ok := t.inflight[id]; ok {
+			// Refill the buffer: content is identical to what is being
+			// persisted right now.
+			if victim, ev := t.rw.FillOnRead(id, data); ev {
+				t.queueBG(victim)
+			}
+			return data, true
+		}
+		return nil, false
+	}
+	if data, ok := t.ro.Get(id); ok {
+		return data, true
+	}
+	return nil, false
+}
+
+// bufferWrite stores a weak-mode page update and schedules any evicted
+// dirty victim for background write-back.
+func (t *Tree) bufferWrite(id storage.PageID, data []byte) {
+	if victim, ev := t.rw.Write(id, data); ev {
+		t.queueBG(victim)
+	}
+	// With buffering disabled (capacity 0) the write must still reach the
+	// device: treat it as its own write-back.
+	if t.rw.Len() == 0 {
+		t.queueBG(buffer.Dirty{ID: id, Data: data, Epoch: 0})
+	}
+}
+
+func (t *Tree) queueBG(d buffer.Dirty) {
+	t.bgQueue = append(t.bgQueue, d)
+	t.drainBG()
+}
+
+// drainBG submits queued background write-backs, leaving the rest queued
+// when the submission queue is full.
+func (t *Tree) drainBG() {
+	for len(t.bgQueue) > 0 {
+		d := t.bgQueue[0]
+		data := d.Data
+		id := d.ID
+		epoch := d.Epoch
+		t.inflight[id] = data
+		submitted := t.now()
+		cmd := &nvme.Command{Op: nvme.OpWrite, LBA: uint64(id), Blocks: 1, Buf: data}
+		cmd.Callback = func(c nvme.Completion) {
+			t.ioBlocked--
+			t.policy.OnDetected(nvme.OpWrite, submitted, t.now())
+			if cur, ok := t.inflight[id]; ok && &cur[0] == &data[0] {
+				delete(t.inflight, id)
+			}
+			if epoch != 0 {
+				t.rw.MarkClean(id, epoch)
+			}
+		}
+		t.charge(metrics.CatNVMe, t.cfg.Costs.IOSubmit)
+		if err := t.qp.Submit(cmd); err != nil {
+			delete(t.inflight, id)
+			return // queue full; retry on a later pass
+		}
+		t.policy.OnSubmit(nvme.OpWrite, submitted)
+		t.ioBlocked++
+		t.stats.WritesIssued++
+		t.bgQueue = t.bgQueue[1:]
+	}
+}
+
+// submitRead issues the read for o.cur. Returns false if the op stalled
+// on a full queue (it re-queues via the stalled list).
+func (t *Tree) submitRead(o *Op) bool {
+	buf := make([]byte, storage.PageSize)
+	submitted := t.now()
+	id := o.cur
+	cmd := &nvme.Command{Op: nvme.OpRead, LBA: uint64(id), Blocks: 1, Buf: buf}
+	cmd.Callback = func(c nvme.Completion) {
+		t.ioBlocked--
+		t.policy.OnDetected(nvme.OpRead, submitted, t.now())
+		if c.Err != nil {
+			o.pendingErr = c.Err
+		} else {
+			o.ioData = buf
+			o.ioFor = id
+			t.fillOnRead(id, buf)
+		}
+		t.pushReady(o)
+	}
+	t.charge(metrics.CatNVMe, t.cfg.Costs.IOSubmit)
+	if err := t.qp.Submit(cmd); err != nil {
+		t.stalled = append(t.stalled, o)
+		return false
+	}
+	t.policy.OnSubmit(nvme.OpRead, submitted)
+	t.ioBlocked++
+	t.stats.ReadsIssued++
+	return true
+}
+
+func (t *Tree) fillOnRead(id storage.PageID, data []byte) {
+	if t.rw != nil {
+		if victim, ev := t.rw.FillOnRead(id, data); ev {
+			t.queueBG(victim)
+		}
+		return
+	}
+	t.ro.FillOnRead(id, data)
+}
+
+// submitOpWrite issues o.writes[o.wIdx] (strong mode). On completion the
+// page enters the read-only buffer (§III-C's fill-on-write-complete rule)
+// and the op advances to the next write.
+func (t *Tree) submitOpWrite(o *Op) bool {
+	w := o.writes[o.wIdx]
+	submitted := t.now()
+	cmd := &nvme.Command{Op: nvme.OpWrite, LBA: uint64(w.id), Blocks: 1, Buf: w.data}
+	cmd.Callback = func(c nvme.Completion) {
+		t.ioBlocked--
+		t.policy.OnDetected(nvme.OpWrite, submitted, t.now())
+		if c.Err != nil {
+			o.pendingErr = c.Err
+		} else {
+			if w.id != 0 {
+				t.ro.FillOnWriteComplete(w.id, w.data)
+			}
+			o.wIdx++
+		}
+		t.pushReady(o)
+	}
+	t.charge(metrics.CatNVMe, t.cfg.Costs.IOSubmit)
+	if err := t.qp.Submit(cmd); err != nil {
+		t.stalled = append(t.stalled, o)
+		return false
+	}
+	t.policy.OnSubmit(nvme.OpWrite, submitted)
+	t.ioBlocked++
+	t.stats.WritesIssued++
+	return true
+}
+
+// ─── Sync (weak persistence §III-C) ─────────────────────────────────────
+
+// runSync drives a sync operation. Returns true when the op left the
+// ready set.
+func (t *Tree) runSync(o *Op) bool {
+	if o.pendingErr != nil {
+		t.failOp(o, o.pendingErr)
+		return true
+	}
+	if !o.syncStarted {
+		o.syncStarted = true
+		if t.rw != nil {
+			o.syncQueue = t.rw.DirtyPages()
+		}
+		t.syncEpoch++
+		meta := &storage.Meta{
+			Root:      t.rootID,
+			Height:    uint8(t.height),
+			Watermark: t.alloc.Watermark(),
+			NumKeys:   t.numKeys,
+			SyncEpoch: t.syncEpoch,
+		}
+		o.syncQueue = append(o.syncQueue, buffer.Dirty{ID: 0, Data: meta.Encode()})
+	}
+	// Submit as much of the queue as fits.
+	for len(o.syncQueue) > 0 {
+		d := o.syncQueue[0]
+		id, data, epoch := d.ID, d.Data, d.Epoch
+		submitted := t.now()
+		cmd := &nvme.Command{Op: nvme.OpWrite, LBA: uint64(id), Blocks: 1, Buf: data}
+		cmd.Callback = func(c nvme.Completion) {
+			t.ioBlocked--
+			t.policy.OnDetected(nvme.OpWrite, submitted, t.now())
+			o.syncOutstanding--
+			if c.Err != nil {
+				o.pendingErr = c.Err
+			} else if id != 0 && t.rw != nil {
+				t.rw.MarkClean(id, epoch)
+			}
+			t.pushReady(o)
+		}
+		t.charge(metrics.CatNVMe, t.cfg.Costs.IOSubmit)
+		if err := t.qp.Submit(cmd); err != nil {
+			break // queue full: resume when completions drain
+		}
+		t.policy.OnSubmit(nvme.OpWrite, submitted)
+		t.ioBlocked++
+		t.stats.WritesIssued++
+		o.syncOutstanding++
+		o.syncQueue = o.syncQueue[1:]
+	}
+	if len(o.syncQueue) == 0 && o.syncOutstanding == 0 {
+		if !o.syncFlushSent {
+			o.syncFlushSent = true
+			submitted := t.now()
+			cmd := &nvme.Command{Op: nvme.OpFlush}
+			cmd.Callback = func(c nvme.Completion) {
+				t.ioBlocked--
+				t.policy.OnDetected(nvme.OpRead, submitted, t.now())
+				if c.Err != nil {
+					o.pendingErr = c.Err
+				}
+				o.syncFlushDone = true
+				t.pushReady(o)
+			}
+			t.charge(metrics.CatNVMe, t.cfg.Costs.IOSubmit)
+			if err := t.qp.Submit(cmd); err != nil {
+				o.syncFlushSent = false
+				t.stalled = append(t.stalled, o)
+				return true
+			}
+			t.policy.OnSubmit(nvme.OpRead, submitted)
+			t.ioBlocked++
+			return true
+		}
+		if o.syncFlushDone {
+			t.finishOp(o)
+			return true
+		}
+	}
+	return true // waiting for completions
+}
+
+// ─── Latch helpers ──────────────────────────────────────────────────────
+
+// acquireLatch requests a latch for o, returning true on immediate grant.
+// On a queued request the grant callback pushes o back to ready.
+func (t *Tree) acquireLatch(o *Op, id storage.PageID, mode latch.Mode) bool {
+	t.charge(metrics.CatSync, t.cfg.Costs.LatchOp)
+	granted := t.latches.Acquire(id, mode, func() {
+		o.held = append(o.held, heldLatch{id: id, mode: mode})
+		t.pushReady(o)
+	})
+	if granted {
+		o.held = append(o.held, heldLatch{id: id, mode: mode})
+	}
+	return granted
+}
+
+// releaseLatch drops one held latch by id.
+func (t *Tree) releaseLatch(o *Op, id storage.PageID) {
+	for i, h := range o.held {
+		if h.id == id {
+			o.held = append(o.held[:i], o.held[i+1:]...)
+			t.charge(metrics.CatSync, t.cfg.Costs.LatchOp)
+			t.latches.Release(id, h.mode)
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: releasing latch not held: page %d", id))
+}
+
+// releaseAllExcept drops every held latch except the one on keep.
+func (t *Tree) releaseAllExcept(o *Op, keep storage.PageID) {
+	kept := o.held[:0]
+	for _, h := range o.held {
+		if h.id == keep {
+			kept = append(kept, h)
+			continue
+		}
+		t.charge(metrics.CatSync, t.cfg.Costs.LatchOp)
+		t.latches.Release(h.id, h.mode)
+	}
+	o.held = kept
+}
+
+// releaseAll drops every held latch.
+func (t *Tree) releaseAll(o *Op) {
+	for _, h := range o.held {
+		t.charge(metrics.CatSync, t.cfg.Costs.LatchOp)
+		t.latches.Release(h.id, h.mode)
+	}
+	o.held = o.held[:0]
+}
+
+// ─── Completion ─────────────────────────────────────────────────────────
+
+func (t *Tree) finishOp(o *Op) {
+	if o.pendingErr != nil {
+		t.failOp(o, o.pendingErr)
+		return
+	}
+	if o.commit != nil {
+		o.commit()
+		o.commit = nil
+	}
+	t.releaseAll(o)
+	o.state = stDone
+	o.Res.Completed = t.now()
+	t.liveOps--
+	delete(t.liveSet, o.seq)
+	t.stats.Completed[o.kind]++
+	lat := o.Res.Latency()
+	t.stats.Latency.Record(lat)
+	if o.kind == KindSearch || o.kind == KindRange {
+		t.stats.SearchLatency.Record(lat)
+	} else {
+		t.stats.UpdateLatency.Record(lat)
+	}
+	if o.Done != nil {
+		o.Done(o)
+	}
+}
+
+func (t *Tree) failOp(o *Op, err error) {
+	o.Res.Err = err
+	t.releaseAll(o)
+	o.state = stDone
+	o.Res.Completed = t.now()
+	t.liveOps--
+	delete(t.liveSet, o.seq)
+	t.stats.Completed[o.kind]++
+	if o.Done != nil {
+		o.Done(o)
+	}
+}
+
+// DebugState summarizes internal state for diagnostics.
+func (t *Tree) DebugState() string {
+	return fmt.Sprintf("live=%d ioBlocked=%d ready=%d stalled=%d bg=%d inflight=%d latchNodes=%d",
+		t.liveOps, t.ioBlocked, t.ready.Len(), len(t.stalled), len(t.bgQueue), len(t.inflight), t.latches.ActiveNodes())
+}
+
+// DebugCounters reports push/pop counts.
+func (t *Tree) DebugCounters() (uint64, uint64) { return t.dbgPush, t.dbgPop }
+
+// DebugOps dumps every live operation for diagnostics.
+func (t *Tree) DebugOps() string {
+	out := ""
+	for _, o := range t.liveSet {
+		out += fmt.Sprintf("op%d %s key=%d state=%d cur=%d depth=%d inReady=%v held=%v mods=%d\n",
+			o.seq, o.kind, o.key, o.state, o.cur, o.depth, o.inReady, o.held, len(o.modified))
+	}
+	return out
+}
+
+// DebugLatches dumps the latch table for diagnostics.
+func (t *Tree) DebugLatches() string { return t.latches.Dump() }

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/patree/patree/internal/nvme"
+	"github.com/patree/patree/internal/sim"
+	"github.com/patree/patree/internal/simos"
+	"github.com/patree/patree/internal/storage"
+)
+
+// TestBulkLoadThenOperate verifies the experiment path: bulk-load a tree,
+// open it, and run mixed operations against a model.
+func TestBulkLoadThenOperate(t *testing.T) {
+	eng := sim.NewEngine()
+	osched := simos.New(eng, simos.Config{})
+	dev := nvme.NewSimDevice(eng, nvme.SimConfig{Seed: 31})
+	var pairs []KV
+	model := map[uint64]string{}
+	for i := 0; i < 5000; i++ {
+		k := uint64(i * 7)
+		v := fmt.Sprintf("v%d", k)
+		pairs = append(pairs, KV{Key: k, Value: []byte(v)})
+		model[k] = v
+	}
+	meta, err := BulkLoad(dev, pairs, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.NumKeys != 5000 || meta.Height < 3 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	var tree *Tree
+	th := osched.Spawn("patree", func(*simos.Thread) { tree.Run() })
+	tree, err = New(dev, Config{Prioritized: true, BufferPages: 256}, SimEnv{T: th}, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		tree.Stop()
+		eng.RunFor(time.Second)
+	}()
+	do := func(op *Op) Result {
+		done := false
+		op.Done = func(*Op) { done = true }
+		eng.After(0, func() { tree.Admit(op) })
+		for !done && eng.Step() {
+		}
+		if !done {
+			t.Fatal("op never completed")
+		}
+		return op.Res
+	}
+	// Reads of bulk-loaded data.
+	for _, k := range []uint64{0, 7, 34993, 34999 * 0} {
+		res := do(NewSearch(k, nil))
+		want, exists := model[k]
+		if res.Found != exists || (exists && string(res.Value) != want) {
+			t.Fatalf("key %d: %+v", k, res)
+		}
+	}
+	// Inserts interleave correctly with the bulk-loaded structure.
+	for i := 0; i < 500; i++ {
+		k := uint64(i*7 + 3) // between existing keys
+		if res := do(NewInsert(k, []byte("new"), nil)); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	res := do(NewRange(0, 100, 0, nil))
+	// Keys 0,7,14..98 plus 3,10,...,94: 15 + 14 = 29 pairs in [0,100].
+	count := 0
+	for k := range model {
+		if k <= 100 {
+			count++
+		}
+	}
+	for i := 0; i < 500; i++ {
+		if k := uint64(i*7 + 3); k <= 100 {
+			count++
+		}
+	}
+	if len(res.Pairs) != count {
+		t.Fatalf("range returned %d pairs, want %d", len(res.Pairs), count)
+	}
+}
+
+// TestBulkLoadRejectsUnsorted guards the preload contract.
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := nvme.NewSimDevice(eng, nvme.SimConfig{Seed: 1})
+	if _, err := BulkLoad(dev, []KV{{Key: 2}, {Key: 1}}, 0.7); err == nil {
+		t.Fatal("unsorted pairs accepted")
+	}
+	if _, err := BulkLoad(dev, []KV{{Key: 1}, {Key: 1}}, 0.7); err == nil {
+		t.Fatal("duplicate pairs accepted")
+	}
+	if _, err := BulkLoad(dev, []KV{{Key: 1, Value: make([]byte, storage.MaxValueSize+1)}}, 0.7); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+}
+
+// TestSyncDuringConcurrentUpdates exercises the §III-C epoch guard end to
+// end: a Sync overlapping further updates must not lose them.
+func TestSyncDuringConcurrentUpdates(t *testing.T) {
+	r := newRig(t, Config{Persistence: WeakPersistence, BufferPages: 1024})
+	// Dirty a bunch of pages.
+	for i := 0; i < 200; i++ {
+		r.insert(uint64(i), "v1")
+	}
+	// Admit a sync together with a second wave of updates.
+	var ops []*Op
+	ops = append(ops, NewSync(nil))
+	for i := 0; i < 200; i++ {
+		ops = append(ops, NewInsert(uint64(i), []byte("v2"), nil))
+	}
+	ops = append(ops, NewSync(nil))
+	r.doAll(ops)
+	// After the final sync, the device must hold v2 everywhere.
+	meta, err := ReadMeta(r.dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectFromDevice(t, r.dev, meta)
+	for i := 0; i < 200; i++ {
+		if string(got[uint64(i)]) != "v2" {
+			t.Fatalf("key %d = %q after overlapping sync", i, got[uint64(i)])
+		}
+	}
+}
+
+// TestRangeScanDuringInserts exercises leaf-chain coupling while splits
+// reshape the chain.
+func TestRangeScanDuringInserts(t *testing.T) {
+	r := newRig(t, Config{Prioritized: true})
+	for i := 0; i < 400; i++ {
+		r.insert(uint64(i*10), "v")
+	}
+	var ops []*Op
+	for i := 0; i < 200; i++ {
+		ops = append(ops, NewInsert(uint64(i*10+5), []byte("mid"), nil))
+		ops = append(ops, NewRange(0, 4000, 0, nil))
+	}
+	r.doAll(ops)
+	for _, op := range ops {
+		if op.Res.Err != nil {
+			t.Fatal(op.Res.Err)
+		}
+		if op.Kind() == KindRange {
+			// Scans must always be sorted and never shrink below the
+			// preloaded density of the range.
+			p := op.Res.Pairs
+			for i := 1; i < len(p); i++ {
+				if p[i].Key <= p[i-1].Key {
+					t.Fatal("scan out of order during splits")
+				}
+			}
+			if len(p) < 400 {
+				t.Fatalf("scan saw %d keys, fewer than preloaded", len(p))
+			}
+		}
+	}
+}
+
+// TestPADVariants runs the dedicated-poller modes for a bounded window.
+// PAD+ (model-gated poller) completes everything; PAD (spin poller) makes
+// little or no progress because its probe storm starves the device
+// controller — the documented Figure 11 behaviour of this model.
+func TestPADVariants(t *testing.T) {
+	run := func(mode Poller) int {
+		eng := sim.NewEngine()
+		osched := simos.New(eng, simos.Config{})
+		dev := nvme.NewSimDevice(eng, nvme.SimConfig{Seed: 9})
+		meta, _ := Format(dev)
+		var tree *Tree
+		th := osched.Spawn("patree", func(*simos.Thread) { tree.Run() })
+		tree, err := New(dev, Config{Poller: mode}, SimEnv{T: th}, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		osched.Spawn("poller", func(pt *simos.Thread) {
+			tree.RunPoller(SimEnv{T: pt}, tree.PollerPolicy())
+		})
+		done := 0
+		eng.After(0, func() {
+			for i := 0; i < 50; i++ {
+				tree.Admit(NewInsert(uint64(i), []byte("v"), func(*Op) { done++ }))
+			}
+		})
+		eng.RunUntil(sim.Time(100 * time.Millisecond))
+		tree.Stop()
+		eng.RunFor(10 * time.Millisecond)
+		return done
+	}
+	if got := run(PollerDedicatedModel); got != 50 {
+		t.Fatalf("PAD+: completed %d/50", got)
+	}
+	if got := run(PollerDedicatedSpin); got >= 50 {
+		t.Fatalf("PAD completed %d/50; expected starvation from spin-probing", got)
+	}
+}
+
+// TestOpAccessors covers the small public surface of Op/Result.
+func TestOpAccessors(t *testing.T) {
+	op := NewInsert(9, []byte("v"), nil)
+	if op.Kind() != KindInsert || op.Key() != 9 {
+		t.Fatal("accessors wrong")
+	}
+	if !KindDelete.IsUpdate() || KindSearch.IsUpdate() {
+		t.Fatal("IsUpdate wrong")
+	}
+	for k := KindSearch; k <= KindSync; k++ {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("unknown kind name")
+	}
+	if StrongPersistence.String() != "strong" || WeakPersistence.String() != "weak" {
+		t.Fatal("persistence names")
+	}
+	if PollerInline.String() != "inline" || PollerDedicatedSpin.String() != "PAD" || PollerDedicatedModel.String() != "PAD+" {
+		t.Fatal("poller names")
+	}
+}

@@ -1,0 +1,228 @@
+package latch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/patree/patree/internal/storage"
+)
+
+const nodeA = storage.PageID(1)
+
+func TestSharedLatchesCoexist(t *testing.T) {
+	tb := NewTable()
+	for i := 0; i < 3; i++ {
+		if !tb.Acquire(nodeA, Shared, nil) {
+			t.Fatal("shared latch blocked with no writers")
+		}
+	}
+	if r, w := tb.Held(nodeA); r != 3 || w != 0 {
+		t.Fatalf("held = (%d,%d)", r, w)
+	}
+}
+
+func TestExclusiveExcludes(t *testing.T) {
+	tb := NewTable()
+	if !tb.Acquire(nodeA, Exclusive, nil) {
+		t.Fatal("first X blocked")
+	}
+	grantedS, grantedX := false, false
+	if tb.Acquire(nodeA, Shared, func() { grantedS = true }) {
+		t.Fatal("S granted while X held")
+	}
+	if tb.Acquire(nodeA, Exclusive, func() { grantedX = true }) {
+		t.Fatal("second X granted while X held")
+	}
+	tb.Release(nodeA, Exclusive)
+	if !grantedS {
+		t.Fatal("queued S not promoted on release")
+	}
+	if grantedX {
+		t.Fatal("X promoted while S head held") // S was first in queue
+	}
+	tb.Release(nodeA, Shared)
+	if !grantedX {
+		t.Fatal("X not promoted after S released")
+	}
+}
+
+func TestWriteBlockedByReaders(t *testing.T) {
+	tb := NewTable()
+	tb.Acquire(nodeA, Shared, nil)
+	tb.Acquire(nodeA, Shared, nil)
+	granted := false
+	if tb.Acquire(nodeA, Exclusive, func() { granted = true }) {
+		t.Fatal("X granted with readers present")
+	}
+	tb.Release(nodeA, Shared)
+	if granted {
+		t.Fatal("X granted with one reader remaining")
+	}
+	tb.Release(nodeA, Shared)
+	if !granted {
+		t.Fatal("X not granted after last reader left")
+	}
+}
+
+func TestFIFOPreventsReaderOvertaking(t *testing.T) {
+	// Reader → queued writer → new reader: the new reader must queue
+	// behind the writer (first-request-first-grant), not sneak in.
+	tb := NewTable()
+	tb.Acquire(nodeA, Shared, nil)
+	var order []string
+	tb.Acquire(nodeA, Exclusive, func() { order = append(order, "w") })
+	if tb.Acquire(nodeA, Shared, func() { order = append(order, "r2") }) {
+		t.Fatal("late reader overtook queued writer")
+	}
+	tb.Release(nodeA, Shared)
+	// Writer granted; r2 still waiting.
+	if len(order) != 1 || order[0] != "w" {
+		t.Fatalf("order = %v", order)
+	}
+	tb.Release(nodeA, Exclusive)
+	if len(order) != 2 || order[1] != "r2" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestBatchPromotionOfReaders(t *testing.T) {
+	// X held; queue = [S, S, X, S]. On X release the two leading S are
+	// granted together; the queued X waits; the trailing S stays behind X.
+	tb := NewTable()
+	tb.Acquire(nodeA, Exclusive, nil)
+	granted := make([]bool, 4)
+	tb.Acquire(nodeA, Shared, func() { granted[0] = true })
+	tb.Acquire(nodeA, Shared, func() { granted[1] = true })
+	tb.Acquire(nodeA, Exclusive, func() { granted[2] = true })
+	tb.Acquire(nodeA, Shared, func() { granted[3] = true })
+	tb.Release(nodeA, Exclusive)
+	if !granted[0] || !granted[1] || granted[2] || granted[3] {
+		t.Fatalf("granted = %v, want [true true false false]", granted)
+	}
+	if r, _ := tb.Held(nodeA); r != 2 {
+		t.Fatalf("r = %d", r)
+	}
+}
+
+func TestReleasePanicsWhenNotHeld(t *testing.T) {
+	tb := NewTable()
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { tb.Release(nodeA, Shared) })
+	tb.Acquire(nodeA, Shared, nil)
+	mustPanic(func() { tb.Release(nodeA, Exclusive) })
+}
+
+func TestStateReclaimed(t *testing.T) {
+	tb := NewTable()
+	tb.Acquire(nodeA, Shared, nil)
+	tb.Acquire(storage.PageID(2), Exclusive, nil)
+	if tb.ActiveNodes() != 2 {
+		t.Fatalf("active = %d", tb.ActiveNodes())
+	}
+	tb.Release(nodeA, Shared)
+	tb.Release(storage.PageID(2), Exclusive)
+	if tb.ActiveNodes() != 0 {
+		t.Fatalf("active after release = %d", tb.ActiveNodes())
+	}
+}
+
+func TestStats(t *testing.T) {
+	tb := NewTable()
+	tb.Acquire(nodeA, Exclusive, nil)
+	tb.Acquire(nodeA, Shared, func() {})
+	if tb.Grants() != 1 || tb.Waits() != 1 {
+		t.Fatalf("grants=%d waits=%d", tb.Grants(), tb.Waits())
+	}
+	tb.Release(nodeA, Exclusive) // promotes the S
+	if tb.Grants() != 2 {
+		t.Fatalf("grants=%d", tb.Grants())
+	}
+	tb.ResetStats()
+	if tb.Grants() != 0 || tb.Waits() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Shared.String() != "S" || Exclusive.String() != "X" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+// Property: under any sequence of acquires and releases the invariants
+// hold: w <= 1, never r > 0 and w > 0 simultaneously, and every queued
+// request is eventually granted once all held latches are released.
+func TestLatchInvariantsProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		tb := NewTable()
+		id := storage.PageID(7)
+		type held struct{ mode Mode }
+		var holds []held
+		queued := 0
+		grantsPending := 0
+		onGrant := func(m Mode) func() {
+			return func() {
+				holds = append(holds, held{m})
+				grantsPending--
+			}
+		}
+		check := func() bool {
+			r, w := tb.Held(id)
+			if w > 1 || (r > 0 && w > 0) {
+				return false
+			}
+			nr, nw := 0, 0
+			for _, h := range holds {
+				if h.mode == Exclusive {
+					nw++
+				} else {
+					nr++
+				}
+			}
+			return r == nr && w == nw
+		}
+		for _, b := range raw {
+			if b%3 != 0 || len(holds) == 0 { // acquire
+				mode := Shared
+				if b%2 == 0 {
+					mode = Exclusive
+				}
+				grantsPending++
+				if tb.Acquire(id, mode, onGrant(mode)) {
+					holds = append(holds, held{mode})
+					grantsPending--
+				} else {
+					queued++
+				}
+			} else { // release a random holder
+				h := holds[int(b)%len(holds)]
+				holds = append(holds[:int(b)%len(holds)], holds[int(b)%len(holds)+1:]...)
+				tb.Release(id, h.mode)
+			}
+			if !check() {
+				return false
+			}
+		}
+		// Drain: release everything; all queued grants must fire.
+		for len(holds) > 0 {
+			h := holds[len(holds)-1]
+			holds = holds[:len(holds)-1]
+			tb.Release(id, h.mode)
+			if !check() {
+				return false
+			}
+		}
+		return grantsPending == 0 && tb.ActiveNodes() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

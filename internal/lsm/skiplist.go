@@ -1,0 +1,94 @@
+// Package lsm implements a LevelDB-style log-structured merge tree from
+// scratch: a skiplist memtable, a write-ahead log, sorted-run SSTables on
+// the device, L0→L1 compaction and merging iterators. It is the LSM
+// baseline of the paper's Figure 15 — in particular it reproduces
+// LevelDB's behaviour that strong persistence requires a sync() system
+// call per write, which the paper observes to be catastrophically slow.
+package lsm
+
+import "github.com/patree/patree/internal/sim"
+
+const maxSkipLevel = 16
+
+type skipNode struct {
+	key       uint64
+	value     []byte
+	tombstone bool
+	next      [maxSkipLevel]*skipNode
+}
+
+// skiplist is the memtable: sorted by key, last-writer-wins, with
+// tombstones for deletes. Single simulated-step operations are atomic in
+// the simulation; callers serialize with the tree mutex anyway.
+type skiplist struct {
+	head  *skipNode
+	rng   *sim.RNG
+	count int
+	bytes int
+}
+
+func newSkiplist(seed uint64) *skiplist {
+	return &skiplist{head: &skipNode{}, rng: sim.NewRNG(seed)}
+}
+
+func (s *skiplist) randLevel() int {
+	lvl := 1
+	for lvl < maxSkipLevel && s.rng.Uint64()&3 == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// put inserts or replaces key.
+func (s *skiplist) put(key uint64, value []byte, tombstone bool) {
+	var update [maxSkipLevel]*skipNode
+	x := s.head
+	for i := maxSkipLevel - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if n := x.next[0]; n != nil && n.key == key {
+		s.bytes += len(value) - len(n.value)
+		n.value = value
+		n.tombstone = tombstone
+		return
+	}
+	n := &skipNode{key: key, value: value, tombstone: tombstone}
+	lvl := s.randLevel()
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	s.count++
+	s.bytes += 10 + len(value)
+}
+
+// get returns (value, tombstone, found).
+func (s *skiplist) get(key uint64) ([]byte, bool, bool) {
+	x := s.head
+	for i := maxSkipLevel - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+	}
+	if n := x.next[0]; n != nil && n.key == key {
+		return n.value, n.tombstone, true
+	}
+	return nil, false, false
+}
+
+// seek returns the first node with key >= target.
+func (s *skiplist) seek(target uint64) *skipNode {
+	x := s.head
+	for i := maxSkipLevel - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < target {
+			x = x.next[i]
+		}
+	}
+	return x.next[0]
+}
+
+// first returns the smallest node.
+func (s *skiplist) first() *skipNode { return s.head.next[0] }

@@ -1,0 +1,188 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/patree/patree/internal/baseline/syncbtree"
+	"github.com/patree/patree/internal/simos"
+	"github.com/patree/patree/internal/storage"
+)
+
+// entry is one key/value (or tombstone) in a table or memtable dump.
+type entry struct {
+	key       uint64
+	value     []byte
+	tombstone bool
+}
+
+// Data block layout (512 bytes): [0:2] count, then per entry
+// [key 8][len 2] [value...]; the high bit of len marks a tombstone.
+// Entries never span blocks.
+const (
+	blockHeader = 2
+	tombBit     = 0x8000
+)
+
+func encodeBlock(entries []entry) []byte {
+	buf := make([]byte, storage.PageSize)
+	binary.LittleEndian.PutUint16(buf[0:2], uint16(len(entries)))
+	off := blockHeader
+	for _, e := range entries {
+		binary.LittleEndian.PutUint64(buf[off:], e.key)
+		l := uint16(len(e.value))
+		if e.tombstone {
+			l |= tombBit
+		}
+		binary.LittleEndian.PutUint16(buf[off+8:], l)
+		copy(buf[off+10:], e.value)
+		off += 10 + len(e.value)
+	}
+	return buf
+}
+
+func decodeBlock(buf []byte) ([]entry, error) {
+	n := int(binary.LittleEndian.Uint16(buf[0:2]))
+	out := make([]entry, 0, n)
+	off := blockHeader
+	for i := 0; i < n; i++ {
+		if off+10 > len(buf) {
+			return nil, fmt.Errorf("lsm: truncated block")
+		}
+		key := binary.LittleEndian.Uint64(buf[off:])
+		l := binary.LittleEndian.Uint16(buf[off+8:])
+		tomb := l&tombBit != 0
+		vl := int(l &^ tombBit)
+		if off+10+vl > len(buf) {
+			return nil, fmt.Errorf("lsm: bad entry length")
+		}
+		v := append([]byte(nil), buf[off+10:off+10+vl]...)
+		out = append(out, entry{key: key, value: v, tombstone: tomb})
+		off += 10 + vl
+	}
+	return out, nil
+}
+
+func entrySize(e entry) int { return 10 + len(e.value) }
+
+// table is an immutable sorted run on the device.
+type table struct {
+	id         uint64
+	startBlock uint64
+	numBlocks  uint64
+	count      int
+	minKey     uint64
+	maxKey     uint64
+	// firstKeys[i] is the first key in data block i (in-memory index).
+	firstKeys []uint64
+}
+
+func (t *table) overlaps(lo, hi uint64) bool {
+	return t.count > 0 && t.minKey <= hi && lo <= t.maxKey
+}
+
+// blockFor returns the index of the block that may contain key.
+func (t *table) blockFor(key uint64) int {
+	i := sort.Search(len(t.firstKeys), func(i int) bool { return t.firstKeys[i] > key })
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// spanAlloc hands out contiguous block ranges with a first-fit free list,
+// so compaction can recycle the space of dead tables.
+type spanAlloc struct {
+	next uint64 // bump pointer
+	end  uint64
+	free []span // sorted by start
+}
+
+type span struct{ start, n uint64 }
+
+func newSpanAlloc(start, end uint64) *spanAlloc {
+	return &spanAlloc{next: start, end: end}
+}
+
+func (a *spanAlloc) alloc(n uint64) (uint64, error) {
+	for i, s := range a.free {
+		if s.n >= n {
+			start := s.start
+			if s.n == n {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			} else {
+				a.free[i] = span{start: s.start + n, n: s.n - n}
+			}
+			return start, nil
+		}
+	}
+	if a.next+n > a.end {
+		return 0, fmt.Errorf("lsm: table region full")
+	}
+	start := a.next
+	a.next += n
+	return start, nil
+}
+
+func (a *spanAlloc) release(start, n uint64) {
+	a.free = append(a.free, span{start: start, n: n})
+	sort.Slice(a.free, func(i, j int) bool { return a.free[i].start < a.free[j].start })
+	// Coalesce adjacent spans.
+	out := a.free[:0]
+	for _, s := range a.free {
+		if len(out) > 0 && out[len(out)-1].start+out[len(out)-1].n == s.start {
+			out[len(out)-1].n += s.n
+		} else {
+			out = append(out, s)
+		}
+	}
+	a.free = out
+}
+
+// writeTable persists sorted entries as a new table via blocking I/O.
+func writeTable(th *simos.Thread, io syncbtree.IO, alloc *spanAlloc, id uint64, entries []entry) (*table, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("lsm: empty table")
+	}
+	// Pack entries into blocks.
+	var blocks [][]byte
+	var firstKeys []uint64
+	var cur []entry
+	curBytes := blockHeader
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		firstKeys = append(firstKeys, cur[0].key)
+		blocks = append(blocks, encodeBlock(cur))
+		cur = nil
+		curBytes = blockHeader
+	}
+	for _, e := range entries {
+		if curBytes+entrySize(e) > storage.PageSize {
+			flush()
+		}
+		cur = append(cur, e)
+		curBytes += entrySize(e)
+	}
+	flush()
+	start, err := alloc.alloc(uint64(len(blocks)))
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range blocks {
+		if err := io.Write(th, start+uint64(i), b); err != nil {
+			return nil, err
+		}
+	}
+	return &table{
+		id:         id,
+		startBlock: start,
+		numBlocks:  uint64(len(blocks)),
+		count:      len(entries),
+		minKey:     entries[0].key,
+		maxKey:     entries[len(entries)-1].key,
+		firstKeys:  firstKeys,
+	}, nil
+}

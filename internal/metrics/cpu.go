@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// CPUCategory labels where CPU cycles went, matching the breakdown in the
+// paper's Figure 9.
+type CPUCategory int
+
+const (
+	// CatRealWork is index-structure access, node search, split and merge.
+	CatRealWork CPUCategory = iota
+	// CatSync is synchronization: operation latches for PA-Tree, semaphore
+	// wait/post for the baselines.
+	CatSync
+	// CatNVMe is time spent calling into the NVMe driver (submit + probe).
+	CatNVMe
+	// CatSched is the PA-Tree scheduler's own bookkeeping (priority queue,
+	// probe-model evaluation, yield decisions).
+	CatSched
+	// CatOther is everything else: OS scheduling, context switches, and
+	// miscellaneous overhead.
+	CatOther
+
+	numCPUCategories
+)
+
+// String returns the category name used in Figure 9.
+func (c CPUCategory) String() string {
+	switch c {
+	case CatRealWork:
+		return "real work"
+	case CatSync:
+		return "synchronization"
+	case CatNVMe:
+		return "NVMe"
+	case CatSched:
+		return "scheduling"
+	case CatOther:
+		return "others"
+	default:
+		return fmt.Sprintf("CPUCategory(%d)", int(c))
+	}
+}
+
+// Categories lists all categories in display order.
+func Categories() []CPUCategory {
+	return []CPUCategory{CatRealWork, CatSync, CatNVMe, CatSched, CatOther}
+}
+
+// CPUAccount accumulates CPU time per category.
+type CPUAccount struct {
+	spent [numCPUCategories]time.Duration
+}
+
+// Charge adds d of CPU time to category c.
+func (a *CPUAccount) Charge(c CPUCategory, d time.Duration) {
+	if c < 0 || c >= numCPUCategories {
+		c = CatOther
+	}
+	a.spent[c] += d
+}
+
+// Get returns the time charged to category c.
+func (a *CPUAccount) Get(c CPUCategory) time.Duration {
+	if c < 0 || c >= numCPUCategories {
+		return 0
+	}
+	return a.spent[c]
+}
+
+// Total returns the sum over all categories.
+func (a *CPUAccount) Total() time.Duration {
+	var t time.Duration
+	for _, d := range a.spent {
+		t += d
+	}
+	return t
+}
+
+// Merge adds all of o's charges into a.
+func (a *CPUAccount) Merge(o *CPUAccount) {
+	for i := range a.spent {
+		a.spent[i] += o.spent[i]
+	}
+}
+
+// Reset zeroes the account.
+func (a *CPUAccount) Reset() { a.spent = [numCPUCategories]time.Duration{} }
+
+// Fractions returns each category's share of the total, in Categories()
+// order. All zeros if nothing has been charged.
+func (a *CPUAccount) Fractions() []float64 {
+	total := a.Total()
+	out := make([]float64, numCPUCategories)
+	if total == 0 {
+		return out
+	}
+	for i, d := range a.spent {
+		out[i] = float64(d) / float64(total)
+	}
+	return out
+}
+
+// Breakdown renders the account as "real work 55.1% | synchronization ..."
+func (a *CPUAccount) Breakdown() string {
+	fr := a.Fractions()
+	parts := make([]string, 0, numCPUCategories)
+	for i, c := range Categories() {
+		parts = append(parts, fmt.Sprintf("%s %.1f%%", c, fr[i]*100))
+	}
+	return strings.Join(parts, " | ")
+}

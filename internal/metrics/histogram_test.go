@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	if h.Percentile(50) != 0 {
+		t.Fatal("empty percentile != 0")
+	}
+	if h.Summary() != "n=0" {
+		t.Fatalf("summary = %q", h.Summary())
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []time.Duration{10, 20, 30, 40, 50} {
+		h.Record(d * time.Microsecond)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 30*time.Microsecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 10*time.Microsecond || h.Max() != 50*time.Microsecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	// Uniform 1..10000 microseconds.
+	for i := 1; i <= 10000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	for _, p := range []float64{10, 50, 90, 99} {
+		got := float64(h.Percentile(p))
+		want := p / 100 * 10000 * float64(time.Microsecond)
+		if math.Abs(got-want)/want > 0.05 {
+			t.Fatalf("p%v = %v, want ~%v (err > 5%%)", p, time.Duration(got), time.Duration(want))
+		}
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5 * time.Second)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatal("negative duration not clamped to zero")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	h.Record(2 * time.Millisecond)
+	if h.Count() != 1 || h.Min() != 2*time.Millisecond {
+		t.Fatal("histogram unusable after reset")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Record(10 * time.Microsecond)
+	b.Record(30 * time.Microsecond)
+	a.Merge(b)
+	if a.Count() != 2 || a.Mean() != 20*time.Microsecond {
+		t.Fatalf("merge: count=%d mean=%v", a.Count(), a.Mean())
+	}
+	if a.Min() != 10*time.Microsecond || a.Max() != 30*time.Microsecond {
+		t.Fatal("merge min/max wrong")
+	}
+}
+
+func TestBucketRoundTripProperty(t *testing.T) {
+	// bucketLow(i) must itself map to bucket i, and buckets must be
+	// monotonically ordered.
+	f := func(raw int64) bool {
+		v := raw
+		if v < 0 {
+			v = -v
+		}
+		v %= int64(time.Hour)
+		i := bucketIndex(v)
+		lo := bucketLow(i)
+		hi := bucketLow(i + 1)
+		return lo <= v && v < hi && bucketIndex(lo) == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketRelativeError(t *testing.T) {
+	// Bucket width must stay within ~2x of 1/subBuckets relative precision.
+	for _, v := range []int64{100, 1000, 55555, 1 << 20, 1 << 30, 1 << 40} {
+		i := bucketIndex(v)
+		width := bucketLow(i+1) - bucketLow(i)
+		if float64(width)/float64(v) > 2.0/subBuckets*2 {
+			t.Fatalf("bucket width %d too coarse at %d", width, v)
+		}
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestGaugeTimeWeightedAverage(t *testing.T) {
+	var g Gauge
+	g.Set(0, 10)   // level 10 for [0,100)
+	g.Set(100, 30) // level 30 for [100,200)
+	avg := g.Avg(200)
+	if math.Abs(avg-20) > 1e-9 {
+		t.Fatalf("avg = %v, want 20", avg)
+	}
+	if g.Max() != 30 || g.Level() != 30 {
+		t.Fatal("max/level wrong")
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Add(0, 5)
+	g.Add(50, 5)
+	g.Add(100, -10)
+	if g.Level() != 0 {
+		t.Fatalf("level = %d", g.Level())
+	}
+	// [0,50): 5, [50,100): 10 => avg 7.5 at t=100
+	if math.Abs(g.Avg(100)-7.5) > 1e-9 {
+		t.Fatalf("avg = %v", g.Avg(100))
+	}
+}
+
+func TestCPUAccount(t *testing.T) {
+	var a CPUAccount
+	a.Charge(CatRealWork, 600*time.Millisecond)
+	a.Charge(CatSync, 100*time.Millisecond)
+	a.Charge(CatNVMe, 200*time.Millisecond)
+	a.Charge(CatSched, 100*time.Millisecond)
+	if a.Total() != time.Second {
+		t.Fatalf("total = %v", a.Total())
+	}
+	fr := a.Fractions()
+	if math.Abs(fr[0]-0.6) > 1e-9 {
+		t.Fatalf("real work fraction = %v", fr[0])
+	}
+	if !strings.Contains(a.Breakdown(), "real work 60.0%") {
+		t.Fatalf("breakdown = %q", a.Breakdown())
+	}
+	var b CPUAccount
+	b.Charge(CatRealWork, 400*time.Millisecond)
+	a.Merge(&b)
+	if a.Get(CatRealWork) != time.Second {
+		t.Fatal("merge failed")
+	}
+	a.Reset()
+	if a.Total() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCPUCategoryNames(t *testing.T) {
+	want := []string{"real work", "synchronization", "NVMe", "scheduling", "others"}
+	for i, c := range Categories() {
+		if c.String() != want[i] {
+			t.Fatalf("category %d = %q, want %q", i, c.String(), want[i])
+		}
+	}
+	if CPUCategory(99).String() != "CPUCategory(99)" {
+		t.Fatal("unknown category string wrong")
+	}
+}
+
+func TestCPUChargeOutOfRangeGoesToOther(t *testing.T) {
+	var a CPUAccount
+	a.Charge(CPUCategory(42), time.Second)
+	if a.Get(CatOther) != time.Second {
+		t.Fatal("out-of-range charge not redirected to others")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 123456.0)
+	s := tb.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header line = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "1.50") {
+		t.Fatalf("float formatting: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "123456") {
+		t.Fatalf("integer-valued float formatting: %q", lines[3])
+	}
+}

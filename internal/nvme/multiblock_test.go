@@ -1,0 +1,102 @@
+package nvme
+
+import (
+	"testing"
+	"time"
+
+	"github.com/patree/patree/internal/sim"
+)
+
+func TestSimMultiBlockRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewSimDevice(eng, SimConfig{Seed: 2})
+	qp, _ := d.AllocQueuePair(16)
+	const blocks = 5
+	src := make([]byte, blocks*512)
+	for i := range src {
+		src[i] = byte(i * 13)
+	}
+	qp.Submit(&Command{Op: OpWrite, LBA: 100, Blocks: blocks, Buf: src})
+	eng.RunFor(2 * time.Millisecond)
+	qp.Probe(0)
+	dst := make([]byte, blocks*512)
+	done := false
+	qp.Submit(&Command{Op: OpRead, LBA: 100, Blocks: blocks, Buf: dst,
+		Callback: func(c Completion) {
+			if c.Err != nil {
+				t.Errorf("read err: %v", c.Err)
+			}
+			done = true
+		}})
+	eng.RunFor(2 * time.Millisecond)
+	qp.Probe(0)
+	if !done {
+		t.Fatal("read never completed")
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+	// Partial overlap read: last two blocks.
+	dst2 := make([]byte, 2*512)
+	qp.Submit(&Command{Op: OpRead, LBA: 103, Blocks: 2, Buf: dst2})
+	eng.RunFor(2 * time.Millisecond)
+	qp.Probe(0)
+	for i := range dst2 {
+		if dst2[i] != src[3*512+i] {
+			t.Fatalf("overlap byte %d mismatch", i)
+		}
+	}
+}
+
+func TestSimUnwrittenBlocksReadZero(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewSimDevice(eng, SimConfig{Seed: 2})
+	qp, _ := d.AllocQueuePair(8)
+	buf := []byte{1, 2, 3}
+	dst := make([]byte, 512)
+	copy(dst, buf)
+	qp.Submit(&Command{Op: OpRead, LBA: 999, Blocks: 1, Buf: dst})
+	eng.RunFor(2 * time.Millisecond)
+	qp.Probe(0)
+	for i, b := range dst {
+		if b != 0 {
+			t.Fatalf("unwritten block byte %d = %d", i, b)
+		}
+	}
+}
+
+func TestSimProbeMaxBatch(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewSimDevice(eng, SimConfig{Seed: 2})
+	qp, _ := d.AllocQueuePair(64)
+	buf := make([]byte, 512)
+	for i := 0; i < 10; i++ {
+		qp.Submit(&Command{Op: OpRead, LBA: uint64(i), Blocks: 1, Buf: buf})
+	}
+	eng.RunFor(5 * time.Millisecond)
+	if n := qp.Probe(3); n != 3 {
+		t.Fatalf("Probe(3) reaped %d", n)
+	}
+	if n := qp.Probe(0); n != 7 {
+		t.Fatalf("Probe(0) reaped %d, want the remaining 7", n)
+	}
+}
+
+func TestSimBadCommandCompletions(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewSimDevice(eng, SimConfig{Seed: 2})
+	qp, _ := d.AllocQueuePair(8)
+	var errs []error
+	cb := func(c Completion) { errs = append(errs, c.Err) }
+	qp.Submit(&Command{Op: OpRead, LBA: 0, Blocks: 0, Buf: nil, Callback: cb})
+	if err := qp.Submit(nil); err != ErrBadCommand {
+		t.Fatalf("nil submit err = %v", err)
+	}
+	eng.RunFor(2 * time.Millisecond)
+	qp.Probe(0)
+	if len(errs) != 1 || errs[0] != ErrBadCommand {
+		t.Fatalf("errs = %v", errs)
+	}
+}

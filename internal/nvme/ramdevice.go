@@ -1,0 +1,253 @@
+package nvme
+
+import (
+	"sync"
+	"time"
+)
+
+// RAMConfig parameterizes the real-time memory-backed device.
+type RAMConfig struct {
+	// BlockSize is the access granularity (default 512).
+	BlockSize int
+	// NumBlocks is the capacity in blocks (default 1M blocks = 512 MiB).
+	NumBlocks uint64
+	// Workers is the number of goroutines serving commands; it plays the
+	// role of the device's internal parallelism (default 8).
+	Workers int
+	// Latency, if nonzero, is an artificial per-command service delay so
+	// example programs can observe asynchrony. Sub-millisecond sleeps are
+	// at the mercy of the host timer; use 0 for pure functionality.
+	Latency time.Duration
+	// MaxQueuePairs and MaxQueueDepth bound AllocQueuePair.
+	MaxQueuePairs int
+	MaxQueueDepth int
+}
+
+func (c RAMConfig) withDefaults() RAMConfig {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 512
+	}
+	if c.NumBlocks == 0 {
+		c.NumBlocks = 1 << 20
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.MaxQueuePairs <= 0 {
+		c.MaxQueuePairs = 256
+	}
+	if c.MaxQueueDepth <= 0 {
+		c.MaxQueueDepth = 2048
+	}
+	return c
+}
+
+// RAMDevice is a real-time Device backed by host memory. Submission
+// enqueues work for a goroutine pool; completions are buffered per queue
+// pair and reaped by Probe, preserving the polled-mode programming model
+// on real hardware threads.
+type RAMDevice struct {
+	cfg  RAMConfig
+	mu   sync.Mutex
+	data map[uint64][]byte
+	work chan *ramJob
+	wg   sync.WaitGroup
+
+	qpMu   sync.Mutex
+	nextQP int
+	closed bool
+}
+
+type ramJob struct {
+	cmd       *Command
+	qp        *ramQP
+	submitted time.Time
+	snapshot  []byte // write payload copied at submit
+}
+
+// NewRAMDevice creates and starts a memory-backed device.
+func NewRAMDevice(cfg RAMConfig) *RAMDevice {
+	cfg = cfg.withDefaults()
+	d := &RAMDevice{
+		cfg:  cfg,
+		data: make(map[uint64][]byte),
+		work: make(chan *ramJob, 4096),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		d.wg.Add(1)
+		go d.worker()
+	}
+	return d
+}
+
+// BlockSize implements Device.
+func (d *RAMDevice) BlockSize() int { return d.cfg.BlockSize }
+
+// NumBlocks implements Device.
+func (d *RAMDevice) NumBlocks() uint64 { return d.cfg.NumBlocks }
+
+// Close implements Device: it stops the workers and waits for them.
+func (d *RAMDevice) Close() error {
+	d.qpMu.Lock()
+	if d.closed {
+		d.qpMu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.qpMu.Unlock()
+	close(d.work)
+	d.wg.Wait()
+	return nil
+}
+
+// AllocQueuePair implements Device.
+func (d *RAMDevice) AllocQueuePair(depth int) (QueuePair, error) {
+	d.qpMu.Lock()
+	defer d.qpMu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	if d.nextQP >= d.cfg.MaxQueuePairs {
+		return nil, ErrTooManyQP
+	}
+	if depth <= 0 || depth > d.cfg.MaxQueueDepth {
+		depth = d.cfg.MaxQueueDepth
+	}
+	d.nextQP++
+	return &ramQP{dev: d, depth: depth}, nil
+}
+
+func (d *RAMDevice) worker() {
+	defer d.wg.Done()
+	bs := d.cfg.BlockSize
+	for job := range d.work {
+		if d.cfg.Latency > 0 {
+			time.Sleep(d.cfg.Latency)
+		}
+		cmd := job.cmd
+		var err error
+		d.mu.Lock()
+		switch cmd.Op {
+		case OpRead:
+			for i := 0; i < cmd.Blocks; i++ {
+				dst := cmd.Buf[i*bs : (i+1)*bs]
+				if blk := d.data[cmd.LBA+uint64(i)]; blk != nil {
+					copy(dst, blk)
+				} else {
+					for j := range dst {
+						dst[j] = 0
+					}
+				}
+			}
+		case OpWrite:
+			for i := 0; i < cmd.Blocks; i++ {
+				blk := make([]byte, bs)
+				copy(blk, job.snapshot[i*bs:(i+1)*bs])
+				d.data[cmd.LBA+uint64(i)] = blk
+			}
+		case OpFlush:
+			// RAM backing is always "durable" for the model's purposes.
+		}
+		d.mu.Unlock()
+		job.qp.completed(Completion{
+			Cmd:     cmd,
+			Err:     err,
+			Latency: time.Since(job.submitted),
+		})
+	}
+}
+
+// ramQP is a queue pair on a RAMDevice. Submit/Probe must be called from
+// a single owner goroutine (per the QueuePair contract); the cq buffer is
+// still locked because device workers append to it concurrently.
+type ramQP struct {
+	dev   *RAMDevice
+	depth int
+
+	mu    sync.Mutex
+	cq    []Completion
+	inSQ  int
+	freed bool
+}
+
+// Submit implements QueuePair.
+func (q *ramQP) Submit(cmd *Command) error {
+	if cmd == nil {
+		return ErrBadCommand
+	}
+	q.mu.Lock()
+	if q.freed {
+		q.mu.Unlock()
+		return ErrQueueFreed
+	}
+	if q.inSQ >= q.depth {
+		q.mu.Unlock()
+		return ErrQueueFull
+	}
+	q.inSQ++
+	q.mu.Unlock()
+
+	job := &ramJob{cmd: cmd, qp: q, submitted: time.Now()}
+	if err := validate(q.dev, cmd); err != nil {
+		q.completed(Completion{Cmd: cmd, Err: err})
+		return nil
+	}
+	if cmd.Op == OpWrite {
+		n := cmd.Blocks * q.dev.cfg.BlockSize
+		job.snapshot = make([]byte, n)
+		copy(job.snapshot, cmd.Buf[:n])
+	}
+	q.dev.qpMu.Lock()
+	closed := q.dev.closed
+	q.dev.qpMu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	q.dev.work <- job
+	return nil
+}
+
+func (q *ramQP) completed(c Completion) {
+	q.mu.Lock()
+	q.cq = append(q.cq, c)
+	q.mu.Unlock()
+}
+
+// Probe implements QueuePair.
+func (q *ramQP) Probe(max int) int {
+	q.mu.Lock()
+	n := len(q.cq)
+	if max > 0 && n > max {
+		n = max
+	}
+	if n == 0 {
+		q.mu.Unlock()
+		return 0
+	}
+	batch := make([]Completion, n)
+	copy(batch, q.cq)
+	q.cq = append(q.cq[:0], q.cq[n:]...)
+	q.inSQ -= n
+	q.mu.Unlock()
+	for _, c := range batch {
+		if c.Cmd.Callback != nil {
+			c.Cmd.Callback(c)
+		}
+	}
+	return n
+}
+
+// Outstanding implements QueuePair.
+func (q *ramQP) Outstanding() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.inSQ
+}
+
+// Free implements QueuePair.
+func (q *ramQP) Free() error {
+	q.mu.Lock()
+	q.freed = true
+	q.mu.Unlock()
+	return nil
+}

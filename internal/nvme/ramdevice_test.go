@@ -1,0 +1,151 @@
+package nvme
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRAMReadWriteRoundTrip(t *testing.T) {
+	d := NewRAMDevice(RAMConfig{})
+	defer d.Close()
+	qp, err := d.AllocQueuePair(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]byte, 1024)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	done := make(chan struct{})
+	qp.Submit(&Command{Op: OpWrite, LBA: 10, Blocks: 2, Buf: src,
+		Callback: func(c Completion) {
+			if c.Err != nil {
+				t.Errorf("write err: %v", c.Err)
+			}
+			close(done)
+		}})
+	waitProbe(t, qp, done)
+
+	dst := make([]byte, 1024)
+	done2 := make(chan struct{})
+	qp.Submit(&Command{Op: OpRead, LBA: 10, Blocks: 2, Buf: dst,
+		Callback: func(c Completion) {
+			if c.Err != nil {
+				t.Errorf("read err: %v", c.Err)
+			}
+			close(done2)
+		}})
+	waitProbe(t, qp, done2)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+}
+
+// waitProbe polls the queue pair until ch closes or a timeout elapses.
+func waitProbe(t *testing.T, qp QueuePair, ch chan struct{}) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		qp.Probe(0)
+		select {
+		case <-ch:
+			return
+		case <-deadline:
+			t.Fatal("timed out waiting for completion")
+		default:
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+func TestRAMWriteSnapshot(t *testing.T) {
+	d := NewRAMDevice(RAMConfig{})
+	defer d.Close()
+	qp, _ := d.AllocQueuePair(16)
+	buf := make([]byte, 512)
+	buf[0] = 1
+	done := make(chan struct{})
+	qp.Submit(&Command{Op: OpWrite, LBA: 0, Blocks: 1, Buf: buf,
+		Callback: func(Completion) { close(done) }})
+	buf[0] = 2 // must not affect the stored block
+	waitProbe(t, qp, done)
+
+	out := make([]byte, 512)
+	done2 := make(chan struct{})
+	qp.Submit(&Command{Op: OpRead, LBA: 0, Blocks: 1, Buf: out,
+		Callback: func(Completion) { close(done2) }})
+	waitProbe(t, qp, done2)
+	if out[0] != 1 {
+		t.Fatalf("stored %d, want snapshot 1", out[0])
+	}
+}
+
+func TestRAMErrorCompletion(t *testing.T) {
+	d := NewRAMDevice(RAMConfig{NumBlocks: 100})
+	defer d.Close()
+	qp, _ := d.AllocQueuePair(16)
+	buf := make([]byte, 512)
+	var gotErr error
+	done := make(chan struct{})
+	qp.Submit(&Command{Op: OpRead, LBA: 100, Blocks: 1, Buf: buf,
+		Callback: func(c Completion) { gotErr = c.Err; close(done) }})
+	waitProbe(t, qp, done)
+	if gotErr != ErrOutOfRange {
+		t.Fatalf("err = %v, want ErrOutOfRange", gotErr)
+	}
+}
+
+func TestRAMManyConcurrentCommands(t *testing.T) {
+	d := NewRAMDevice(RAMConfig{Workers: 4})
+	defer d.Close()
+	qp, _ := d.AllocQueuePair(256)
+	const n = 200
+	completed := 0
+	bufs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		bufs[i] = make([]byte, 512)
+		bufs[i][0] = byte(i)
+		if err := qp.Submit(&Command{Op: OpWrite, LBA: uint64(i), Blocks: 1, Buf: bufs[i],
+			Callback: func(Completion) { completed++ }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for completed < n {
+		qp.Probe(0)
+		if time.Now().After(deadline) {
+			t.Fatalf("completed %d of %d", completed, n)
+		}
+	}
+	if qp.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", qp.Outstanding())
+	}
+}
+
+func TestRAMCloseStopsSubmission(t *testing.T) {
+	d := NewRAMDevice(RAMConfig{})
+	qp, _ := d.AllocQueuePair(16)
+	d.Close()
+	err := qp.Submit(&Command{Op: OpFlush})
+	if err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if _, err := d.AllocQueuePair(8); err != ErrClosed {
+		t.Fatalf("alloc err = %v, want ErrClosed", err)
+	}
+	// Double close is fine.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpcodeString(t *testing.T) {
+	if OpRead.String() != "READ" || OpWrite.String() != "WRITE" || OpFlush.String() != "FLUSH" {
+		t.Fatal("opcode strings wrong")
+	}
+	if Opcode(9).String() != "Opcode(9)" {
+		t.Fatal("unknown opcode string wrong")
+	}
+}

@@ -1,0 +1,440 @@
+package nvme
+
+import (
+	"testing"
+	"time"
+
+	"github.com/patree/patree/internal/sim"
+)
+
+func newTestDev(eng *sim.Engine) *SimDevice {
+	return NewSimDevice(eng, SimConfig{Seed: 1})
+}
+
+func TestSimReadWriteRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newTestDev(eng)
+	qp, err := d.AllocQueuePair(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]byte, 512)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	var wrote, read bool
+	dst := make([]byte, 512)
+	wcmd := &Command{Op: OpWrite, LBA: 7, Blocks: 1, Buf: src,
+		Callback: func(c Completion) {
+			if c.Err != nil {
+				t.Fatalf("write err: %v", c.Err)
+			}
+			wrote = true
+		}}
+	if err := qp.Submit(wcmd); err != nil {
+		t.Fatal(err)
+	}
+	// Drain until write completes.
+	for !wrote {
+		if !eng.Step() {
+			qp.Probe(0)
+			if !wrote {
+				t.Fatal("write never completed")
+			}
+			break
+		}
+		qp.Probe(0)
+	}
+	rcmd := &Command{Op: OpRead, LBA: 7, Blocks: 1, Buf: dst,
+		Callback: func(c Completion) {
+			if c.Err != nil {
+				t.Fatalf("read err: %v", c.Err)
+			}
+			read = true
+		}}
+	if err := qp.Submit(rcmd); err != nil {
+		t.Fatal(err)
+	}
+	for !read && eng.Step() {
+		qp.Probe(0)
+	}
+	qp.Probe(0)
+	if !read {
+		t.Fatal("read never completed")
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("byte %d = %d, want %d", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestSimSubmitReturnsImmediately(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newTestDev(eng)
+	qp, _ := d.AllocQueuePair(64)
+	buf := make([]byte, 512)
+	before := eng.Now()
+	if err := qp.Submit(&Command{Op: OpRead, LBA: 0, Blocks: 1, Buf: buf}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Now() != before {
+		t.Fatal("Submit advanced virtual time")
+	}
+	if qp.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d", qp.Outstanding())
+	}
+}
+
+func TestSimQueueFull(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newTestDev(eng)
+	qp, _ := d.AllocQueuePair(4)
+	buf := make([]byte, 512)
+	for i := 0; i < 4; i++ {
+		if err := qp.Submit(&Command{Op: OpRead, LBA: uint64(i), Blocks: 1, Buf: buf}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := qp.Submit(&Command{Op: OpRead, LBA: 9, Blocks: 1, Buf: buf}); err != ErrQueueFull {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	// Completions free slots only after probing.
+	eng.RunFor(time.Millisecond)
+	if qp.Outstanding() != 4 {
+		t.Fatalf("outstanding before probe = %d", qp.Outstanding())
+	}
+	if n := qp.Probe(0); n != 4 {
+		t.Fatalf("probed %d, want 4", n)
+	}
+	if err := qp.Submit(&Command{Op: OpRead, LBA: 9, Blocks: 1, Buf: buf}); err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+}
+
+func TestSimErrorCompletions(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newTestDev(eng)
+	qp, _ := d.AllocQueuePair(16)
+	buf := make([]byte, 512)
+	var gotErr error
+	cmd := &Command{Op: OpRead, LBA: d.NumBlocks(), Blocks: 1, Buf: buf,
+		Callback: func(c Completion) { gotErr = c.Err }}
+	if err := qp.Submit(cmd); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(time.Millisecond)
+	qp.Probe(0)
+	if gotErr != ErrOutOfRange {
+		t.Fatalf("completion err = %v, want ErrOutOfRange", gotErr)
+	}
+	// Short buffer.
+	gotErr = nil
+	qp.Submit(&Command{Op: OpRead, LBA: 0, Blocks: 2, Buf: buf,
+		Callback: func(c Completion) { gotErr = c.Err }})
+	eng.RunFor(time.Millisecond)
+	qp.Probe(0)
+	if gotErr != ErrShortBuffer {
+		t.Fatalf("completion err = %v, want ErrShortBuffer", gotErr)
+	}
+}
+
+func TestSimOutOfOrderCompletion(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newTestDev(eng)
+	qp, _ := d.AllocQueuePair(256)
+	var order []uint64
+	buf := make([]byte, 512)
+	for i := 0; i < 64; i++ {
+		lba := uint64(i)
+		qp.Submit(&Command{Op: OpRead, LBA: lba, Blocks: 1, Buf: buf,
+			Callback: func(c Completion) { order = append(order, c.Cmd.LBA) }})
+	}
+	for len(order) < 64 && eng.Step() {
+		qp.Probe(0)
+	}
+	inOrder := true
+	for i := range order {
+		if order[i] != uint64(i) {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Fatal("64 jittered commands completed strictly in order; expected out-of-order")
+	}
+}
+
+func TestSimWriteSnapshotAtSubmit(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newTestDev(eng)
+	qp, _ := d.AllocQueuePair(16)
+	buf := make([]byte, 512)
+	buf[0] = 0xAA
+	qp.Submit(&Command{Op: OpWrite, LBA: 3, Blocks: 1, Buf: buf})
+	buf[0] = 0xBB // mutate after submit; device must have snapshotted
+	eng.RunFor(time.Millisecond)
+	qp.Probe(0)
+	out := make([]byte, 512)
+	d.ReadAt(3, out)
+	if out[0] != 0xAA {
+		t.Fatalf("device stored %#x, want snapshot 0xAA", out[0])
+	}
+}
+
+// TestSimIOPSVsQueueDepth checks the Figure 3a shape: IOPS at QD 32 is an
+// order of magnitude above QD 1, and QD 256 adds little over QD 64.
+func TestSimIOPSVsQueueDepth(t *testing.T) {
+	iops := func(qd int) float64 {
+		eng := sim.NewEngine()
+		d := newTestDev(eng)
+		qp, _ := d.AllocQueuePair(512)
+		buf := make([]byte, 512)
+		inflight := 0
+		var completed uint64
+		submit := func() {
+			for inflight < qd {
+				qp.Submit(&Command{Op: OpRead, LBA: uint64(completed % 1000), Blocks: 1, Buf: buf,
+					Callback: func(Completion) { inflight--; completed++ }})
+				inflight++
+			}
+		}
+		submit()
+		// Poll every 20us of virtual time for 200ms.
+		var tick func()
+		tick = func() {
+			qp.Probe(0)
+			submit()
+			eng.After(20*time.Microsecond, tick)
+		}
+		eng.After(20*time.Microsecond, tick)
+		eng.RunUntil(sim.Time(200 * time.Millisecond))
+		return float64(completed) / 0.2
+	}
+	i1, i32, i64, i256 := iops(1), iops(32), iops(64), iops(256)
+	if i32 < 8*i1 {
+		t.Fatalf("IOPS(32)=%.0f not ~10x IOPS(1)=%.0f", i32, i1)
+	}
+	if i256 > 1.25*i64 {
+		t.Fatalf("IOPS(256)=%.0f should be near IOPS(64)=%.0f (saturation)", i256, i64)
+	}
+	// Sanity: saturated read IOPS in the 300-500K band.
+	if i256 < 300e3 || i256 > 550e3 {
+		t.Fatalf("saturated IOPS = %.0f, want ~400K", i256)
+	}
+}
+
+// TestSimWriteRateLowersIOPS checks the Fig 3a write-rate trend.
+func TestSimWriteRateLowersIOPS(t *testing.T) {
+	run := func(writePct int) float64 {
+		eng := sim.NewEngine()
+		d := NewSimDevice(eng, SimConfig{Seed: 2})
+		qp, _ := d.AllocQueuePair(512)
+		rng := sim.NewRNG(3)
+		buf := make([]byte, 512)
+		inflight, completed := 0, uint64(0)
+		submit := func() {
+			for inflight < 64 {
+				op := OpRead
+				if rng.Intn(100) < writePct {
+					op = OpWrite
+				}
+				qp.Submit(&Command{Op: op, LBA: rng.Uint64n(1000), Blocks: 1, Buf: buf,
+					Callback: func(Completion) { inflight--; completed++ }})
+				inflight++
+			}
+		}
+		submit()
+		var tick func()
+		tick = func() {
+			qp.Probe(0)
+			submit()
+			eng.After(20*time.Microsecond, tick)
+		}
+		eng.After(20*time.Microsecond, tick)
+		eng.RunUntil(sim.Time(200 * time.Millisecond))
+		return float64(completed) / 0.2
+	}
+	r0, r50 := run(0), run(50)
+	if r50 >= r0 {
+		t.Fatalf("write-heavy IOPS %.0f >= read-only %.0f", r50, r0)
+	}
+	if r50 > 0.8*r0 {
+		t.Fatalf("50%% writes only reduced IOPS to %.2f of read-only; want a clear drop", r50/r0)
+	}
+}
+
+// TestSimLatencyGrowsWithQueueDepth checks the Fig 3b shape.
+func TestSimLatencyGrowsWithQueueDepth(t *testing.T) {
+	meanLat := func(qd int) time.Duration {
+		eng := sim.NewEngine()
+		d := newTestDev(eng)
+		qp, _ := d.AllocQueuePair(512)
+		buf := make([]byte, 512)
+		inflight := 0
+		submit := func() {
+			for inflight < qd {
+				qp.Submit(&Command{Op: OpRead, LBA: 1, Blocks: 1, Buf: buf,
+					Callback: func(Completion) { inflight-- }})
+				inflight++
+			}
+		}
+		submit()
+		var tick func()
+		tick = func() {
+			qp.Probe(0)
+			submit()
+			eng.After(20*time.Microsecond, tick)
+		}
+		eng.After(20*time.Microsecond, tick)
+		eng.RunUntil(sim.Time(100 * time.Millisecond))
+		return d.Stats().ReadLatency.Mean()
+	}
+	l1, l256 := meanLat(1), meanLat(256)
+	if l256 < 4*l1 {
+		t.Fatalf("latency(QD256)=%v not clearly above latency(QD1)=%v", l256, l1)
+	}
+}
+
+// TestSimProbeInterference checks the Fig 3c shape: probing every
+// microsecond depresses IOPS versus probing every ~50us.
+func TestSimProbeInterference(t *testing.T) {
+	iops := func(probeCycle time.Duration) float64 {
+		eng := sim.NewEngine()
+		d := newTestDev(eng)
+		qp, _ := d.AllocQueuePair(512)
+		buf := make([]byte, 512)
+		inflight, completed := 0, uint64(0)
+		submit := func() {
+			for inflight < 64 {
+				qp.Submit(&Command{Op: OpRead, LBA: 1, Blocks: 1, Buf: buf,
+					Callback: func(Completion) { inflight--; completed++ }})
+				inflight++
+			}
+		}
+		submit()
+		var tick func()
+		tick = func() {
+			qp.Probe(0)
+			submit()
+			eng.After(probeCycle, tick)
+		}
+		eng.After(probeCycle, tick)
+		eng.RunUntil(sim.Time(200 * time.Millisecond))
+		return float64(completed) / 0.2
+	}
+	fast := iops(1 * time.Microsecond)
+	good := iops(50 * time.Microsecond)
+	slow := iops(2 * time.Millisecond)
+	if fast >= 0.8*good {
+		t.Fatalf("1us probing IOPS %.0f not clearly below 50us probing %.0f", fast, good)
+	}
+	if slow >= 0.8*good {
+		t.Fatalf("2ms probing IOPS %.0f not clearly below 50us probing %.0f", slow, good)
+	}
+}
+
+func TestSimStatsAndReset(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newTestDev(eng)
+	qp, _ := d.AllocQueuePair(64)
+	buf := make([]byte, 512)
+	qp.Submit(&Command{Op: OpWrite, LBA: 0, Blocks: 1, Buf: buf})
+	qp.Submit(&Command{Op: OpRead, LBA: 0, Blocks: 1, Buf: buf})
+	eng.RunFor(2 * time.Millisecond)
+	qp.Probe(0)
+	st := d.Stats()
+	if st.CompletedReads != 1 || st.CompletedWrites != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ReadLatency.Count() != 1 || st.ReadLatency.Mean() <= 0 {
+		t.Fatal("read latency not recorded")
+	}
+	if st.MaxOutstanding != 2 {
+		t.Fatalf("max outstanding = %d", st.MaxOutstanding)
+	}
+	d.ResetStats()
+	st = d.Stats()
+	if st.CompletedReads != 0 || st.Probes != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestSimQueuePairLimits(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewSimDevice(eng, SimConfig{MaxQueuePairs: 2, Seed: 1})
+	if _, err := d.AllocQueuePair(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AllocQueuePair(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AllocQueuePair(8); err != ErrTooManyQP {
+		t.Fatalf("err = %v, want ErrTooManyQP", err)
+	}
+}
+
+func TestSimFreedQP(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newTestDev(eng)
+	qp, _ := d.AllocQueuePair(8)
+	qp.Free()
+	if err := qp.Submit(&Command{Op: OpFlush}); err != ErrQueueFreed {
+		t.Fatalf("err = %v, want ErrQueueFreed", err)
+	}
+	if qp.Probe(0) != 0 {
+		t.Fatal("probe on freed qp returned completions")
+	}
+}
+
+func TestSimFlush(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newTestDev(eng)
+	qp, _ := d.AllocQueuePair(8)
+	done := false
+	qp.Submit(&Command{Op: OpFlush, Callback: func(c Completion) {
+		if c.Err != nil {
+			t.Fatalf("flush err: %v", c.Err)
+		}
+		done = true
+	}})
+	eng.RunFor(time.Millisecond)
+	qp.Probe(0)
+	if !done {
+		t.Fatal("flush never completed")
+	}
+	if d.Stats().CompletedFlushes != 1 {
+		t.Fatal("flush not counted")
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	run := func() (uint64, time.Duration) {
+		eng := sim.NewEngine()
+		d := NewSimDevice(eng, SimConfig{Seed: 77})
+		qp, _ := d.AllocQueuePair(256)
+		buf := make([]byte, 512)
+		inflight, completed := 0, uint64(0)
+		submit := func() {
+			for inflight < 48 {
+				qp.Submit(&Command{Op: OpRead, LBA: uint64(completed % 100), Blocks: 1, Buf: buf,
+					Callback: func(Completion) { inflight--; completed++ }})
+				inflight++
+			}
+		}
+		submit()
+		var tick func()
+		tick = func() {
+			qp.Probe(0)
+			submit()
+			eng.After(30*time.Microsecond, tick)
+		}
+		eng.After(30*time.Microsecond, tick)
+		eng.RunUntil(sim.Time(50 * time.Millisecond))
+		return completed, d.Stats().ReadLatency.Mean()
+	}
+	c1, m1 := run()
+	c2, m2 := run()
+	if c1 != c2 || m1 != m2 {
+		t.Fatalf("nondeterministic: (%d,%v) vs (%d,%v)", c1, m1, c2, m2)
+	}
+}

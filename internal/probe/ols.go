@@ -1,0 +1,122 @@
+package probe
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular reports an unsolvable normal-equation system.
+var ErrSingular = errors.New("probe: singular system (add ridge damping or more varied training data)")
+
+// SolveLinear solves A·x = b in place by Gaussian elimination with
+// partial pivoting. A is row-major n×n; A and b are clobbered.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("probe: bad system shape %dx%d", n, len(b))
+	}
+	for col := 0; col < n; col++ {
+		// Pivot: largest magnitude in this column.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r][col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+// OLS fits Y ≈ X·β by ridge-damped least squares: β = (XᵀX + λI)⁻¹ XᵀY.
+// X is m×p (m samples of p features), Y is m×q; the result is p×q.
+// A small λ (e.g. 1e-6) keeps the system well conditioned when some
+// feature slices are always zero in the training traces.
+func OLS(x [][]float64, y [][]float64, lambda float64) ([][]float64, error) {
+	m := len(x)
+	if m == 0 || len(y) != m {
+		return nil, fmt.Errorf("probe: OLS needs matching non-empty X (%d) and Y (%d)", m, len(y))
+	}
+	p := len(x[0])
+	q := len(y[0])
+	// Gram matrix XᵀX (+λI) and XᵀY.
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([][]float64, p)
+	for i := range xty {
+		xty[i] = make([]float64, q)
+	}
+	for s := 0; s < m; s++ {
+		row := x[s]
+		if len(row) != p || len(y[s]) != q {
+			return nil, fmt.Errorf("probe: ragged sample %d", s)
+		}
+		for i := 0; i < p; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			for j := i; j < p; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+			for j := 0; j < q; j++ {
+				xty[i][j] += row[i] * y[s][j]
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+		xtx[i][i] += lambda
+	}
+	// Solve one column of β per output dimension.
+	beta := make([][]float64, p)
+	for i := range beta {
+		beta[i] = make([]float64, q)
+	}
+	for j := 0; j < q; j++ {
+		// Copy the system (SolveLinear clobbers).
+		a := make([][]float64, p)
+		bb := make([]float64, p)
+		for i := 0; i < p; i++ {
+			a[i] = append([]float64(nil), xtx[i]...)
+			bb[i] = xty[i][j]
+		}
+		col, err := SolveLinear(a, bb)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < p; i++ {
+			beta[i][j] = col[i]
+		}
+	}
+	return beta, nil
+}

@@ -1,0 +1,148 @@
+// Package probe implements the workload-aware probing model of §IV-A: a
+// linear regression that maps the recent history of outstanding I/O
+// submissions to the expected number of imminent completions, so the
+// working thread probes the NVMe interface only when the model predicts a
+// completion is (or is about to be) available.
+//
+// Following the paper, the recent t microseconds are divided into n time
+// slices (t=1000, n=20 by default); w[i] and r[i] count the *outstanding*
+// write and read I/Os submitted within the i-th slice; the feature vector
+// is T = w|r and the estimate is (w0, r0) = T·β, with β trained offline by
+// ordinary least squares on traces collected from a variety of workloads.
+// The paper trained with pandas; we ship our own OLS solver (ols.go).
+package probe
+
+import (
+	"time"
+
+	"github.com/patree/patree/internal/nvme"
+	"github.com/patree/patree/internal/sim"
+)
+
+// Default window parameters from the paper: "in practice, we set t = 1000
+// and n = 20, because 99.9% of I/O requests complete within 1000
+// microseconds and n = 20 provides enough resolution".
+const (
+	DefaultWindow = 1000 * time.Microsecond
+	DefaultSlices = 20
+)
+
+// Tracker maintains the per-slice outstanding-submission counts that form
+// the model's feature vector. It is single-threaded, like everything the
+// working thread touches.
+type Tracker struct {
+	slice  time.Duration
+	n      int
+	counts map[int64]*[2]int // absolute slice index -> [writes, reads]
+}
+
+// NewTracker creates a tracker with window w split into n slices.
+func NewTracker(w time.Duration, n int) *Tracker {
+	if w <= 0 {
+		w = DefaultWindow
+	}
+	if n <= 0 {
+		n = DefaultSlices
+	}
+	return &Tracker{slice: w / time.Duration(n), n: n, counts: make(map[int64]*[2]int)}
+}
+
+// Slices returns n.
+func (tr *Tracker) Slices() int { return tr.n }
+
+// SliceDur returns the duration of one slice.
+func (tr *Tracker) SliceDur() time.Duration { return tr.slice }
+
+func (tr *Tracker) sliceIndex(at sim.Time) int64 {
+	return int64(at) / int64(tr.slice)
+}
+
+func (tr *Tracker) bucket(idx int64) *[2]int {
+	b := tr.counts[idx]
+	if b == nil {
+		b = &[2]int{}
+		tr.counts[idx] = b
+	}
+	return b
+}
+
+// OnSubmit records an I/O submission at time at.
+func (tr *Tracker) OnSubmit(op nvme.Opcode, at sim.Time) {
+	b := tr.bucket(tr.sliceIndex(at))
+	if op == nvme.OpWrite {
+		b[0]++
+	} else {
+		b[1]++
+	}
+}
+
+// OnComplete removes a completed I/O from the outstanding counts, given
+// its original submission time.
+func (tr *Tracker) OnComplete(op nvme.Opcode, submittedAt sim.Time) {
+	idx := tr.sliceIndex(submittedAt)
+	b := tr.counts[idx]
+	if b == nil {
+		return // fell off the window long ago
+	}
+	if op == nvme.OpWrite {
+		if b[0] > 0 {
+			b[0]--
+		}
+	} else {
+		if b[1] > 0 {
+			b[1]--
+		}
+	}
+	if b[0] == 0 && b[1] == 0 {
+		delete(tr.counts, idx)
+	}
+}
+
+// Vector builds the feature vector T = w|r as of time now, optionally
+// shifted shiftSlices into the future (pretending time advanced with no
+// new submissions — used for the yield decision of Algorithm 2).
+// Length is 2n: w slices first (most recent first), then r slices.
+func (tr *Tracker) Vector(now sim.Time, shiftSlices int) []float64 {
+	out := make([]float64, 2*tr.n)
+	tr.FillVector(out, now, shiftSlices)
+	return out
+}
+
+// FillVector is Vector without the allocation; out must have length 2n.
+func (tr *Tracker) FillVector(out []float64, now sim.Time, shiftSlices int) {
+	cur := tr.sliceIndex(now) + int64(shiftSlices)
+	for i := 0; i < tr.n; i++ {
+		idx := cur - int64(i)
+		if b := tr.counts[idx]; b != nil {
+			out[i] = float64(b[0])
+			out[tr.n+i] = float64(b[1])
+		} else {
+			out[i] = 0
+			out[tr.n+i] = 0
+		}
+	}
+}
+
+// Outstanding returns the total outstanding (writes, reads) inside the
+// window as of now.
+func (tr *Tracker) Outstanding(now sim.Time) (w, r int) {
+	cur := tr.sliceIndex(now)
+	for i := 0; i < tr.n; i++ {
+		if b := tr.counts[cur-int64(i)]; b != nil {
+			w += b[0]
+			r += b[1]
+		}
+	}
+	return w, r
+}
+
+// Prune drops state older than the window; call occasionally to bound
+// memory on long runs.
+func (tr *Tracker) Prune(now sim.Time) {
+	cutoff := tr.sliceIndex(now) - int64(tr.n)
+	for idx := range tr.counts {
+		if idx < cutoff {
+			delete(tr.counts, idx)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package sched implements the scheduling machinery of §IV: the ready-
+// operation queue (FIFO for the naive Algorithm 1, prioritized for the
+// workload-aware Algorithm 2) and the probe-timing policies the paper
+// compares in Figures 10–11 (always-probe, fixed cycle, average-latency,
+// and the linear-model workload-aware policy with CPU yielding).
+package sched
+
+import "container/heap"
+
+// Entry is a ready-state operation reference with its scheduling keys.
+type Entry struct {
+	// Seq is the admission sequence number; earlier operations get
+	// priority (§IV-B intuition (a): reduce individual latency).
+	Seq uint64
+	// HoldsWrite reports whether the operation currently holds any write
+	// latch; such operations are processed first so their latches release
+	// sooner (§IV-B intuition (b): improve concurrency).
+	HoldsWrite bool
+	// Op is the operation payload (an opaque pointer for the tree).
+	Op any
+}
+
+// ReadyQueue holds ready-state operations awaiting processing.
+type ReadyQueue interface {
+	Push(e Entry)
+	// Pop removes the next operation per the queue's discipline.
+	Pop() (Entry, bool)
+	Len() int
+}
+
+// fifo is the naive discipline: strict admission order of pushes.
+type fifo struct {
+	items []Entry
+	head  int
+}
+
+// NewFIFO returns a plain first-in-first-out ready queue.
+func NewFIFO() ReadyQueue { return &fifo{} }
+
+func (q *fifo) Push(e Entry) { q.items = append(q.items, e) }
+
+func (q *fifo) Pop() (Entry, bool) {
+	if q.head >= len(q.items) {
+		return Entry{}, false
+	}
+	e := q.items[q.head]
+	q.items[q.head] = Entry{}
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return e, true
+}
+
+func (q *fifo) Len() int { return len(q.items) - q.head }
+
+// prioQueue orders by (HoldsWrite desc, Seq asc).
+type prioQueue []Entry
+
+func (p prioQueue) Len() int { return len(p) }
+func (p prioQueue) Less(i, j int) bool {
+	if p[i].HoldsWrite != p[j].HoldsWrite {
+		return p[i].HoldsWrite
+	}
+	return p[i].Seq < p[j].Seq
+}
+func (p prioQueue) Swap(i, j int) { p[i], p[j] = p[j], p[i] }
+func (p *prioQueue) Push(x any)   { *p = append(*p, x.(Entry)) }
+func (p *prioQueue) Pop() any {
+	old := *p
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = Entry{}
+	*p = old[:n-1]
+	return e
+}
+
+type prio struct{ h prioQueue }
+
+// NewPriority returns the prioritized ready queue of §IV-B.
+func NewPriority() ReadyQueue { return &prio{} }
+
+func (q *prio) Push(e Entry) { heap.Push(&q.h, e) }
+
+func (q *prio) Pop() (Entry, bool) {
+	if len(q.h) == 0 {
+		return Entry{}, false
+	}
+	return heap.Pop(&q.h).(Entry), true
+}
+
+func (q *prio) Len() int { return len(q.h) }

@@ -1,0 +1,179 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, an event heap with stable tie-breaking, and a seeded
+// random-number generator.
+//
+// Every simulated component in this repository — the NVMe device model,
+// the simulated OS scheduler, the workload arrival processes — schedules
+// callbacks on one Engine. The engine is strictly single-threaded: events
+// run one at a time, in (time, sequence) order, so a fixed seed reproduces
+// byte-identical runs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point on the virtual clock, in nanoseconds since the start of
+// the simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It converts freely
+// to and from time.Duration.
+type Duration = time.Duration
+
+// Common durations, re-exported for call-site brevity.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Micros returns t expressed in microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Micros()) }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // insertion sequence; breaks ties deterministically
+	fn  func()
+	idx int // heap index; -1 when cancelled or popped
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// that is always a logic error in a discrete-event model.
+func (e *Engine) At(t Time, fn func()) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) EventID {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op and returns false.
+func (e *Engine) Cancel(id EventID) bool {
+	if id.ev == nil || id.ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&e.events, id.ev.idx)
+	id.ev.idx = -1
+	return true
+}
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step runs the next event, advancing the clock to its timestamp.
+// It returns false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to exactly t. Events scheduled after t remain pending.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor executes events for d of virtual time starting from now.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Stop makes the innermost Run/RunUntil return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// MaxTime is the largest representable virtual time.
+const MaxTime = Time(math.MaxInt64)

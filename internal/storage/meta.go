@@ -1,0 +1,129 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MetaMagic identifies a PA-Tree meta page.
+const MetaMagic = 0x50415452 // "PATR"
+
+// MetaVersion is the current layout version.
+const MetaVersion = 1
+
+// Meta is the tree superblock stored in page 0.
+//
+//	[0]     kind = KindMeta
+//	[1]     version
+//	[2:4]   reserved
+//	[4:12]  reserved (next field of common header unused)
+//	[12:16] crc32 (common header position)
+//	[16:20] magic
+//	[20:28] root page id
+//	[28:29] height (levels, 1 = single leaf)
+//	[29:32] reserved
+//	[32:40] watermark (first never-allocated page id)
+//	[40:48] number of keys in the tree
+//	[48:56] sync epoch (incremented by each durable sync)
+type Meta struct {
+	Root      PageID
+	Height    uint8
+	Watermark PageID
+	NumKeys   uint64
+	SyncEpoch uint64
+}
+
+// ErrNotMeta reports a page that is not a valid meta page.
+var ErrNotMeta = errors.New("storage: not a meta page")
+
+// EncodeTo serializes the meta page into buf and seals it.
+func (m *Meta) EncodeTo(buf []byte) {
+	for i := range buf[:PageSize] {
+		buf[i] = 0
+	}
+	buf[0] = KindMeta
+	buf[1] = MetaVersion
+	putU32(buf[16:20], MetaMagic)
+	putU64(buf[20:28], uint64(m.Root))
+	buf[28] = m.Height
+	putU64(buf[32:40], uint64(m.Watermark))
+	putU64(buf[40:48], m.NumKeys)
+	putU64(buf[48:56], m.SyncEpoch)
+	seal(buf[:PageSize])
+}
+
+// Encode allocates and returns a sealed meta page image.
+func (m *Meta) Encode() []byte {
+	buf := make([]byte, PageSize)
+	m.EncodeTo(buf)
+	return buf
+}
+
+// DecodeMeta parses a meta page image.
+func DecodeMeta(buf []byte) (*Meta, error) {
+	if len(buf) < PageSize {
+		return nil, fmt.Errorf("storage: short meta page (%d bytes)", len(buf))
+	}
+	if !checkSeal(buf[:PageSize]) {
+		return nil, ErrCorruptPage
+	}
+	if buf[0] != KindMeta || getU32(buf[16:20]) != MetaMagic {
+		return nil, ErrNotMeta
+	}
+	if buf[1] != MetaVersion {
+		return nil, fmt.Errorf("storage: meta version %d unsupported", buf[1])
+	}
+	return &Meta{
+		Root:      PageID(getU64(buf[20:28])),
+		Height:    buf[28],
+		Watermark: PageID(getU64(buf[32:40])),
+		NumKeys:   getU64(buf[40:48]),
+		SyncEpoch: getU64(buf[48:56]),
+	}, nil
+}
+
+// Allocator hands out page ids. Allocation is an in-memory decision (the
+// watermark is persisted via the meta page); freed pages are recycled
+// within a session. Pages freed after the last durable meta write are not
+// reclaimed across restarts — a deliberate simplification documented in
+// DESIGN.md (the paper does not address space reclamation at all).
+type Allocator struct {
+	watermark PageID
+	free      []PageID
+}
+
+// NewAllocator starts allocating at watermark (page ids below it are
+// considered in use; watermark must be >= 1 so page 0 stays the meta page).
+func NewAllocator(watermark PageID) *Allocator {
+	if watermark < 1 {
+		watermark = 1
+	}
+	return &Allocator{watermark: watermark}
+}
+
+// Alloc returns a fresh page id.
+func (a *Allocator) Alloc() PageID {
+	if n := len(a.free); n > 0 {
+		id := a.free[n-1]
+		a.free = a.free[:n-1]
+		return id
+	}
+	id := a.watermark
+	a.watermark++
+	return id
+}
+
+// Free recycles a page id. Freeing the meta page or a never-allocated id
+// panics: both indicate tree corruption.
+func (a *Allocator) Free(id PageID) {
+	if id == NilPage || id >= a.watermark {
+		panic(fmt.Sprintf("storage: freeing invalid page %d (watermark %d)", id, a.watermark))
+	}
+	a.free = append(a.free, id)
+}
+
+// Watermark returns the first never-allocated page id.
+func (a *Allocator) Watermark() PageID { return a.watermark }
+
+// FreeCount returns the number of recyclable pages.
+func (a *Allocator) FreeCount() int { return len(a.free) }

@@ -1,0 +1,403 @@
+// Package storage defines the on-device layout of PA-Tree: 512-byte pages
+// (the NVMe minimal access granularity, which the paper adopts as the
+// index node size to minimize read/write amplification), the B+ tree node
+// encodings, the meta page, and the page allocator.
+//
+// Layouts (all little-endian):
+//
+//	common header (16 bytes)
+//	  [0]     kind (1=leaf, 2=inner, 3=meta)
+//	  [1]     level (0 for leaves)
+//	  [2:4]   nkeys
+//	  [4:12]  next (leaf right-sibling page id; 0 = none)
+//	  [12:16] crc32 of the page with this field zeroed
+//
+//	inner node: header, children[0] (8 bytes), then nkeys * (key 8, child 8).
+//	  Keys separate children: subtree children[i] holds keys < Keys[i];
+//	  children[i+1] holds keys >= Keys[i].
+//
+//	leaf node: header, then a slot array growing forward — each slot is
+//	  (key 8, valueOffset 2, valueLen 2) — with value bytes packed at the
+//	  tail of the page growing backward.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// PageSize is the node size in bytes; one NVMe block.
+const PageSize = 512
+
+// PageID addresses a page; it equals the device LBA (block index).
+// 0 is the meta page, so 0 never identifies a tree node and doubles as
+// the nil page id.
+type PageID uint64
+
+// NilPage is the absent-page sentinel.
+const NilPage PageID = 0
+
+// Node kinds.
+const (
+	KindLeaf  = 1
+	KindInner = 2
+	KindMeta  = 3
+)
+
+const (
+	headerSize = 16
+	slotSize   = 12 // key(8) + valueOffset(2) + valueLen(2)
+	innerEntry = 16 // key(8) + child(8)
+
+	// InnerMaxKeys is the inner-node fanout minus one:
+	// (512 - 16 header - 8 child0) / 16 = 30 keys, 31 children.
+	InnerMaxKeys = (PageSize - headerSize - 8) / innerEntry
+
+	// MaxValueSize bounds a single value so that two maximal entries fit
+	// one leaf: 2*(slot + value) <= PageSize - header, i.e. value <= 236.
+	// This guarantees the insert-path split loop always converges — a
+	// single-entry leaf can absorb one more maximal value — without
+	// overflow pages (the paper's 108-byte SSE records fit comfortably).
+	MaxValueSize = (PageSize-headerSize)/2 - slotSize
+)
+
+// Errors.
+var (
+	ErrValueTooLarge = errors.New("storage: value exceeds MaxValueSize")
+	ErrCorruptPage   = errors.New("storage: page checksum mismatch")
+	ErrBadKind       = errors.New("storage: unexpected page kind")
+	ErrNodeFull      = errors.New("storage: node full")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Node is the in-memory form of a tree node. Ops decode device pages into
+// Nodes, mutate them, and encode them back; Nodes are never shared between
+// operations (the latch protocol orders access to the underlying page).
+type Node struct {
+	ID    PageID
+	Level uint8 // 0 = leaf
+	Keys  []uint64
+	// Children has len(Keys)+1 entries on inner nodes, nil on leaves.
+	Children []PageID
+	// Vals has len(Keys) entries on leaves, nil on inner nodes.
+	Vals [][]byte
+	// Next is the right-sibling page of a leaf (NilPage for the last).
+	Next PageID
+}
+
+// NewLeaf returns an empty leaf node with the given id.
+func NewLeaf(id PageID) *Node { return &Node{ID: id, Level: 0} }
+
+// NewInner returns an empty inner node at the given level (>= 1).
+func NewInner(id PageID, level uint8) *Node { return &Node{ID: id, Level: level} }
+
+// IsLeaf reports whether n is a leaf.
+func (n *Node) IsLeaf() bool { return n.Level == 0 }
+
+// NumKeys returns the number of keys.
+func (n *Node) NumKeys() int { return len(n.Keys) }
+
+func putU16(b []byte, v uint16) { b[0] = byte(v); b[1] = byte(v >> 8) }
+func getU16(b []byte) uint16    { return uint16(b[0]) | uint16(b[1])<<8 }
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func putU32(b []byte, v uint32) {
+	for i := 0; i < 4; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU32(b []byte) uint32 {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		v |= uint32(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// seal computes and stores the page checksum.
+func seal(buf []byte) {
+	putU32(buf[12:16], 0)
+	putU32(buf[12:16], crc32.Checksum(buf, crcTable))
+}
+
+// checkSeal verifies the page checksum.
+func checkSeal(buf []byte) bool {
+	want := getU32(buf[12:16])
+	putU32(buf[12:16], 0)
+	got := crc32.Checksum(buf, crcTable)
+	putU32(buf[12:16], want)
+	return got == want
+}
+
+// LeafUsed returns the bytes a leaf currently occupies (header + slots +
+// values).
+func (n *Node) LeafUsed() int {
+	used := headerSize + len(n.Keys)*slotSize
+	for _, v := range n.Vals {
+		used += len(v)
+	}
+	return used
+}
+
+// LeafFits reports whether a new pair with the given value length fits.
+func (n *Node) LeafFits(valueLen int) bool {
+	return n.LeafUsed()+slotSize+valueLen <= PageSize
+}
+
+// LeafFitsReplace reports whether replacing the value at index i with one
+// of newLen bytes fits.
+func (n *Node) LeafFitsReplace(i, newLen int) bool {
+	return n.LeafUsed()-len(n.Vals[i])+newLen <= PageSize
+}
+
+// EncodeTo serializes n into buf (len >= PageSize) and seals the checksum.
+// It panics if the node does not fit — callers must have checked capacity
+// via LeafFits / InnerMaxKeys, so overflow here is a logic bug.
+func (n *Node) EncodeTo(buf []byte) {
+	for i := range buf[:PageSize] {
+		buf[i] = 0
+	}
+	if n.IsLeaf() {
+		buf[0] = KindLeaf
+	} else {
+		buf[0] = KindInner
+	}
+	buf[1] = n.Level
+	putU16(buf[2:4], uint16(len(n.Keys)))
+	putU64(buf[4:12], uint64(n.Next))
+	if n.IsLeaf() {
+		if n.LeafUsed() > PageSize {
+			panic(fmt.Sprintf("storage: leaf %d overflow: %d bytes", n.ID, n.LeafUsed()))
+		}
+		heap := PageSize
+		off := headerSize
+		for i, k := range n.Keys {
+			v := n.Vals[i]
+			heap -= len(v)
+			copy(buf[heap:], v)
+			putU64(buf[off:], k)
+			putU16(buf[off+8:], uint16(heap))
+			putU16(buf[off+10:], uint16(len(v)))
+			off += slotSize
+		}
+	} else {
+		if len(n.Keys) > InnerMaxKeys {
+			panic(fmt.Sprintf("storage: inner %d overflow: %d keys", n.ID, len(n.Keys)))
+		}
+		if len(n.Children) != len(n.Keys)+1 {
+			panic(fmt.Sprintf("storage: inner %d has %d keys but %d children", n.ID, len(n.Keys), len(n.Children)))
+		}
+		putU64(buf[headerSize:], uint64(n.Children[0]))
+		off := headerSize + 8
+		for i, k := range n.Keys {
+			putU64(buf[off:], k)
+			putU64(buf[off+8:], uint64(n.Children[i+1]))
+			off += innerEntry
+		}
+	}
+	seal(buf[:PageSize])
+}
+
+// Encode allocates and returns a sealed page image.
+func (n *Node) Encode() []byte {
+	buf := make([]byte, PageSize)
+	n.EncodeTo(buf)
+	return buf
+}
+
+// DecodeNode parses a sealed page image into a Node with the given id.
+func DecodeNode(id PageID, buf []byte) (*Node, error) {
+	if len(buf) < PageSize {
+		return nil, fmt.Errorf("storage: short page (%d bytes)", len(buf))
+	}
+	if !checkSeal(buf[:PageSize]) {
+		return nil, ErrCorruptPage
+	}
+	kind := buf[0]
+	n := &Node{ID: id, Level: buf[1]}
+	nkeys := int(getU16(buf[2:4]))
+	n.Next = PageID(getU64(buf[4:12]))
+	switch kind {
+	case KindLeaf:
+		if n.Level != 0 {
+			return nil, fmt.Errorf("storage: leaf with level %d: %w", n.Level, ErrBadKind)
+		}
+		n.Keys = make([]uint64, nkeys)
+		n.Vals = make([][]byte, nkeys)
+		off := headerSize
+		for i := 0; i < nkeys; i++ {
+			n.Keys[i] = getU64(buf[off:])
+			vo := int(getU16(buf[off+8:]))
+			vl := int(getU16(buf[off+10:]))
+			if vo+vl > PageSize || vo < headerSize {
+				return nil, fmt.Errorf("storage: leaf slot %d out of range", i)
+			}
+			v := make([]byte, vl)
+			copy(v, buf[vo:vo+vl])
+			n.Vals[i] = v
+			off += slotSize
+		}
+	case KindInner:
+		if n.Level == 0 {
+			return nil, fmt.Errorf("storage: inner with level 0: %w", ErrBadKind)
+		}
+		n.Keys = make([]uint64, nkeys)
+		n.Children = make([]PageID, nkeys+1)
+		n.Children[0] = PageID(getU64(buf[headerSize:]))
+		off := headerSize + 8
+		for i := 0; i < nkeys; i++ {
+			n.Keys[i] = getU64(buf[off:])
+			n.Children[i+1] = PageID(getU64(buf[off+8:]))
+			off += innerEntry
+		}
+	default:
+		return nil, fmt.Errorf("storage: kind %d: %w", kind, ErrBadKind)
+	}
+	return n, nil
+}
+
+// SearchLeaf returns the index of key in a leaf and whether it is present;
+// when absent, the index is the insertion point.
+func (n *Node) SearchLeaf(key uint64) (int, bool) {
+	lo, hi := 0, len(n.Keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if n.Keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.Keys) && n.Keys[lo] == key
+}
+
+// ChildIndex returns the index in Children to follow for key on an inner
+// node: the child whose subtree covers key (keys >= Keys[i] go right).
+func (n *Node) ChildIndex(key uint64) int {
+	lo, hi := 0, len(n.Keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if key >= n.Keys[mid] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// InsertLeaf inserts or replaces (key, value) in a leaf, assuming it fits.
+// Returns whether an existing value was replaced.
+func (n *Node) InsertLeaf(key uint64, value []byte) bool {
+	i, found := n.SearchLeaf(key)
+	v := make([]byte, len(value))
+	copy(v, value)
+	if found {
+		n.Vals[i] = v
+		return true
+	}
+	n.Keys = append(n.Keys, 0)
+	copy(n.Keys[i+1:], n.Keys[i:])
+	n.Keys[i] = key
+	n.Vals = append(n.Vals, nil)
+	copy(n.Vals[i+1:], n.Vals[i:])
+	n.Vals[i] = v
+	return false
+}
+
+// DeleteLeafAt removes the pair at index i.
+func (n *Node) DeleteLeafAt(i int) {
+	n.Keys = append(n.Keys[:i], n.Keys[i+1:]...)
+	n.Vals = append(n.Vals[:i], n.Vals[i+1:]...)
+}
+
+// InsertInner inserts (sep, right) after the child at position idx, i.e.
+// records that the child there was split with separator sep and new right
+// sibling right.
+func (n *Node) InsertInner(sep uint64, right PageID) {
+	i := n.ChildIndex(sep)
+	n.Keys = append(n.Keys, 0)
+	copy(n.Keys[i+1:], n.Keys[i:])
+	n.Keys[i] = sep
+	n.Children = append(n.Children, NilPage)
+	copy(n.Children[i+2:], n.Children[i+1:])
+	n.Children[i+1] = right
+}
+
+// SplitLeaf moves the upper half of n into a fresh leaf with id rightID
+// and returns (separator, right node). The separator is the first key of
+// the right node (keys >= separator live right). Sibling links are fixed
+// so n -> right -> old next.
+func (n *Node) SplitLeaf(rightID PageID) (uint64, *Node) {
+	// Split by bytes, not count, so variable-length values balance.
+	target := n.LeafUsed() / 2
+	used := headerSize
+	cut := 0
+	for i := range n.Keys {
+		used += slotSize + len(n.Vals[i])
+		if used > target && i > 0 {
+			cut = i
+			break
+		}
+		cut = i + 1
+	}
+	if cut >= len(n.Keys) {
+		cut = len(n.Keys) - 1
+	}
+	if cut < 1 {
+		cut = 1
+	}
+	right := NewLeaf(rightID)
+	right.Keys = append(right.Keys, n.Keys[cut:]...)
+	right.Vals = append(right.Vals, n.Vals[cut:]...)
+	right.Next = n.Next
+	n.Keys = n.Keys[:cut:cut]
+	n.Vals = n.Vals[:cut:cut]
+	n.Next = rightID
+	return right.Keys[0], right
+}
+
+// SplitInner splits a full inner node: the middle key moves up as the
+// separator, the upper keys/children move to a fresh inner node rightID.
+func (n *Node) SplitInner(rightID PageID) (uint64, *Node) {
+	mid := len(n.Keys) / 2
+	sep := n.Keys[mid]
+	right := NewInner(rightID, n.Level)
+	right.Keys = append(right.Keys, n.Keys[mid+1:]...)
+	right.Children = append(right.Children, n.Children[mid+1:]...)
+	n.Keys = n.Keys[:mid:mid]
+	n.Children = n.Children[:mid+1 : mid+1]
+	return sep, right
+}
+
+// Clone returns a deep copy of n.
+func (n *Node) Clone() *Node {
+	c := &Node{ID: n.ID, Level: n.Level, Next: n.Next}
+	c.Keys = append([]uint64(nil), n.Keys...)
+	if n.Children != nil {
+		c.Children = append([]PageID(nil), n.Children...)
+	}
+	if n.Vals != nil {
+		c.Vals = make([][]byte, len(n.Vals))
+		for i, v := range n.Vals {
+			c.Vals[i] = append([]byte(nil), v...)
+		}
+	}
+	return c
+}

@@ -1,0 +1,190 @@
+// Package wal implements a block-oriented write-ahead log used by the
+// weak-persistence machinery: the LCB-Tree baseline logs every update
+// before applying it, the LSM tree logs memtable inserts, and the paper's
+// weak-persistent PA-Tree is motivated by exactly this pattern (§III-C:
+// "with the help of write ahead log, it is unnecessary to persist every
+// single operation").
+//
+// The log is a fixed region of blocks. Records are framed as
+//
+//	magic(2) generation(4) length(4) crc32(4) payload
+//
+// with frames packed back-to-back across block boundaries. The generation
+// increments on each Reset so recovery never resurrects frames from a
+// previous life of the region; the CRC (over generation, length and
+// payload) stops recovery at a torn tail.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+const (
+	frameMagic  = 0xA55A
+	headerBytes = 14 // magic 2 + gen 4 + len 4 + crc 4
+)
+
+// Errors.
+var (
+	ErrLogFull     = errors.New("wal: log region full")
+	ErrRecordEmpty = errors.New("wal: empty record")
+	ErrTooLarge    = errors.New("wal: record too large for region")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// BlockWriter persists blocks; implementations route through the NVMe
+// device (synchronously for the baselines, asynchronously for PA-Tree).
+type BlockWriter func(blockIndex uint64, data []byte)
+
+// Log is an appender over a fixed region of capBlocks blocks of blockSize
+// bytes each. It buffers appended records in memory until Flush.
+type Log struct {
+	blockSize int
+	capBlocks uint64
+	gen       uint32
+
+	flushedBytes int // bytes already persisted (may end mid-block)
+	pending      []byte
+	// tailKeep holds the already-durable prefix of the current partial
+	// block so the next Flush can rewrite that block in full.
+	tailKeep []byte
+	nextLSN  uint64
+}
+
+// NewLog creates a log over capBlocks blocks of blockSize bytes, starting
+// at generation 1.
+func NewLog(blockSize int, capBlocks uint64) *Log {
+	if blockSize <= int(headerBytes) {
+		panic("wal: block size too small")
+	}
+	return &Log{blockSize: blockSize, capBlocks: capBlocks, gen: 1}
+}
+
+// Generation returns the current generation number.
+func (l *Log) Generation() uint32 { return l.gen }
+
+// NextLSN returns the LSN the next Append will receive.
+func (l *Log) NextLSN() uint64 { return l.nextLSN }
+
+// PendingBytes returns the number of appended-but-unflushed bytes.
+func (l *Log) PendingBytes() int { return len(l.pending) }
+
+// Append frames rec and buffers it, returning its LSN. The record is not
+// durable until Flush.
+func (l *Log) Append(rec []byte) (uint64, error) {
+	if len(rec) == 0 {
+		return 0, ErrRecordEmpty
+	}
+	frame := make([]byte, headerBytes+len(rec))
+	binary.LittleEndian.PutUint16(frame[0:2], frameMagic)
+	binary.LittleEndian.PutUint32(frame[2:6], l.gen)
+	binary.LittleEndian.PutUint32(frame[6:10], uint32(len(rec)))
+	copy(frame[headerBytes:], rec)
+	crc := crc32.Checksum(frame[2:10], crcTable)
+	crc = crc32.Update(crc, crcTable, rec)
+	binary.LittleEndian.PutUint32(frame[10:14], crc)
+	if uint64(l.flushedBytes+len(l.pending)+len(frame)) > l.capBlocks*uint64(l.blockSize) {
+		return 0, ErrLogFull
+	}
+	l.pending = append(l.pending, frame...)
+	lsn := l.nextLSN
+	l.nextLSN++
+	return lsn, nil
+}
+
+// Flush emits every block touched by pending records through write, in
+// ascending block order, and marks the records durable. The last block is
+// zero-padded; it will be rewritten (same index) by the next Flush if more
+// records land in it.
+func (l *Log) Flush(write BlockWriter) {
+	if len(l.pending) == 0 {
+		return
+	}
+	bs := l.blockSize
+	// First block index that needs (re)writing: the one containing the
+	// first pending byte.
+	start := l.flushedBytes / bs
+	end := (l.flushedBytes + len(l.pending) + bs - 1) / bs
+	// Reconstruct the partial head block content: bytes already flushed in
+	// the start block are not retained, so we carry them in pendingHead.
+	headOffset := l.flushedBytes % bs
+	block := make([]byte, bs)
+	p := l.pending
+	for b := start; b < end; b++ {
+		for i := range block {
+			block[i] = 0
+		}
+		if b == start && headOffset > 0 {
+			copy(block, l.tailKeep)
+		}
+		off := 0
+		if b == start {
+			off = headOffset
+		}
+		n := copy(block[off:], p)
+		p = p[n:]
+		write(uint64(b), block)
+		// Remember the partial tail so the next flush can rewrite it.
+		if b == end-1 {
+			used := off + n
+			if used < bs {
+				l.tailKeep = append(l.tailKeep[:0], block[:used]...)
+			} else {
+				l.tailKeep = l.tailKeep[:0]
+			}
+		}
+	}
+	l.flushedBytes += len(l.pending)
+	l.pending = l.pending[:0]
+}
+
+// Reset abandons all content, bumps the generation and rewrites block 0
+// so stale frames are never replayed.
+func (l *Log) Reset(write BlockWriter) {
+	l.gen++
+	l.flushedBytes = 0
+	l.pending = l.pending[:0]
+	l.tailKeep = l.tailKeep[:0]
+	l.nextLSN = 0
+	write(0, make([]byte, l.blockSize))
+}
+
+// Recover scans the raw region content (concatenated blocks, starting at
+// block 0) and returns the payloads of all valid frames of the newest
+// generation found at the head of the region. Scanning stops at the first
+// invalid frame (zero magic, CRC mismatch, or generation change).
+func Recover(region []byte) (records [][]byte, gen uint32) {
+	off := 0
+	first := true
+	for off+headerBytes <= len(region) {
+		if binary.LittleEndian.Uint16(region[off:off+2]) != frameMagic {
+			break
+		}
+		g := binary.LittleEndian.Uint32(region[off+2 : off+6])
+		n := int(binary.LittleEndian.Uint32(region[off+6 : off+10]))
+		want := binary.LittleEndian.Uint32(region[off+10 : off+14])
+		if off+headerBytes+n > len(region) || n == 0 {
+			break
+		}
+		if first {
+			gen = g
+			first = false
+		} else if g != gen {
+			break
+		}
+		payload := region[off+headerBytes : off+headerBytes+n]
+		crc := crc32.Checksum(region[off+2:off+10], crcTable)
+		crc = crc32.Update(crc, crcTable, payload)
+		if crc != want {
+			break
+		}
+		rec := make([]byte, n)
+		copy(rec, payload)
+		records = append(records, rec)
+		off += headerBytes + n
+	}
+	return records, gen
+}

@@ -1,0 +1,264 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/patree/patree/internal/core"
+	"github.com/patree/patree/internal/sim"
+	"github.com/patree/patree/internal/zorder"
+)
+
+func TestZipfSkewOrdering(t *testing.T) {
+	const n = 1000
+	const draws = 200000
+	countTop := func(theta float64) int {
+		z := NewZipf(sim.NewRNG(1), n, theta)
+		top := 0
+		for i := 0; i < draws; i++ {
+			if z.Next() < 10 {
+				top++
+			}
+		}
+		return top
+	}
+	uniform := countTop(0)
+	mild := countTop(0.3)
+	heavy := countTop(0.9)
+	if !(uniform < mild && mild < heavy) {
+		t.Fatalf("top-10 shares not increasing with skew: %d, %d, %d", uniform, mild, heavy)
+	}
+	// Uniform should put ~1% in the top 10.
+	if f := float64(uniform) / draws; math.Abs(f-0.01) > 0.005 {
+		t.Fatalf("uniform top-10 share = %v", f)
+	}
+}
+
+func TestZipfRanksInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		z := NewZipf(sim.NewRNG(seed), 500, 0.99)
+		for i := 0; i < 200; i++ {
+			if z.Next() >= 500 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestYCSBMixAndDomain(t *testing.T) {
+	y := NewYCSB(YCSBConfig{Keys: 10000, UpdatePercent: 10, Seed: 3})
+	pre := y.Preload()
+	if len(pre) == 0 || len(pre) > 10000 {
+		t.Fatalf("preload size %d", len(pre))
+	}
+	if !sort.SliceIsSorted(pre, func(i, j int) bool { return pre[i].Key < pre[j].Key }) {
+		t.Fatal("preload unsorted")
+	}
+	keys := map[uint64]bool{}
+	for _, kv := range pre {
+		if keys[kv.Key] {
+			t.Fatal("duplicate preload key")
+		}
+		keys[kv.Key] = true
+	}
+	updates, searches := 0, 0
+	for i := 0; i < 20000; i++ {
+		op := y.Next()
+		switch op.Kind {
+		case OpUpdate:
+			updates++
+			if len(op.Value) != 8 {
+				t.Fatalf("value size %d", len(op.Value))
+			}
+		case OpSearch:
+			searches++
+		default:
+			t.Fatalf("unexpected kind %v", op.Kind)
+		}
+		if !keys[op.Key] {
+			t.Fatal("op key outside preloaded domain")
+		}
+	}
+	frac := float64(updates) / float64(updates+searches)
+	if frac < 0.08 || frac > 0.12 {
+		t.Fatalf("update fraction = %v, want ~0.10", frac)
+	}
+}
+
+func TestYCSBNames(t *testing.T) {
+	if NewYCSB(YCSBConfig{UpdatePercent: 0, Keys: 10}).Name() != "ycsb-read-only" {
+		t.Fatal("read-only name")
+	}
+	if NewYCSB(YCSBConfig{UpdatePercent: 10, Keys: 10}).Name() != "ycsb-default" {
+		t.Fatal("default name")
+	}
+	if NewYCSB(YCSBConfig{UpdatePercent: 50, Keys: 10}).Name() != "ycsb-update-heavy" {
+		t.Fatal("update-heavy name")
+	}
+}
+
+func TestZOrderRoundTripProperty(t *testing.T) {
+	f := func(x, y uint32) bool {
+		gx, gy := zorder.Decode(zorder.Encode(x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZOrderLocality(t *testing.T) {
+	// Adjacent cells in a small square must fall within the z-range of
+	// that square.
+	lo, hi := zorder.RangeOf(100, 200, 103, 203)
+	for x := uint32(100); x <= 103; x++ {
+		for y := uint32(200); y <= 203; y++ {
+			z := zorder.Encode(x, y)
+			if z < lo || z > hi {
+				t.Fatalf("cell (%d,%d) outside range", x, y)
+			}
+			if !zorder.InRect(z, 100, 200, 103, 203) {
+				t.Fatal("InRect false for inside cell")
+			}
+		}
+	}
+	if zorder.InRect(zorder.Encode(99, 200), 100, 200, 103, 203) {
+		t.Fatal("InRect true for outside cell")
+	}
+}
+
+func TestCellOf(t *testing.T) {
+	if zorder.CellOf(0, 0, 100, 10) != 0 {
+		t.Fatal("min not cell 0")
+	}
+	if got := zorder.CellOf(99.999, 0, 100, 10); got != 1023 {
+		t.Fatalf("max cell = %d", got)
+	}
+	if got := zorder.CellOf(50, 0, 100, 10); got != 512 {
+		t.Fatalf("mid cell = %d", got)
+	}
+	if zorder.CellOf(-5, 0, 100, 10) != 0 || zorder.CellOf(200, 0, 100, 10) != 1023 {
+		t.Fatal("clamping failed")
+	}
+}
+
+func TestTDriveMixAndKeys(t *testing.T) {
+	g := NewTDrive(TDriveConfig{Taxis: 100, PreloadRecords: 5000, Seed: 4})
+	pre := g.Preload()
+	if len(pre) < 4000 {
+		t.Fatalf("preload %d", len(pre))
+	}
+	if !sort.SliceIsSorted(pre, func(i, j int) bool { return pre[i].Key < pre[j].Key }) {
+		t.Fatal("preload unsorted")
+	}
+	inserts, ranges := 0, 0
+	for i := 0; i < 10000; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case OpInsert:
+			inserts++
+			if len(op.Value) != 12 {
+				t.Fatalf("record size %d", len(op.Value))
+			}
+		case OpRange:
+			ranges++
+			if op.EndKey <= op.Key {
+				t.Fatal("empty range")
+			}
+		default:
+			t.Fatalf("kind %v", op.Kind)
+		}
+	}
+	frac := float64(inserts) / 10000
+	if frac < 0.67 || frac > 0.73 {
+		t.Fatalf("update fraction = %v, want ~0.70", frac)
+	}
+}
+
+func TestSSEMixAndRecordSize(t *testing.T) {
+	g := NewSSE(SSEConfig{Stocks: 50, PreloadOrders: 3000, Seed: 5})
+	pre := g.Preload()
+	if len(pre) < 2900 {
+		t.Fatalf("preload %d", len(pre))
+	}
+	for _, kv := range pre[:10] {
+		if len(kv.Value) != 108 {
+			t.Fatalf("record size %d, want 108", len(kv.Value))
+		}
+	}
+	inserts, ranges := 0, 0
+	for i := 0; i < 10000; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case OpInsert:
+			inserts++
+		case OpRange:
+			ranges++
+			// A match scan stays within one stock (high 12 bits equal).
+			if op.Key>>52 != op.EndKey>>52 {
+				t.Fatal("range crosses stocks")
+			}
+		}
+	}
+	frac := float64(inserts) / 10000
+	if frac < 0.25 || frac > 0.31 {
+		t.Fatalf("update fraction = %v, want ~0.28", frac)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := NewTDrive(TDriveConfig{Taxis: 10, PreloadRecords: 100, Seed: 9})
+	b := NewTDrive(TDriveConfig{Taxis: 10, PreloadRecords: 100, Seed: 9})
+	a.Preload()
+	b.Preload()
+	for i := 0; i < 100; i++ {
+		oa, ob := a.Next(), b.Next()
+		if oa.Kind != ob.Kind || oa.Key != ob.Key {
+			t.Fatal("t-drive nondeterministic")
+		}
+	}
+}
+
+func TestSortAndDedupKVs(t *testing.T) {
+	check := func(keys []uint64) {
+		t.Helper()
+		kvs := make([]core.KV, len(keys))
+		for i, k := range keys {
+			kvs[i] = core.KV{Key: k}
+		}
+		sortKVs(kvs)
+		out := dedupKVs(kvs)
+		if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i].Key < out[j].Key }) {
+			t.Fatalf("not sorted: %v", out)
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i].Key == out[i-1].Key {
+				t.Fatal("dup survived")
+			}
+		}
+	}
+	for _, pattern := range [][]uint64{
+		{5, 4, 3, 2, 1}, {1, 1, 2, 2, 3}, {}, {42},
+		{9, 1, 8, 2, 7, 3, 6, 4, 5, 5, 5},
+	} {
+		check(pattern)
+	}
+	f := func(keys []uint64) bool {
+		kvs := make([]core.KV, len(keys))
+		for i, k := range keys {
+			kvs[i] = core.KV{Key: k}
+		}
+		sortKVs(kvs)
+		out := dedupKVs(kvs)
+		return sort.SliceIsSorted(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+// Package zorder implements the Morton (z-order) space-filling curve used
+// to linearize the T-Drive trajectories' (latitude, longitude) positions
+// into B+ tree keys, exactly as the paper's first real workload does
+// ("a z-code computed by applying z-ordering on latitude and longitude").
+package zorder
+
+// spread interleaves the low 32 bits of x with zeros:
+// bit i of x moves to bit 2i of the result.
+func spread(x uint32) uint64 {
+	v := uint64(x)
+	v = (v | v<<16) & 0x0000FFFF0000FFFF
+	v = (v | v<<8) & 0x00FF00FF00FF00FF
+	v = (v | v<<4) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// compact is the inverse of spread.
+func compact(v uint64) uint32 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v>>4) & 0x00FF00FF00FF00FF
+	v = (v | v>>8) & 0x0000FFFF0000FFFF
+	v = (v | v>>16) & 0x00000000FFFFFFFF
+	return uint32(v)
+}
+
+// Encode interleaves x and y into a z-code: x occupies even bits, y odd.
+func Encode(x, y uint32) uint64 {
+	return spread(x) | spread(y)<<1
+}
+
+// Decode splits a z-code back into (x, y).
+func Decode(z uint64) (x, y uint32) {
+	return compact(z), compact(z >> 1)
+}
+
+// CellOf maps a coordinate in [min, max) onto a grid of 2^bits cells.
+func CellOf(v, min, max float64, bits uint) uint32 {
+	if max <= min {
+		return 0
+	}
+	n := uint64(1) << bits
+	f := (v - min) / (max - min)
+	if f < 0 {
+		f = 0
+	}
+	if f >= 1 {
+		f = 1 - 1e-12
+	}
+	return uint32(uint64(f * float64(n)))
+}
+
+// RangeOf returns the z-code interval covering the square cell region
+// [x0,x1] × [y0,y1] at the given per-axis resolution. The interval is a
+// superset (z-order ranges over a rectangle are not contiguous); callers
+// scanning it post-filter with InRect, which is what the T-Drive workload
+// queries do.
+func RangeOf(x0, y0, x1, y1 uint32) (lo, hi uint64) {
+	return Encode(x0, y0), Encode(x1, y1)
+}
+
+// InRect reports whether z decodes into the rectangle [x0,x1] × [y0,y1].
+func InRect(z uint64, x0, y0, x1, y1 uint32) bool {
+	x, y := Decode(z)
+	return x >= x0 && x <= x1 && y >= y0 && y <= y1
+}

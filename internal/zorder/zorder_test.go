@@ -1,0 +1,96 @@
+package zorder
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeKnownValues(t *testing.T) {
+	cases := []struct {
+		x, y uint32
+		z    uint64
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{0, 1, 2},
+		{1, 1, 3},
+		{2, 0, 4},
+		{0xFFFFFFFF, 0, 0x5555555555555555},
+		{0, 0xFFFFFFFF, 0xAAAAAAAAAAAAAAAA},
+		{0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFFFFFFFFFF},
+	}
+	for _, c := range cases {
+		if got := Encode(c.x, c.y); got != c.z {
+			t.Fatalf("Encode(%d,%d) = %#x, want %#x", c.x, c.y, got, c.z)
+		}
+		gx, gy := Decode(c.z)
+		if gx != c.x || gy != c.y {
+			t.Fatalf("Decode(%#x) = (%d,%d)", c.z, gx, gy)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(x, y uint32) bool {
+		gx, gy := Decode(Encode(x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Z-order preserves the "both coordinates dominate" partial order:
+// x1<=x2 and y1<=y2 implies z1 <= z2.
+func TestMonotoneDominance(t *testing.T) {
+	f := func(x1, y1, dx, dy uint16) bool {
+		a := Encode(uint32(x1), uint32(y1))
+		b := Encode(uint32(x1)+uint32(dx), uint32(y1)+uint32(dy))
+		return a <= b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeContainsRectangleProperty(t *testing.T) {
+	f := func(x0, y0 uint8, w, h uint8) bool {
+		x1 := uint32(x0) + uint32(w%16)
+		y1 := uint32(y0) + uint32(h%16)
+		lo, hi := RangeOf(uint32(x0), uint32(y0), x1, y1)
+		// Every cell of the rectangle must fall inside [lo, hi].
+		for x := uint32(x0); x <= x1; x++ {
+			for y := uint32(y0); y <= y1; y++ {
+				z := Encode(x, y)
+				if z < lo || z > hi {
+					return false
+				}
+				if !InRect(z, uint32(x0), uint32(y0), x1, y1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInRectBoundaries(t *testing.T) {
+	if !InRect(Encode(5, 5), 5, 5, 5, 5) {
+		t.Fatal("single-cell rect excludes its own cell")
+	}
+	if InRect(Encode(4, 5), 5, 5, 6, 6) || InRect(Encode(5, 7), 5, 5, 6, 6) {
+		t.Fatal("outside cells included")
+	}
+}
+
+func TestCellOfEdges(t *testing.T) {
+	if CellOf(10, 10, 10, 4) != 0 {
+		t.Fatal("degenerate interval")
+	}
+	if CellOf(0.999999, 0, 1, 4) != 15 {
+		t.Fatal("near-max cell")
+	}
+}

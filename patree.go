@@ -1,0 +1,244 @@
+// Package patree is a polled-mode, asynchronous B+ tree for NVMe-class
+// storage, reproducing "PA-Tree: Polled-Mode Asynchronous B+ Tree for
+// NVMe" (ICDE 2020).
+//
+// A PA-Tree processes many index operations in an interleaved fashion on
+// a single working thread: when an operation issues an I/O it parks, the
+// thread moves on to other operations, and a workload-aware scheduler
+// decides when to poll the device's completion queue. This keeps the
+// device saturated with asynchronous I/O without the synchronization and
+// context-switch costs of a thread-per-request design.
+//
+// This package is the embedder-facing API: it runs the tree on a real
+// goroutine over a memory-backed queue-pair device and offers blocking
+// calls that are safe from any goroutine. The deterministic simulation
+// used to reproduce the paper's experiments lives under internal/ and is
+// driven by cmd/paexp and the benchmarks.
+//
+//	db, err := patree.Open(patree.Options{})
+//	defer db.Close()
+//	db.Put(42, []byte("answer"))
+//	v, ok, _ := db.Get(42)
+package patree
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/patree/patree/internal/core"
+	"github.com/patree/patree/internal/nvme"
+	"github.com/patree/patree/internal/probe"
+	"github.com/patree/patree/internal/sched"
+	"github.com/patree/patree/internal/storage"
+)
+
+// MaxValueSize is the largest storable value (two max-size entries share
+// one 512-byte node; see internal/storage).
+const MaxValueSize = storage.MaxValueSize
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("patree: closed")
+
+// KV is a key/value pair returned by Scan.
+type KV = core.KV
+
+// Persistence selects the §III-C buffering mode.
+type Persistence = core.Persistence
+
+// Persistence modes.
+const (
+	// Strong writes every update through to the device before the
+	// operation completes.
+	Strong = core.StrongPersistence
+	// Weak buffers updates in memory; call Sync to persist them.
+	Weak = core.WeakPersistence
+)
+
+// Options configures Open.
+type Options struct {
+	// Device is the backing block device. Nil selects an in-memory
+	// device sized by DeviceBlocks.
+	Device nvme.Device
+	// DeviceBlocks sizes the default in-memory device (default 1M blocks
+	// = 512 MiB).
+	DeviceBlocks uint64
+	// Persistence selects Strong (default) or Weak buffering.
+	Persistence Persistence
+	// BufferPages is the page-cache capacity (default 4096 pages = 2 MiB).
+	BufferPages int
+	// Format forces re-initialization even if the device already holds a
+	// tree. Devices without a valid meta page are always formatted.
+	Format bool
+}
+
+// Stats reports tree activity.
+type Stats struct {
+	Ops         uint64
+	NumKeys     uint64
+	Height      int
+	Probes      uint64
+	ReadsIssued uint64
+	WritesIssue uint64
+	BufferHit   float64
+}
+
+// DB is an open PA-Tree.
+type DB struct {
+	dev     nvme.Device
+	ownsDev bool
+	tree    *core.Tree
+	done    chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Open creates or opens a PA-Tree per opts and starts its working
+// goroutine.
+func Open(opts Options) (*DB, error) {
+	dev := opts.Device
+	owns := false
+	if dev == nil {
+		if opts.DeviceBlocks == 0 {
+			opts.DeviceBlocks = 1 << 20
+		}
+		dev = nvme.NewRAMDevice(nvme.RAMConfig{NumBlocks: opts.DeviceBlocks})
+		owns = true
+	}
+	if opts.BufferPages == 0 {
+		opts.BufferPages = 4096
+	}
+	meta, err := core.ReadMeta(dev)
+	if err != nil || opts.Format {
+		meta, err = core.Format(dev)
+		if err != nil {
+			return nil, fmt.Errorf("patree: format: %w", err)
+		}
+	}
+	env := core.NewRealEnv()
+	// Real-time polling: probes are cheap host work, so use a tight
+	// probe backstop for low single-operation latency.
+	model, err := probe.Default()
+	if err != nil {
+		return nil, err
+	}
+	policy := sched.NewWorkload(model, nil, 20*time.Microsecond)
+	policy.SetSafety(20 * time.Microsecond)
+	tree, err := core.New(dev, core.Config{
+		Persistence: opts.Persistence,
+		BufferPages: opts.BufferPages,
+		Policy:      policy,
+	}, env, meta)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{dev: dev, ownsDev: owns, tree: tree, done: make(chan struct{})}
+	go func() {
+		// The polled-mode working thread wants a dedicated OS thread, as
+		// the paper's design assumes; everything else in the process can
+		// share the rest.
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+		tree.Run()
+		close(db.done)
+	}()
+	return db, nil
+}
+
+// exec admits op and blocks until the working thread completes it.
+func (db *DB) exec(op *core.Op) (core.Result, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return core.Result{}, ErrClosed
+	}
+	db.mu.Unlock()
+	ch := make(chan struct{})
+	op.Done = func(*core.Op) { close(ch) }
+	db.tree.Admit(op)
+	<-ch
+	return op.Res, op.Res.Err
+}
+
+// Put inserts or replaces key.
+func (db *DB) Put(key uint64, value []byte) error {
+	_, err := db.exec(core.NewInsert(key, value, nil))
+	return err
+}
+
+// Get returns the value stored under key.
+func (db *DB) Get(key uint64) ([]byte, bool, error) {
+	res, err := db.exec(core.NewSearch(key, nil))
+	return res.Value, res.Found, err
+}
+
+// Update replaces key only if present, reporting whether it was.
+func (db *DB) Update(key uint64, value []byte) (bool, error) {
+	res, err := db.exec(core.NewUpdate(key, value, nil))
+	return res.Found, err
+}
+
+// Delete removes key, reporting whether it was present.
+func (db *DB) Delete(key uint64) (bool, error) {
+	res, err := db.exec(core.NewDelete(key, nil))
+	return res.Found, err
+}
+
+// Scan returns pairs with keys in [lo, hi], at most limit (0 = all).
+func (db *DB) Scan(lo, hi uint64, limit int) ([]KV, error) {
+	res, err := db.exec(core.NewRange(lo, hi, limit, nil))
+	return res.Pairs, err
+}
+
+// Sync flushes all buffered updates and the meta page to the device
+// (meaningful under Weak persistence; cheap under Strong).
+func (db *DB) Sync() error {
+	_, err := db.exec(core.NewSync(nil))
+	return err
+}
+
+// Stats snapshots activity counters.
+func (db *DB) Stats() Stats {
+	st := db.tree.StatsSnapshot()
+	return Stats{
+		Ops:         st.TotalOps(),
+		NumKeys:     db.tree.NumKeys(),
+		Height:      db.tree.Height(),
+		Probes:      st.Probes,
+		ReadsIssued: st.ReadsIssued,
+		WritesIssue: st.WritesIssued,
+		BufferHit:   db.tree.BufferStats().HitRate(),
+	}
+}
+
+// Close syncs (weak mode), stops the working thread and releases the
+// device if this DB created it. Safe to call twice.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.mu.Unlock()
+	// Persist buffered state before shutdown.
+	syncErr := db.Sync()
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
+	db.tree.Stop()
+	// Wake the worker in case it is idle-yielding with nothing admitted.
+	select {
+	case <-db.done:
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("patree: worker did not stop")
+	}
+	if db.ownsDev {
+		if err := db.dev.Close(); err != nil && syncErr == nil {
+			syncErr = err
+		}
+	}
+	return syncErr
+}

@@ -1,0 +1,171 @@
+package patree
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/patree/patree/internal/nvme"
+)
+
+func TestOpenPutGetClose(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put(42, []byte("answer")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.Get(42)
+	if err != nil || !ok || string(v) != "answer" {
+		t.Fatalf("get: %q %v %v", v, ok, err)
+	}
+	if _, ok, _ := db.Get(43); ok {
+		t.Fatal("phantom key")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal("double close errored:", err)
+	}
+	if err := db.Put(1, []byte("x")); err != ErrClosed {
+		t.Fatalf("put after close: %v", err)
+	}
+}
+
+func TestCRUDAndScan(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := uint64(0); i < 500; i++ {
+		if err := db.Put(i*2, []byte(fmt.Sprintf("v%d", i*2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, _ := db.Update(10, []byte("new")); !ok {
+		t.Fatal("update failed")
+	}
+	if ok, _ := db.Update(11, []byte("x")); ok {
+		t.Fatal("update of absent key")
+	}
+	if ok, _ := db.Delete(20); !ok {
+		t.Fatal("delete failed")
+	}
+	pairs, err := db.Scan(8, 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{8, 10, 12, 14, 16, 18, 22, 24, 26, 28, 30}
+	if len(pairs) != len(want) {
+		t.Fatalf("scan: %d pairs", len(pairs))
+	}
+	for i, kv := range pairs {
+		if kv.Key != want[i] {
+			t.Fatalf("scan[%d] = %d, want %d", i, kv.Key, want[i])
+		}
+	}
+	if string(pairs[1].Value) != "new" {
+		t.Fatalf("updated value = %q", pairs[1].Value)
+	}
+	st := db.Stats()
+	if st.NumKeys != 499 || st.Ops == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const goroutines = 8
+	const per = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := uint64(g*100000 + i)
+				if err := db.Put(k, []byte("v")); err != nil {
+					errs <- err
+					return
+				}
+				if _, ok, err := db.Get(k); !ok || err != nil {
+					errs <- fmt.Errorf("readback %d: %v %v", k, ok, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := db.Stats().NumKeys; got != goroutines*per {
+		t.Fatalf("numKeys = %d", got)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dev := nvme.NewRAMDevice(nvme.RAMConfig{})
+	defer dev.Close()
+	db, err := Open(Options{Device: dev, Persistence: Weak})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 300; i++ {
+		db.Put(i, []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := db.Close(); err != nil { // Close syncs
+		t.Fatal(err)
+	}
+	db2, err := Open(Options{Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for _, k := range []uint64{0, 150, 299} {
+		v, ok, err := db2.Get(k)
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", k) {
+			t.Fatalf("reopened key %d: %q %v %v", k, v, ok, err)
+		}
+	}
+	if _, ok, _ := db2.Get(300); ok {
+		t.Fatal("phantom key after reopen")
+	}
+}
+
+func TestFormatWipes(t *testing.T) {
+	dev := nvme.NewRAMDevice(nvme.RAMConfig{})
+	defer dev.Close()
+	db, _ := Open(Options{Device: dev})
+	db.Put(1, []byte("x"))
+	db.Close()
+	db2, err := Open(Options{Device: dev, Format: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, ok, _ := db2.Get(1); ok {
+		t.Fatal("format did not wipe")
+	}
+}
+
+func TestValueTooLarge(t *testing.T) {
+	db, _ := Open(Options{})
+	defer db.Close()
+	if err := db.Put(1, make([]byte, MaxValueSize+1)); err == nil {
+		t.Fatal("oversized put accepted")
+	}
+	if err := db.Put(1, make([]byte, MaxValueSize)); err != nil {
+		t.Fatal(err)
+	}
+}
