@@ -1,0 +1,178 @@
+package patree
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/patree/patree/internal/core"
+)
+
+// Handle is the future for one asynchronous operation. The issuing
+// goroutine owns it: Wait blocks until the working thread completes the
+// operation, the accessors (Err, Found, Value, Pairs) wait implicitly,
+// and Release returns the handle to the pool once the caller is done
+// with the results. Results returned by the accessors remain valid after
+// Release.
+//
+// A Handle is not safe for concurrent use by multiple goroutines; hand
+// it off if another goroutine should wait. The one exception to the
+// ownership rule is WaitContext returning the context's error: that
+// detaches the handle — the working thread reclaims it when the
+// operation eventually completes — and the caller must not touch it
+// again (see DESIGN.md).
+type Handle struct {
+	ch    chan struct{}
+	state atomic.Uint32
+	res   core.Result
+	// waited is owner-local: once the completion token is consumed the
+	// accessors are pure field reads.
+	waited bool
+	// doneFn is the reusable completion callback handed to core.Op.Done;
+	// built once per handle lifetime, it survives pool recycling so a
+	// steady-state async operation allocates neither closure nor channel.
+	doneFn func(*core.Op)
+}
+
+// Handle lifecycle states.
+const (
+	hPending uint32 = iota
+	hCompleted
+	hDetached
+)
+
+var handlePool = sync.Pool{
+	New: func() any { return &Handle{ch: make(chan struct{}, 1)} },
+}
+
+// acquireHandle returns a pooled handle ready for one operation.
+func acquireHandle() *Handle {
+	h := handlePool.Get().(*Handle)
+	h.res = core.Result{}
+	h.waited = false
+	h.state.Store(hPending)
+	// Defensive: a well-behaved lifecycle never leaves a token behind,
+	// but a stale one would corrupt the next Wait.
+	select {
+	case <-h.ch:
+	default:
+	}
+	if h.doneFn == nil {
+		h.doneFn = h.complete
+	}
+	return h
+}
+
+// complete is the Done callback; it runs on the working thread. The
+// operation is released back to its pool here — the tree drops all
+// references before calling Done — and the result (whose slices are
+// freshly allocated per operation, never pooled) moves to the handle.
+func (h *Handle) complete(o *core.Op) {
+	h.res = o.Res
+	h.res.Err = mapErr(h.res.Err)
+	o.Release()
+	if h.state.CompareAndSwap(hPending, hCompleted) {
+		h.ch <- struct{}{} // cap 1: never blocks the working thread
+	} else {
+		// Detached by a cancelled WaitContext: nobody will consume the
+		// result, so the completion also recycles the handle.
+		h.recycle()
+	}
+}
+
+// Wait blocks until the operation completes and returns its error.
+// It is idempotent: after the first return every further call (and every
+// accessor) returns immediately.
+func (h *Handle) Wait() error {
+	if !h.waited {
+		<-h.ch
+		h.waited = true
+	}
+	return h.res.Err
+}
+
+// Err waits and returns the operation error (nil on success).
+func (h *Handle) Err() error { return h.Wait() }
+
+// Found waits and reports whether the key existed (search, update,
+// delete) or a previous value was replaced (insert).
+func (h *Handle) Found() bool {
+	h.Wait()
+	return h.res.Found
+}
+
+// Value waits and returns the value found by a point search.
+func (h *Handle) Value() []byte {
+	h.Wait()
+	return h.res.Value
+}
+
+// Pairs waits and returns a range scan's results.
+func (h *Handle) Pairs() []KV {
+	h.Wait()
+	return h.res.Pairs
+}
+
+// Release waits for completion if necessary and returns the handle to
+// the pool. The handle must not be used afterwards; previously returned
+// result slices stay valid.
+func (h *Handle) Release() {
+	h.Wait()
+	h.recycle()
+}
+
+// recycle returns h to the pool without waiting; the caller guarantees
+// no completion is outstanding.
+func (h *Handle) recycle() {
+	h.res = core.Result{}
+	handlePool.Put(h)
+}
+
+// abandon recycles a handle whose operation was never admitted.
+func (h *Handle) abandon() {
+	h.waited = true
+	h.recycle()
+}
+
+// admitAsync pairs op with a pooled handle and admits it. If the inbox
+// ring is full this blocks until the working thread frees space
+// (bounded-queue backpressure).
+func (db *DB) admitAsync(op *core.Op) (*Handle, error) {
+	h := acquireHandle()
+	op.Done = h.doneFn
+	if err := db.admit(op); err != nil {
+		h.abandon()
+		return nil, err
+	}
+	return h, nil
+}
+
+// PutAsync admits an insert-or-replace and returns its future.
+func (db *DB) PutAsync(key uint64, value []byte) (*Handle, error) {
+	return db.admitAsync(core.AcquireOp().InitInsert(key, value))
+}
+
+// GetAsync admits a point lookup and returns its future.
+func (db *DB) GetAsync(key uint64) (*Handle, error) {
+	return db.admitAsync(core.AcquireOp().InitSearch(key))
+}
+
+// UpdateAsync admits a replace-if-present and returns its future.
+func (db *DB) UpdateAsync(key uint64, value []byte) (*Handle, error) {
+	return db.admitAsync(core.AcquireOp().InitUpdate(key, value))
+}
+
+// DeleteAsync admits a delete and returns its future.
+func (db *DB) DeleteAsync(key uint64) (*Handle, error) {
+	return db.admitAsync(core.AcquireOp().InitDelete(key))
+}
+
+// ScanAsync admits a range scan over [lo, hi] (limit <= 0 = unlimited)
+// and returns its future.
+func (db *DB) ScanAsync(lo, hi uint64, limit int) (*Handle, error) {
+	return db.admitAsync(core.AcquireOp().InitRange(lo, hi, limit))
+}
+
+// SyncAsync admits a sync and returns its future.
+func (db *DB) SyncAsync() (*Handle, error) {
+	return db.admitAsync(core.AcquireOp().InitSync())
+}

@@ -1,0 +1,192 @@
+package patree
+
+import (
+	"sync"
+
+	"github.com/patree/patree/internal/core"
+)
+
+// Batch stages many heterogeneous operations and admits them in one
+// admission-ring transaction, so a single caller goroutine can put the
+// paper's queue depth in flight with one call instead of one ring
+// hand-off (and one potential wakeup) per operation. The staged
+// operations complete as a group: Wait returns once every one of them
+// has finished.
+//
+// Usage: stage with Put/Get/... (each returns the operation's index),
+// Commit (or TryCommit), Wait, read results by index, then Release. A
+// released Batch must not be reused; call DB.NewBatch again — it is
+// pooled, so the steady state allocates nothing.
+//
+// A Batch is not safe for concurrent use by multiple goroutines.
+type Batch struct {
+	db        *DB
+	ops       []*core.Op
+	handles   []*Handle
+	committed bool
+}
+
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// NewBatch returns an empty batch bound to db.
+func (db *DB) NewBatch() *Batch {
+	b := batchPool.Get().(*Batch)
+	b.db = db
+	b.committed = false
+	return b
+}
+
+// add stages one operation and returns its index.
+func (b *Batch) add(op *core.Op) int {
+	h := acquireHandle()
+	op.Done = h.doneFn
+	b.ops = append(b.ops, op)
+	b.handles = append(b.handles, h)
+	return len(b.handles) - 1
+}
+
+// Put stages an insert-or-replace and returns its index.
+func (b *Batch) Put(key uint64, value []byte) int {
+	return b.add(core.AcquireOp().InitInsert(key, value))
+}
+
+// Get stages a point lookup and returns its index.
+func (b *Batch) Get(key uint64) int {
+	return b.add(core.AcquireOp().InitSearch(key))
+}
+
+// Update stages a replace-if-present and returns its index.
+func (b *Batch) Update(key uint64, value []byte) int {
+	return b.add(core.AcquireOp().InitUpdate(key, value))
+}
+
+// Delete stages a delete and returns its index.
+func (b *Batch) Delete(key uint64) int {
+	return b.add(core.AcquireOp().InitDelete(key))
+}
+
+// Scan stages a range scan over [lo, hi] (limit <= 0 = unlimited) and
+// returns its index.
+func (b *Batch) Scan(lo, hi uint64, limit int) int {
+	return b.add(core.AcquireOp().InitRange(lo, hi, limit))
+}
+
+// Sync stages a sync and returns its index.
+func (b *Batch) Sync() int {
+	return b.add(core.AcquireOp().InitSync())
+}
+
+// Len returns the number of staged operations.
+func (b *Batch) Len() int { return len(b.handles) }
+
+// Commit admits every staged operation in order as one transaction on
+// the admission ring. If the ring is full it blocks until the working
+// thread frees space (backpressure). Commit may be called once; after it
+// the batch only serves Wait, the accessors and Release.
+func (b *Batch) Commit() error {
+	if b.committed {
+		panic("patree: Batch.Commit called twice")
+	}
+	if len(b.ops) == 0 {
+		b.committed = true
+		return nil
+	}
+	b.db.mu.RLock()
+	if b.db.closed {
+		b.db.mu.RUnlock()
+		return ErrClosed
+	}
+	b.db.tree.AdmitBatch(b.ops)
+	b.db.mu.RUnlock()
+	b.finishCommit()
+	return nil
+}
+
+// TryCommit is Commit without blocking: if the admission ring cannot
+// accept the whole batch as one contiguous transaction right now it
+// returns ErrBacklog and admits nothing — the batch stays staged and may
+// be retried.
+func (b *Batch) TryCommit() error {
+	if b.committed {
+		panic("patree: Batch.TryCommit after Commit")
+	}
+	if len(b.ops) == 0 {
+		b.committed = true
+		return nil
+	}
+	b.db.mu.RLock()
+	if b.db.closed {
+		b.db.mu.RUnlock()
+		return ErrClosed
+	}
+	err := b.db.tree.TryAdmitBatch(b.ops)
+	b.db.mu.RUnlock()
+	if err != nil {
+		return mapErr(err)
+	}
+	b.finishCommit()
+	return nil
+}
+
+// finishCommit drops the admitted ops: they are owned by the tree now
+// and will be released by their completions, so the batch must not keep
+// references past this point.
+func (b *Batch) finishCommit() {
+	b.committed = true
+	for i := range b.ops {
+		b.ops[i] = nil
+	}
+	b.ops = b.ops[:0]
+}
+
+// Wait blocks until every committed operation has completed and returns
+// the first error among them in staging order (nil if all succeeded).
+func (b *Batch) Wait() error {
+	if !b.committed {
+		panic("patree: Batch.Wait before Commit")
+	}
+	var first error
+	for _, h := range b.handles {
+		if err := h.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Err waits for operation i and returns its error.
+func (b *Batch) Err(i int) error { return b.handles[i].Err() }
+
+// Found waits for operation i and reports whether its key existed.
+func (b *Batch) Found(i int) bool { return b.handles[i].Found() }
+
+// Value waits for operation i and returns its point-lookup value.
+func (b *Batch) Value(i int) []byte { return b.handles[i].Value() }
+
+// Pairs waits for operation i and returns its range-scan results.
+func (b *Batch) Pairs(i int) []KV { return b.handles[i].Pairs() }
+
+// Release waits for any committed operations, then returns the batch,
+// its handles and any never-committed operations to their pools. Result
+// slices previously returned by the accessors stay valid.
+func (b *Batch) Release() {
+	// Ops still staged (commit never happened, or failed with
+	// ErrClosed/ErrBacklog): nothing is in flight, reclaim directly.
+	for i, o := range b.ops {
+		o.Release()
+		b.ops[i] = nil
+	}
+	b.ops = b.ops[:0]
+	for i, h := range b.handles {
+		if b.committed {
+			h.Release()
+		} else {
+			h.abandon()
+		}
+		b.handles[i] = nil
+	}
+	b.handles = b.handles[:0]
+	b.db = nil
+	b.committed = false
+	batchPool.Put(b)
+}

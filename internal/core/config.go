@@ -114,6 +114,11 @@ type Config struct {
 	BufferPages int
 	// QueueDepth is the submission queue depth to allocate.
 	QueueDepth int
+	// InboxDepth bounds the admission ring (rounded up to a power of two;
+	// default 4096). A full ring is backpressure: Admit blocks and
+	// TryAdmit returns ErrBacklog. In simulated environments the offered
+	// concurrency must stay below this bound (see Tree.Admit).
+	InboxDepth int
 	// Policy is the probe/yield policy; nil selects the workload-aware
 	// policy with the package-default trained model and 50µs yield
 	// granularity.
@@ -135,6 +140,9 @@ type Config struct {
 func (c Config) WithDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 2048
+	}
+	if c.InboxDepth <= 0 {
+		c.InboxDepth = 4096
 	}
 	if c.Costs == (CostModel{}) {
 		c.Costs = DefaultCosts()

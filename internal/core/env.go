@@ -6,6 +6,7 @@
 package core
 
 import (
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -46,17 +47,21 @@ func (e SimEnv) Sleep(d time.Duration) { e.T.Sleep(d) }
 func (e SimEnv) CPU() *metrics.CPUAccount { return &e.T.CPU }
 
 // RealEnv is the wall-clock environment used by the examples: Work only
-// accounts (the real CPU cost is whatever the host spends), Sleep calls
-// time.Sleep, and Now is time since construction.
+// accounts (the real CPU cost is whatever the host spends), Sleep parks
+// on a wakeable timer, and Now is time since construction.
 type RealEnv struct {
 	start   time.Time
 	account *metrics.CPUAccount
+	wake    chan struct{}
+	// timer is reused across Sleeps (Sleep is only called by the working
+	// thread), so an idle-yielding worker allocates nothing per yield.
+	timer   *time.Timer
 	stopped atomic.Bool
 }
 
 // NewRealEnv returns a wall-clock environment starting now.
 func NewRealEnv() *RealEnv {
-	return &RealEnv{start: time.Now(), account: &metrics.CPUAccount{}}
+	return &RealEnv{start: time.Now(), account: &metrics.CPUAccount{}, wake: make(chan struct{}, 1)}
 }
 
 // Now implements Env.
@@ -65,8 +70,52 @@ func (e *RealEnv) Now() sim.Time { return sim.Time(time.Since(e.start)) }
 // Work implements Env.
 func (e *RealEnv) Work(cat metrics.CPUCategory, d time.Duration) { e.account.Charge(cat, d) }
 
-// Sleep implements Env.
-func (e *RealEnv) Sleep(d time.Duration) { time.Sleep(d) }
+// Sleep implements Env: it parks for d but returns early on Wake, so a
+// yielding working thread reacts to a fresh admission immediately
+// instead of finishing its yield quantum (admission-aware wakeup).
+func (e *RealEnv) Sleep(d time.Duration) {
+	if e.timer == nil {
+		e.timer = time.NewTimer(d)
+	} else {
+		e.timer.Reset(d)
+	}
+	select {
+	case <-e.timer.C:
+	case <-e.wake:
+		// Disarm for the next Reset; if the timer fired concurrently its
+		// token is guaranteed to reach the buffered channel — consume it.
+		if !e.timer.Stop() {
+			<-e.timer.C
+		}
+	}
+}
+
+// Wake interrupts a concurrent (or the next) Sleep or SpinWait. It
+// never blocks and coalesces: any number of wakes before the sleeper
+// looks collapse into one. Safe from any goroutine.
+func (e *RealEnv) Wake() {
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+// SpinWait busy-polls for up to d, returning early on Wake. It is the
+// polled-mode alternative to Sleep for yields below OS timer
+// resolution: a 20µs timer sleep on a mainstream kernel routinely
+// overshoots past a millisecond, which would put the timer — not the
+// device — on the I/O completion path.
+func (e *RealEnv) SpinWait(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		select {
+		case <-e.wake:
+			return
+		default:
+		}
+		runtime.Gosched()
+	}
+}
 
 // CPU implements Env.
 func (e *RealEnv) CPU() *metrics.CPUAccount { return e.account }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/patree/patree/internal/buffer"
 	"github.com/patree/patree/internal/latch"
@@ -29,7 +30,15 @@ const (
 	// KindSync flushes all buffered updates to the NVM (weak persistence)
 	// and persists the meta page; provided per §III-C.
 	KindSync
+	// KindNop traverses the full admission pipeline (ring, ready queue,
+	// completion callback) without touching the index. It exists so the
+	// pipeline's own latency and allocation overhead can be measured in
+	// isolation from tree work.
+	KindNop
 )
+
+// numKinds sizes per-kind counters.
+const numKinds = 7
 
 // String names the kind.
 func (k Kind) String() string {
@@ -46,6 +55,8 @@ func (k Kind) String() string {
 		return "delete"
 	case KindSync:
 		return "sync"
+	case KindNop:
+		return "nop"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -111,8 +122,10 @@ type writeReq struct {
 
 // Op is one in-flight index operation: its parameters, its state-machine
 // position, the latches it holds, and its pending I/O. Ops are created by
-// the constructors below, admitted with Tree.Admit, and completed via the
-// Done callback on the working thread.
+// the constructors below (or recycled via AcquireOp/Release), admitted
+// with Tree.Admit, and completed via the Done callback on the working
+// thread. After Done runs the tree holds no reference to the Op, so the
+// callback may immediately Release it back to the pool.
 type Op struct {
 	kind   Kind
 	key    uint64
@@ -124,6 +137,9 @@ type Op struct {
 	Done func(*Op)
 	// Res is the outcome; valid once Done runs.
 	Res Result
+	// Tag is an embedder-owned correlation value (e.g. a batch index).
+	// The tree never reads it; it is zeroed on Release.
+	Tag uint64
 
 	seq      uint64
 	state    opState
@@ -159,6 +175,15 @@ type Op struct {
 	syncFlushDone   bool
 
 	holdsWrite bool
+
+	// tree is the owner set at admission; pendingLatch is the single
+	// outstanding latch request (an op waits on at most one latch at a
+	// time), and grantFn is a reusable grant callback bound to this Op so
+	// latch waits allocate no closure on the hot path. grantFn is built
+	// lazily on first use and survives pool recycling.
+	tree         *Tree
+	pendingLatch heldLatch
+	grantFn      func()
 
 	// pessimistic marks an update operation's second attempt: the first
 	// descent takes shared latches on inner nodes and an exclusive latch
@@ -202,4 +227,120 @@ func NewDelete(key uint64, done func(*Op)) *Op {
 // NewSync builds a sync operation (§III-C).
 func NewSync(done func(*Op)) *Op {
 	return &Op{kind: KindSync, mode: latch.Exclusive, Done: done}
+}
+
+// NewNop builds a pipeline no-op (see KindNop).
+func NewNop(done func(*Op)) *Op {
+	return &Op{kind: KindNop, mode: latch.Shared, Done: done}
+}
+
+// ─── Pooled lifecycle ───────────────────────────────────────────────────
+//
+// The admission pipeline recycles operations: an embedder acquires an Op,
+// initializes it with one of the Init methods, sets Done, admits it, and
+// the completion callback hands the Op back with Release. The pool keeps
+// the per-op slices (held latches, modified nodes, queued writes) so a
+// steady-state operation allocates nothing on admission.
+
+var opPool = sync.Pool{New: func() any { return new(Op) }}
+
+// AcquireOp returns a cleared operation from the pool. It must be
+// initialized with exactly one Init method before admission.
+func AcquireOp() *Op { return opPool.Get().(*Op) }
+
+// Release resets o and returns it to the pool. The caller must hold the
+// only reference: call it from (or after) the Done callback, never while
+// the operation is in flight.
+func (o *Op) Release() {
+	o.reset()
+	opPool.Put(o)
+}
+
+// reset clears every field for reuse, keeping slice capacity but dropping
+// the pointers they hold so recycled ops retain no page data. grantFn
+// survives recycling: it dereferences o.tree (re-set at each admission)
+// at grant time, so one closure serves the op for its pooled lifetime.
+func (o *Op) reset() {
+	o.kind = 0
+	o.key = 0
+	o.endKey = 0
+	o.limit = 0
+	o.value = nil
+	o.Done = nil
+	o.Res = Result{}
+	o.Tag = 0
+	o.seq = 0
+	o.state = stEntry
+	o.mode = 0
+	o.depth = 0
+	o.cur = 0
+	o.curNode = nil
+	o.prevNode = nil
+	o.held = o.held[:0]
+	o.inReady = false
+	o.ioData = nil
+	o.ioFor = 0
+	o.pendingErr = nil
+	for i := range o.modified {
+		o.modified[i] = nil
+	}
+	o.modified = o.modified[:0]
+	for i := range o.writes {
+		o.writes[i] = writeReq{}
+	}
+	o.writes = o.writes[:0]
+	o.wIdx = 0
+	o.commit = nil
+	o.syncStarted = false
+	o.syncQueue = nil
+	o.syncOutstanding = 0
+	o.syncFlushSent = false
+	o.syncFlushDone = false
+	o.holdsWrite = false
+	o.tree = nil
+	o.pendingLatch = heldLatch{}
+	o.pessimistic = false
+}
+
+// InitSearch configures o as a point search and returns it.
+func (o *Op) InitSearch(key uint64) *Op {
+	o.kind, o.key, o.mode = KindSearch, key, latch.Shared
+	return o
+}
+
+// InitRange configures o as a range scan over [lo, hi]; limit <= 0 means
+// unlimited.
+func (o *Op) InitRange(lo, hi uint64, limit int) *Op {
+	o.kind, o.key, o.endKey, o.limit, o.mode = KindRange, lo, hi, limit, latch.Shared
+	return o
+}
+
+// InitInsert configures o as an insert-or-replace.
+func (o *Op) InitInsert(key uint64, value []byte) *Op {
+	o.kind, o.key, o.value, o.mode = KindInsert, key, value, latch.Exclusive
+	return o
+}
+
+// InitUpdate configures o as a replace-if-present.
+func (o *Op) InitUpdate(key uint64, value []byte) *Op {
+	o.kind, o.key, o.value, o.mode = KindUpdate, key, value, latch.Exclusive
+	return o
+}
+
+// InitDelete configures o as a delete.
+func (o *Op) InitDelete(key uint64) *Op {
+	o.kind, o.key, o.mode = KindDelete, key, latch.Exclusive
+	return o
+}
+
+// InitSync configures o as a sync (§III-C).
+func (o *Op) InitSync() *Op {
+	o.kind, o.mode = KindSync, latch.Exclusive
+	return o
+}
+
+// InitNop configures o as a pipeline no-op (see KindNop).
+func (o *Op) InitNop() *Op {
+	o.kind, o.mode = KindNop, latch.Shared
+	return o
 }

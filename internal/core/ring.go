@@ -1,0 +1,127 @@
+package core
+
+import "sync/atomic"
+
+// opRing is a bounded multi-producer single-consumer queue of operations:
+// the admission inbox between embedder goroutines (or simulation
+// callbacks) and the working thread. It is a Vyukov-style sequence-number
+// ring: producers claim slots by CAS on head and publish them by storing
+// the slot's sequence; the single consumer pops in strict claim order, so
+// admission stays FIFO even under concurrent producers.
+//
+// Unlike the mutex-guarded slice it replaces, the ring is bounded — a
+// full ring is backpressure, surfaced to embedders as ErrBacklog or as a
+// blocking Admit — and admission on the fast path costs one CAS and two
+// atomic stores, with zero allocations.
+type opRing struct {
+	mask  uint64
+	slots []ringSlot
+	_     [64]byte // keep head off the slots' cache lines
+	head  atomic.Uint64
+	_     [64]byte // producers (head) and consumer (tail) do not false-share
+	tail  uint64   // touched only by the consumer
+}
+
+// ringSlot pairs an operation with its publication sequence.
+type ringSlot struct {
+	seq atomic.Uint64
+	op  *Op
+	_   [48]byte // one slot per cache line: producers publish independently
+}
+
+// newOpRing returns a ring with capacity rounded up to a power of two.
+func newOpRing(capacity int) *opRing {
+	c := 8
+	for c < capacity {
+		c <<= 1
+	}
+	r := &opRing{mask: uint64(c - 1), slots: make([]ringSlot, c)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the ring capacity.
+func (r *opRing) Cap() int { return len(r.slots) }
+
+// TryPush claims one slot and publishes o. It returns false when the ring
+// is full. Safe to call from any number of goroutines.
+func (r *opRing) TryPush(o *Op) bool {
+	for {
+		pos := r.head.Load()
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch d := int64(seq - pos); {
+		case d == 0:
+			if r.head.CompareAndSwap(pos, pos+1) {
+				slot.op = o
+				slot.seq.Store(pos + 1)
+				return true
+			}
+		case d < 0:
+			return false // the slot is still occupied by the previous lap
+		}
+		// d > 0: another producer claimed pos between our loads; retry.
+	}
+}
+
+// TryPushN claims len(ops) contiguous slots in one transaction and
+// publishes them in order, so a batch is admitted atomically with respect
+// to other producers: no foreign operation interleaves into the batch.
+// It returns false without side effects when the ring lacks room (a batch
+// larger than the ring can never succeed).
+func (r *opRing) TryPushN(ops []*Op) bool {
+	n := uint64(len(ops))
+	if n == 0 {
+		return true
+	}
+	if n > uint64(len(r.slots)) {
+		return false
+	}
+	for {
+		pos := r.head.Load()
+		// With a single consumer, slots free in strict order: if the last
+		// slot of the span is free for this lap, every earlier one is too.
+		last := &r.slots[(pos+n-1)&r.mask]
+		seq := last.seq.Load()
+		switch d := int64(seq - (pos + n - 1)); {
+		case d == 0:
+			if r.head.CompareAndSwap(pos, pos+n) {
+				for i, o := range ops {
+					slot := &r.slots[(pos+uint64(i))&r.mask]
+					slot.op = o
+					slot.seq.Store(pos + uint64(i) + 1)
+				}
+				return true
+			}
+		case d < 0:
+			return false // not enough room for the whole batch
+		}
+	}
+}
+
+// Pop removes the oldest published operation. It must only be called by
+// the single consumer. A claimed-but-unpublished slot reads as empty, so
+// Pop never reorders past an in-flight producer.
+func (r *opRing) Pop() (*Op, bool) {
+	pos := r.tail
+	slot := &r.slots[pos&r.mask]
+	seq := slot.seq.Load()
+	if int64(seq-(pos+1)) < 0 {
+		return nil, false
+	}
+	o := slot.op
+	slot.op = nil
+	slot.seq.Store(pos + r.mask + 1)
+	r.tail = pos + 1
+	return o, true
+}
+
+// Empty reports whether no operation is published or being published.
+// Claimed-but-unpublished slots count as occupied, so a false Empty is
+// never returned while a producer is mid-admission. Consumer-side only.
+func (r *opRing) Empty() bool { return r.head.Load() == r.tail }
+
+// Len approximates the number of queued operations (consumer-side).
+func (r *opRing) Len() int { return int(r.head.Load() - r.tail) }

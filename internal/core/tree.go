@@ -3,7 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -29,9 +29,13 @@ var ErrValueTooLarge = storage.ErrValueTooLarge
 // ErrStopped is returned for operations admitted after Stop.
 var ErrStopped = errors.New("core: tree stopped")
 
+// ErrBacklog is returned by TryAdmit/TryAdmitBatch when the bounded
+// admission ring is full — backpressure the embedder can react to.
+var ErrBacklog = errors.New("core: admission ring full")
+
 // Stats aggregates the tree-side measurements the experiments report.
 type Stats struct {
-	Completed       [6]uint64 // by Kind
+	Completed       [numKinds]uint64 // by Kind
 	Latency         *metrics.Histogram
 	SearchLatency   *metrics.Histogram
 	UpdateLatency   *metrics.Histogram
@@ -40,6 +44,9 @@ type Stats struct {
 	CompletionsSeen uint64
 	Yields          uint64
 	YieldTime       time.Duration
+	// AdmitWaits counts blocking Admit calls that found the ring full and
+	// had to back off at least once (backpressure events).
+	AdmitWaits uint64
 	// IdleSpinTime is CPU burned busy-polling with nothing to do; it is
 	// charged to the "others" category and reported separately so the
 	// Figure 9 / Table II attribution can exclude it (perf-style cycle
@@ -50,10 +57,15 @@ type Stats struct {
 	Splits          uint64
 }
 
-// TotalOps returns the number of completed operations.
+// TotalOps returns the number of completed index operations. Pipeline
+// no-ops are excluded: they are diagnostics (and stats carriers), not
+// index work.
 func (s Stats) TotalOps() uint64 {
 	var t uint64
-	for _, c := range s.Completed {
+	for k, c := range s.Completed {
+		if Kind(k) == KindNop {
+			continue
+		}
 		t += c
 	}
 	return t
@@ -88,8 +100,19 @@ type Tree struct {
 	ready   sched.ReadyQueue
 	stalled []*Op // ops whose submission hit a full queue
 
-	inboxMu sync.Mutex
-	inbox   []*Op
+	// inbox is the bounded MPSC admission ring; admitters counts producers
+	// inside Admit between their stopped-check and their publish, so the
+	// worker never exits while an admission is in flight (an op can then
+	// neither be lost nor left waiting forever). wake, when non-nil,
+	// interrupts a real-environment idle sleep the moment work arrives.
+	inbox      *opRing
+	admitters  atomic.Int64
+	admitWaits atomic.Uint64
+	wake       func()
+	// spin, when the environment provides SpinWait, busy-polls short
+	// yields while I/O is outstanding instead of parking on an OS timer
+	// whose resolution dwarfs device latency (see Run).
+	spin    func(time.Duration)
 	stopped atomic.Bool
 	running bool
 
@@ -125,6 +148,13 @@ func New(dev nvme.Device, cfg Config, env Env, meta *storage.Meta) (*Tree, error
 		latches:   latch.NewTable(),
 		inflight:  make(map[storage.PageID][]byte),
 		policy:    cfg.Policy,
+		inbox:     newOpRing(cfg.InboxDepth),
+	}
+	if w, ok := env.(interface{ Wake() }); ok {
+		t.wake = w.Wake
+	}
+	if s, ok := env.(interface{ SpinWait(time.Duration) }); ok {
+		t.spin = s.SpinWait
 	}
 	if cfg.Persistence == WeakPersistence {
 		t.rw = buffer.NewReadWrite(cfg.BufferPages)
@@ -226,28 +256,175 @@ func (t *Tree) chargeFlush() {
 }
 
 // Admit hands an operation to the working thread. Safe to call from any
-// goroutine (real mode) or any simulation context (sim mode).
+// goroutine (real mode) or any simulation context (sim mode). When the
+// bounded admission ring is full, Admit blocks until the working thread
+// drains room (backpressure); use TryAdmit for a non-blocking variant.
 func (t *Tree) Admit(o *Op) {
+	t.admitters.Add(1)
 	o.Res.Admitted = t.now()
 	if t.stopped.Load() {
-		o.Res.Err = ErrStopped
-		o.Res.Completed = o.Res.Admitted
-		if o.Done != nil {
-			o.Done(o)
-		}
+		t.admitters.Add(-1)
+		t.failAdmit(o)
 		return
 	}
-	t.inboxMu.Lock()
-	t.inbox = append(t.inbox, o)
-	t.inboxMu.Unlock()
+	if !t.inbox.TryPush(o) {
+		t.admitWaits.Add(1)
+		spins := 0
+		for !t.inbox.TryPush(o) {
+			if t.stopped.Load() {
+				t.admitters.Add(-1)
+				t.failAdmit(o)
+				return
+			}
+			t.admitBackoff(&spins)
+		}
+	}
+	t.admitters.Add(-1)
+	if t.wake != nil {
+		t.wake()
+	}
+}
+
+// TryAdmit is Admit without blocking: it returns ErrBacklog (touching
+// nothing) when the ring is full, and ErrStopped (after completing o with
+// that error) when the tree has stopped; nil means o was admitted.
+func (t *Tree) TryAdmit(o *Op) error {
+	t.admitters.Add(1)
+	o.Res.Admitted = t.now()
+	if t.stopped.Load() {
+		t.admitters.Add(-1)
+		t.failAdmit(o)
+		return ErrStopped
+	}
+	if !t.inbox.TryPush(o) {
+		t.admitters.Add(-1)
+		return ErrBacklog
+	}
+	t.admitters.Add(-1)
+	if t.wake != nil {
+		t.wake()
+	}
+	return nil
+}
+
+// AdmitBatch admits ops as contiguous transactions on the ring: no
+// foreign operation interleaves into a chunk, so a batch is processed as
+// a group in admission order. Batches larger than the ring are split into
+// ring-sized chunks. Like Admit it blocks under backpressure, and fails
+// every (remaining) op with ErrStopped once the tree has stopped.
+func (t *Tree) AdmitBatch(ops []*Op) {
+	t.admitters.Add(1)
+	now := t.now()
+	for _, o := range ops {
+		o.Res.Admitted = now
+	}
+	for len(ops) > 0 {
+		if t.stopped.Load() {
+			t.admitters.Add(-1)
+			for _, o := range ops {
+				t.failAdmit(o)
+			}
+			return
+		}
+		chunk := ops
+		if len(chunk) > t.inbox.Cap() {
+			chunk = chunk[:t.inbox.Cap()]
+		}
+		if !t.inbox.TryPushN(chunk) {
+			t.admitWaits.Add(1)
+			spins := 0
+			for !t.inbox.TryPushN(chunk) {
+				if t.stopped.Load() {
+					t.admitters.Add(-1)
+					for _, o := range ops {
+						t.failAdmit(o)
+					}
+					return
+				}
+				t.admitBackoff(&spins)
+			}
+		}
+		ops = ops[len(chunk):]
+	}
+	t.admitters.Add(-1)
+	if t.wake != nil {
+		t.wake()
+	}
+}
+
+// TryAdmitBatch admits ops as one contiguous ring transaction or not at
+// all: it returns ErrBacklog (touching nothing) when the ring lacks room
+// for the whole batch right now, and ErrStopped (after completing every
+// op with that error) when the tree has stopped.
+func (t *Tree) TryAdmitBatch(ops []*Op) error {
+	if len(ops) > t.inbox.Cap() {
+		return ErrBacklog
+	}
+	t.admitters.Add(1)
+	now := t.now()
+	for _, o := range ops {
+		o.Res.Admitted = now
+	}
+	if t.stopped.Load() {
+		t.admitters.Add(-1)
+		for _, o := range ops {
+			t.failAdmit(o)
+		}
+		return ErrStopped
+	}
+	if !t.inbox.TryPushN(ops) {
+		t.admitters.Add(-1)
+		return ErrBacklog
+	}
+	t.admitters.Add(-1)
+	if t.wake != nil {
+		t.wake()
+	}
+	return nil
+}
+
+// failAdmit completes an operation that cannot be admitted.
+func (t *Tree) failAdmit(o *Op) {
+	o.Res.Err = ErrStopped
+	o.Res.Completed = o.Res.Admitted
+	if o.Done != nil {
+		o.Done(o)
+	}
+}
+
+// admitBackoff parks a producer blocked on a full ring. Only the real
+// environment can legitimately reach it: there the worker drains the ring
+// concurrently. In the cooperative simulation the worker cannot run while
+// the admitting callback spins, so a full ring there is a configuration
+// error (raise Config.InboxDepth above the offered concurrency) and is
+// reported as such rather than deadlocking silently.
+func (t *Tree) admitBackoff(spins *int) {
+	*spins++
+	if t.wake == nil && *spins > 1<<20 {
+		panic("core: admission ring full in a simulated environment; raise Config.InboxDepth")
+	}
+	if *spins%64 == 0 {
+		time.Sleep(time.Microsecond)
+	} else {
+		runtime.Gosched()
+	}
 }
 
 // Stop makes Run return once all admitted operations have completed.
-func (t *Tree) Stop() { t.stopped.Store(true) }
+func (t *Tree) Stop() {
+	t.stopped.Store(true)
+	if t.wake != nil {
+		t.wake()
+	}
+}
 
 // StatsSnapshot returns a copy of the tree statistics (histograms are
 // shared references; treat as read-only).
-func (t *Tree) StatsSnapshot() Stats { return t.stats }
+func (t *Tree) StatsSnapshot() Stats {
+	st := t.stats
+	st.AdmitWaits = t.admitWaits.Load()
+	return st
+}
 
 // ResetStats zeroes counters and histograms (used by the harness to
 // exclude warm-up).
@@ -284,13 +461,19 @@ func (t *Tree) NumKeys() uint64 { return t.numKeys }
 func (t *Tree) Height() int { return t.height }
 
 func (t *Tree) drainInbox() {
-	t.inboxMu.Lock()
-	batch := t.inbox
-	t.inbox = nil
-	t.inboxMu.Unlock()
-	for _, o := range batch {
+	drained := 0
+	for {
+		o, ok := t.inbox.Pop()
+		if !ok {
+			break
+		}
+		drained++
 		t.seq++
 		o.seq = t.seq
+		o.tree = t
+		if o.grantFn == nil {
+			o.grantFn = func() { o.tree.grantLatch(o) }
+		}
 		o.state = stEntry
 		if o.kind == KindSync {
 			o.state = stSyncRun
@@ -302,14 +485,12 @@ func (t *Tree) drainInbox() {
 		t.liveSet[o.seq] = o
 		t.pushReady(o)
 	}
+	if drained > 0 {
+		t.policy.OnAdmit(drained, t.now())
+	}
 }
 
-func (t *Tree) inboxEmpty() bool {
-	t.inboxMu.Lock()
-	n := len(t.inbox)
-	t.inboxMu.Unlock()
-	return n == 0
-}
+func (t *Tree) inboxEmpty() bool { return t.inbox.Empty() }
 
 // pushReady moves an op into the ready set (idempotent).
 func (t *Tree) pushReady(o *Op) {
@@ -347,14 +528,28 @@ func (t *Tree) Run() {
 		t.resubmitStalled()
 		t.charge(metrics.CatSched, costs.SchedStep)
 		if !progressed && t.ready.Len() == 0 && t.inboxEmpty() {
-			if t.stopped.Load() && t.liveOps == 0 {
+			// Exit order matters: admitters is read before re-checking the
+			// ring so a producer that published between the two reads is
+			// seen either via its admitters hold or via the ring itself.
+			if t.stopped.Load() && t.liveOps == 0 &&
+				t.admitters.Load() == 0 && t.inboxEmpty() {
 				break
 			}
 			if y := t.policy.YieldFor(t.now(), t.ioBlocked); y > 0 {
 				t.chargeFlush()
 				t.stats.Yields++
 				t.stats.YieldTime += y
-				t.env.Sleep(y)
+				if t.ioBlocked > 0 && t.spin != nil {
+					// Completions are imminent (device latency is well
+					// under a timer tick): poll instead of parking, or the
+					// OS timer becomes the I/O completion path. This is
+					// the polled-mode behaviour the paper's design
+					// assumes; a true idle (no I/O outstanding) still
+					// parks below and is woken by admission.
+					t.spin(y)
+				} else {
+					t.env.Sleep(y)
+				}
 			} else {
 				// Busy-poll: burn a spin quantum so virtual time advances
 				// (this is the CPU waste Figure 13 quantifies).
@@ -366,6 +561,16 @@ func (t *Tree) Run() {
 	}
 	t.running = false
 	t.chargeFlush()
+	// Defensive sweep: the admitters protocol means no op should remain,
+	// but anything that somehow does must fail rather than strand a
+	// waiter.
+	for {
+		o, ok := t.inbox.Pop()
+		if !ok {
+			break
+		}
+		t.failAdmit(o)
+	}
 }
 
 // PollerPolicy returns the probe policy a dedicated polling thread should
@@ -461,6 +666,11 @@ func (t *Tree) process(o *Op) {
 		}
 		switch o.state {
 		case stEntry:
+			if o.kind == KindNop {
+				// Pipeline no-op: complete without touching the index.
+				t.finishOp(o)
+				return
+			}
 			o.cur = t.rootID
 			o.depth = 0
 			o.prevNode = nil
@@ -501,6 +711,18 @@ func (t *Tree) process(o *Op) {
 				}
 			}
 			o.ioData = nil
+			if o.kind == KindSearch {
+				// Point lookups never mutate, so they read the sealed page
+				// image directly instead of materializing a Node — the
+				// binary search runs over the encoded slot array and only
+				// the matched value is copied out. Same page validation,
+				// same latch protocol, same CPU charge; zero decode
+				// allocations on a buffer hit.
+				if t.searchStep(o, data) {
+					return
+				}
+				continue
+			}
 			node, err := storage.DecodeNode(o.cur, data)
 			if err != nil {
 				t.failOp(o, err)
@@ -537,6 +759,31 @@ func (t *Tree) process(o *Op) {
 			panic(fmt.Sprintf("core: bad op state %d", o.state))
 		}
 	}
+}
+
+// searchStep advances a point search one level using the raw page image
+// (see the KindSearch branch in process). Returns true when the op left
+// the ready set (completed, failed, or latch-blocked on the child).
+func (t *Tree) searchStep(o *Op, data []byte) bool {
+	step, err := storage.SearchPage(data, o.key)
+	if err != nil {
+		t.failOp(o, err)
+		return true
+	}
+	t.charge(metrics.CatRealWork, t.cfg.Costs.NodeVisit)
+	if step.Leaf {
+		o.Res.Found = step.Found
+		o.Res.Value = step.Value
+		t.finishOp(o)
+		return true
+	}
+	o.cur = step.Child
+	o.depth++
+	o.state = stChildGranted
+	if !t.acquireLatch(o, step.Child, latch.Shared) {
+		return true // latch-blocked
+	}
+	return false
 }
 
 // processNode executes the index logic on o.curNode. Returns true when
@@ -1138,17 +1385,23 @@ func (t *Tree) runSync(o *Op) bool {
 // ─── Latch helpers ──────────────────────────────────────────────────────
 
 // acquireLatch requests a latch for o, returning true on immediate grant.
-// On a queued request the grant callback pushes o back to ready.
+// On a queued request the op's reusable grant callback (an op waits on at
+// most one latch at a time, so the request parameters ride in
+// o.pendingLatch rather than a fresh closure) pushes o back to ready.
 func (t *Tree) acquireLatch(o *Op, id storage.PageID, mode latch.Mode) bool {
 	t.charge(metrics.CatSync, t.cfg.Costs.LatchOp)
-	granted := t.latches.Acquire(id, mode, func() {
-		o.held = append(o.held, heldLatch{id: id, mode: mode})
-		t.pushReady(o)
-	})
+	o.pendingLatch = heldLatch{id: id, mode: mode}
+	granted := t.latches.Acquire(id, mode, o.grantFn)
 	if granted {
-		o.held = append(o.held, heldLatch{id: id, mode: mode})
+		o.held = append(o.held, o.pendingLatch)
 	}
 	return granted
+}
+
+// grantLatch is the body of every op's reusable grant callback.
+func (t *Tree) grantLatch(o *Op) {
+	o.held = append(o.held, o.pendingLatch)
+	t.pushReady(o)
 }
 
 // releaseLatch drops one held latch by id.
@@ -1231,8 +1484,8 @@ func (t *Tree) failOp(o *Op, err error) {
 
 // DebugState summarizes internal state for diagnostics.
 func (t *Tree) DebugState() string {
-	return fmt.Sprintf("live=%d ioBlocked=%d ready=%d stalled=%d bg=%d inflight=%d latchNodes=%d",
-		t.liveOps, t.ioBlocked, t.ready.Len(), len(t.stalled), len(t.bgQueue), len(t.inflight), t.latches.ActiveNodes())
+	return fmt.Sprintf("live=%d ioBlocked=%d ready=%d inbox=%d stalled=%d bg=%d inflight=%d latchNodes=%d",
+		t.liveOps, t.ioBlocked, t.ready.Len(), t.inbox.Len(), len(t.stalled), len(t.bgQueue), len(t.inflight), t.latches.ActiveNodes())
 }
 
 // DebugCounters reports push/pop counts.

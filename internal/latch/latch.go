@@ -52,7 +52,11 @@ type nodeLatch struct {
 // reclaimed when a node returns to fully-unlatched with no waiters, so the
 // table's size tracks the working set, not the tree.
 type Table struct {
-	nodes  map[storage.PageID]*nodeLatch
+	nodes map[storage.PageID]*nodeLatch
+	// free recycles reclaimed nodeLatch records (and their pending-queue
+	// capacity), so the steady-state acquire/release cycle of an
+	// uncontended node allocates nothing.
+	free   []*nodeLatch
 	grants uint64
 	waits  uint64
 }
@@ -69,7 +73,13 @@ func NewTable() *Table {
 func (t *Table) Acquire(id storage.PageID, mode Mode, grant func()) bool {
 	nl := t.nodes[id]
 	if nl == nil {
-		nl = &nodeLatch{}
+		if n := len(t.free); n > 0 {
+			nl = t.free[n-1]
+			t.free[n-1] = nil
+			t.free = t.free[:n-1]
+		} else {
+			nl = &nodeLatch{}
+		}
 		t.nodes[id] = nl
 	}
 	// First-request-first-grant: if anyone is queued, go behind them even
@@ -124,13 +134,18 @@ func (t *Table) Release(id storage.PageID, mode Mode) {
 	}
 	for len(nl.pending) > 0 && nl.admits(nl.pending[0].mode) {
 		req := nl.pending[0]
-		nl.pending = nl.pending[1:]
+		// Shift-dequeue so the slice keeps its base pointer and capacity
+		// for reuse via the free list; queues are short, the copy is cheap.
+		copy(nl.pending, nl.pending[1:])
+		nl.pending[len(nl.pending)-1] = request{}
+		nl.pending = nl.pending[:len(nl.pending)-1]
 		nl.take(req.mode)
 		t.grants++
 		req.grant()
 	}
 	if nl.r == 0 && nl.w == 0 && len(nl.pending) == 0 {
 		delete(t.nodes, id)
+		t.free = append(t.free, nl)
 	}
 }
 

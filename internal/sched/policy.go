@@ -21,6 +21,10 @@ type Policy interface {
 	OnDetected(op nvme.Opcode, submittedAt, now sim.Time)
 	// OnProbe observes that a probe was just performed.
 	OnProbe(now sim.Time)
+	// OnAdmit observes that n operations entered the admission queue
+	// since the last drain; a batch lands as one call. Policies may use
+	// it to cut a yield short when fresh work arrives.
+	OnAdmit(n int, now sim.Time)
 	// ShouldProbe reports whether to probe now, given the number of
 	// I/O-blocked operations.
 	ShouldProbe(now sim.Time, ioBlocked int) bool
@@ -51,6 +55,9 @@ func (*AlwaysProbe) OnDetected(nvme.Opcode, sim.Time, sim.Time) {}
 
 // OnProbe implements Policy.
 func (*AlwaysProbe) OnProbe(sim.Time) {}
+
+// OnAdmit implements Policy.
+func (*AlwaysProbe) OnAdmit(int, sim.Time) {}
 
 // ShouldProbe implements Policy.
 func (*AlwaysProbe) ShouldProbe(_ sim.Time, ioBlocked int) bool { return ioBlocked > 0 }
@@ -83,6 +90,9 @@ func (*FixedCycle) OnDetected(nvme.Opcode, sim.Time, sim.Time) {}
 
 // OnProbe implements Policy.
 func (p *FixedCycle) OnProbe(now sim.Time) { p.lastProbe = now }
+
+// OnAdmit implements Policy.
+func (*FixedCycle) OnAdmit(int, sim.Time) {}
 
 // ShouldProbe implements Policy.
 func (p *FixedCycle) ShouldProbe(now sim.Time, ioBlocked int) bool {
@@ -141,6 +151,9 @@ func (p *AvgLatency) OnDetected(_ nvme.Opcode, submittedAt, now sim.Time) {
 // OnProbe implements Policy.
 func (p *AvgLatency) OnProbe(now sim.Time) { p.lastProbe = now }
 
+// OnAdmit implements Policy.
+func (*AvgLatency) OnAdmit(int, sim.Time) {}
+
 // avg returns the windowed mean completion latency.
 func (p *AvgLatency) avg() time.Duration {
 	var sum, count float64
@@ -186,6 +199,14 @@ type Workload struct {
 	minInterval time.Duration
 	lastProbe   sim.Time
 	vecBuf      []float64
+
+	// admissionAware makes a fresh admission suppress yielding for one
+	// safety interval, so a batch landing right as the ready set drains is
+	// picked up immediately instead of after a full yield quantum. Off by
+	// default: the simulated experiments predate admission signals and
+	// must keep byte-identical schedules.
+	admissionAware bool
+	lastAdmit      sim.Time
 }
 
 // NewWorkload builds the workload-aware policy around a trained model.
@@ -201,6 +222,7 @@ func NewWorkload(m *probe.Model, tr *probe.Tracker, yieldGranularity time.Durati
 		batch:            4,
 		minInterval:      25 * time.Microsecond,
 		lastProbe:        -1 << 62,
+		lastAdmit:        -1 << 62,
 		vecBuf:           make([]float64, 2*m.Slices()),
 	}
 }
@@ -239,6 +261,18 @@ func (p *Workload) OnDetected(op nvme.Opcode, submittedAt, _ sim.Time) {
 // OnProbe implements Policy.
 func (p *Workload) OnProbe(now sim.Time) { p.lastProbe = now }
 
+// SetAdmissionAware toggles admission-aware yield suppression (see the
+// field comment). The real-time backend turns it on; simulated
+// experiments leave it off.
+func (p *Workload) SetAdmissionAware(on bool) { p.admissionAware = on }
+
+// OnAdmit implements Policy.
+func (p *Workload) OnAdmit(_ int, now sim.Time) {
+	if p.admissionAware {
+		p.lastAdmit = now
+	}
+}
+
 // ShouldProbe implements Policy: probe when the model predicts completed
 // I/Os are available to reap (Algorithm 2 lines 6–8). The model estimates
 // the per-slice completion rate (w0, r0) = T·β; the number available
@@ -271,6 +305,10 @@ func (p *Workload) ShouldProbe(now sim.Time, ioBlocked int) bool {
 // sleeping loses nothing and saves the CPU (Figure 13).
 func (p *Workload) YieldFor(now sim.Time, ioBlocked int) time.Duration {
 	if p.yieldGranularity <= 0 {
+		return 0
+	}
+	if p.admissionAware && now.Sub(p.lastAdmit) < p.safety {
+		// Work just landed; stay hot rather than parking for a quantum.
 		return 0
 	}
 	if ioBlocked == 0 {

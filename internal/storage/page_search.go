@@ -1,0 +1,91 @@
+package storage
+
+import "fmt"
+
+// SearchStep is the outcome of SearchPage on one page image: either the
+// next child to descend into (inner page) or the point-lookup result
+// (leaf page).
+type SearchStep struct {
+	// Leaf reports which arm of the union is valid.
+	Leaf bool
+	// Child is the page to follow next (inner pages).
+	Child PageID
+	// Found and Value are the lookup result (leaf pages). Value is a
+	// fresh copy; it does not alias buf.
+	Found bool
+	Value []byte
+}
+
+// SearchPage advances a point lookup one level directly on a sealed page
+// image, without materializing a Node: the binary search runs over the
+// encoded slot array and, on a leaf hit, only the matched value is
+// copied out. It performs the same checksum and structure validation as
+// DecodeNode for the slots it touches, and its search semantics mirror
+// Node.ChildIndex / Node.SearchLeaf exactly (the property page_search
+// tests pin down). This is the allocation-free fast path for cached
+// reads; mutating operations still decode.
+func SearchPage(buf []byte, key uint64) (SearchStep, error) {
+	if len(buf) < PageSize {
+		return SearchStep{}, fmt.Errorf("storage: short page (%d bytes)", len(buf))
+	}
+	if !checkSeal(buf[:PageSize]) {
+		return SearchStep{}, ErrCorruptPage
+	}
+	kind := buf[0]
+	level := buf[1]
+	nkeys := int(getU16(buf[2:4]))
+	switch kind {
+	case KindLeaf:
+		if level != 0 {
+			return SearchStep{}, fmt.Errorf("storage: leaf with level %d: %w", level, ErrBadKind)
+		}
+		// Binary search the slot array: slot i is at
+		// headerSize + i*slotSize = (key 8, valueOffset 2, valueLen 2).
+		lo, hi := 0, nkeys
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if getU64(buf[headerSize+mid*slotSize:]) < key {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo >= nkeys || getU64(buf[headerSize+lo*slotSize:]) != key {
+			return SearchStep{Leaf: true}, nil
+		}
+		vo := int(getU16(buf[headerSize+lo*slotSize+8:]))
+		vl := int(getU16(buf[headerSize+lo*slotSize+10:]))
+		if vo+vl > PageSize || vo < headerSize {
+			return SearchStep{}, fmt.Errorf("storage: leaf slot %d out of range", lo)
+		}
+		v := make([]byte, vl)
+		copy(v, buf[vo:vo+vl])
+		return SearchStep{Leaf: true, Found: true, Value: v}, nil
+
+	case KindInner:
+		if level == 0 {
+			return SearchStep{}, fmt.Errorf("storage: inner with level 0: %w", ErrBadKind)
+		}
+		// Separator i is at headerSize + 8 + i*innerEntry; child i+1
+		// follows it. Child 0 sits right after the header.
+		lo, hi := 0, nkeys
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if key >= getU64(buf[headerSize+8+mid*innerEntry:]) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		var child PageID
+		if lo == 0 {
+			child = PageID(getU64(buf[headerSize:]))
+		} else {
+			child = PageID(getU64(buf[headerSize+8+(lo-1)*innerEntry+8:]))
+		}
+		return SearchStep{Child: child}, nil
+
+	default:
+		return SearchStep{}, fmt.Errorf("storage: kind %d: %w", kind, ErrBadKind)
+	}
+}

@@ -1,0 +1,135 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestSearchPageMatchesDecodedLeaf pins the fast path to the decoded
+// semantics: for random leaves and probe keys, SearchPage must agree
+// with DecodeNode + SearchLeaf on presence and value.
+func TestSearchPageMatchesDecodedLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := NewLeaf(7)
+		nkeys := rng.Intn(20)
+		key := uint64(rng.Intn(50))
+		for i := 0; i < nkeys; i++ {
+			key += uint64(1 + rng.Intn(10))
+			v := make([]byte, rng.Intn(12))
+			rng.Read(v)
+			if !n.LeafFits(len(v)) {
+				break
+			}
+			n.InsertLeaf(key, v)
+		}
+		buf := n.Encode()
+		dec, err := DecodeNode(7, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 30; probe++ {
+			k := uint64(rng.Intn(int(key + 10)))
+			step, err := SearchPage(buf, k)
+			if err != nil {
+				t.Fatalf("SearchPage(%d): %v", k, err)
+			}
+			if !step.Leaf {
+				t.Fatalf("leaf page reported as inner")
+			}
+			i, found := dec.SearchLeaf(k)
+			if step.Found != found {
+				t.Fatalf("key %d: SearchPage found=%v, SearchLeaf found=%v", k, step.Found, found)
+			}
+			if found && !bytes.Equal(step.Value, dec.Vals[i]) {
+				t.Fatalf("key %d: value %x, want %x", k, step.Value, dec.Vals[i])
+			}
+		}
+	}
+}
+
+// TestSearchPageMatchesDecodedInner does the same for inner pages and
+// ChildIndex.
+func TestSearchPageMatchesDecodedInner(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := NewInner(9, 1)
+		nkeys := 1 + rng.Intn(InnerMaxKeys)
+		n.Children = append(n.Children, PageID(1000))
+		key := uint64(rng.Intn(50))
+		for i := 0; i < nkeys; i++ {
+			key += uint64(1 + rng.Intn(10))
+			n.Keys = append(n.Keys, key)
+			n.Children = append(n.Children, PageID(1001+i))
+		}
+		buf := n.Encode()
+		dec, err := DecodeNode(9, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 30; probe++ {
+			k := uint64(rng.Intn(int(key + 10)))
+			step, err := SearchPage(buf, k)
+			if err != nil {
+				t.Fatalf("SearchPage(%d): %v", k, err)
+			}
+			if step.Leaf {
+				t.Fatalf("inner page reported as leaf")
+			}
+			want := dec.Children[dec.ChildIndex(k)]
+			if step.Child != want {
+				t.Fatalf("key %d: child %d, want %d", k, step.Child, want)
+			}
+		}
+	}
+}
+
+func TestSearchPageErrors(t *testing.T) {
+	if _, err := SearchPage(make([]byte, 10), 1); err == nil {
+		t.Fatal("short page accepted")
+	}
+	n := NewLeaf(3)
+	n.InsertLeaf(5, []byte("v"))
+	buf := n.Encode()
+	buf[20] ^= 0xff // corrupt a slot byte under the checksum
+	if _, err := SearchPage(buf, 5); !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("corrupt page: err = %v, want ErrCorruptPage", err)
+	}
+	meta := make([]byte, PageSize)
+	meta[0] = KindMeta
+	seal(meta)
+	if _, err := SearchPage(meta, 5); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("meta page: err = %v, want ErrBadKind", err)
+	}
+}
+
+// BenchmarkSearchPage documents why the fast path exists: stepping a
+// lookup without decoding allocates only the value copy, where
+// DecodeNode materializes every key and value.
+func BenchmarkSearchPage(b *testing.B) {
+	n := NewLeaf(1)
+	for k := uint64(0); k < 20; k++ {
+		n.InsertLeaf(k*3, []byte("0123456789abcdef"))
+	}
+	buf := n.Encode()
+	b.Run("searchpage", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := SearchPage(buf, 30); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nd, err := DecodeNode(1, buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nd.SearchLeaf(30)
+		}
+	})
+}

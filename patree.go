@@ -19,6 +19,33 @@
 //	defer db.Close()
 //	db.Put(42, []byte("answer"))
 //	v, ok, _ := db.Get(42)
+//
+// The blocking calls admit one operation and wait for it, so a single
+// caller goroutine holds at most one operation in flight — the tree's
+// pipeline stays empty and the device idle. To reach the paper's queue
+// depths from few goroutines, use the asynchronous API: every operation
+// has an Async variant returning a *Handle future, and a Batch admits
+// many heterogeneous operations in one admission-ring transaction:
+//
+//	h := db.PutAsync(42, []byte("answer"))
+//	// ... issue more work ...
+//	err := h.Wait()
+//	h.Release()
+//
+//	b := db.NewBatch()
+//	for k := uint64(0); k < 128; k++ {
+//		b.Get(k)
+//	}
+//	b.Commit()
+//	b.Wait()
+//	v, ok := b.Value(3), b.Found(3)
+//	b.Release()
+//
+// Admission is bounded: when the inbox ring is full, Async calls and
+// Batch.Commit block until space frees, while Batch.TryCommit returns
+// ErrBacklog without admitting anything. Context-aware variants
+// (GetContext, PutContext, ...) additionally unblock on cancellation;
+// see DESIGN.md for the detach semantics.
 package patree
 
 import (
@@ -41,6 +68,11 @@ const MaxValueSize = storage.MaxValueSize
 
 // ErrClosed is returned by operations on a closed DB.
 var ErrClosed = errors.New("patree: closed")
+
+// ErrBacklog is returned by TryCommit when the admission ring cannot
+// accept the whole batch atomically — the device-side pipeline is full
+// and the caller should apply backpressure (wait, or shed load).
+var ErrBacklog = core.ErrBacklog
 
 // KV is a key/value pair returned by Scan.
 type KV = core.KV
@@ -69,6 +101,10 @@ type Options struct {
 	Persistence Persistence
 	// BufferPages is the page-cache capacity (default 4096 pages = 2 MiB).
 	BufferPages int
+	// InboxDepth bounds the admission ring (rounded up to a power of two;
+	// default 4096). A full ring blocks Async calls and Commit, and makes
+	// TryCommit return ErrBacklog.
+	InboxDepth int
 	// Format forces re-initialization even if the device already holds a
 	// tree. Devices without a valid meta page are always formatted.
 	Format bool
@@ -76,13 +112,22 @@ type Options struct {
 
 // Stats reports tree activity.
 type Stats struct {
-	Ops         uint64
-	NumKeys     uint64
-	Height      int
-	Probes      uint64
-	ReadsIssued uint64
+	Ops          uint64
+	NumKeys      uint64
+	Height       int
+	Probes       uint64
+	ReadsIssued  uint64
+	WritesIssued uint64
+	// WritesIssue mirrors WritesIssued.
+	//
+	// Deprecated: the field name was a typo; use WritesIssued. It will be
+	// removed in a future release.
 	WritesIssue uint64
-	BufferHit   float64
+	// AdmitWaits counts admissions that found the inbox ring full and had
+	// to back off — a sustained non-zero rate means callers outpace the
+	// working thread and backpressure is engaging.
+	AdmitWaits uint64
+	BufferHit  float64
 }
 
 // DB is an open PA-Tree.
@@ -92,7 +137,14 @@ type DB struct {
 	tree    *core.Tree
 	done    chan struct{}
 
-	mu     sync.Mutex
+	// mu orders admissions against Close: admitting paths hold it shared
+	// while checking closed and handing the operation to the tree, Close
+	// holds it exclusively while setting closed. An operation therefore
+	// either observes closed and fails with ErrClosed, or is fully
+	// admitted before the tree is told to stop — core.ErrStopped can never
+	// leak out of a well-ordered shutdown (and is mapped to ErrClosed
+	// defensively anyway).
+	mu     sync.RWMutex
 	closed bool
 }
 
@@ -127,9 +179,14 @@ func Open(opts Options) (*DB, error) {
 	}
 	policy := sched.NewWorkload(model, nil, 20*time.Microsecond)
 	policy.SetSafety(20 * time.Microsecond)
+	// A fresh admission cuts an idle yield short (paired with the
+	// RealEnv wakeup), so a batch landing on an idle tree is picked up
+	// immediately instead of after a yield quantum.
+	policy.SetAdmissionAware(true)
 	tree, err := core.New(dev, core.Config{
 		Persistence: opts.Persistence,
 		BufferPages: opts.BufferPages,
+		InboxDepth:  opts.InboxDepth,
 		Policy:      policy,
 	}, env, meta)
 	if err != nil {
@@ -148,86 +205,149 @@ func Open(opts Options) (*DB, error) {
 	return db, nil
 }
 
-// exec admits op and blocks until the working thread completes it.
-func (db *DB) exec(op *core.Op) (core.Result, error) {
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
-		return core.Result{}, ErrClosed
+// mapErr translates internal sentinel errors to their public forms.
+func mapErr(err error) error {
+	if errors.Is(err, core.ErrStopped) {
+		return ErrClosed
 	}
-	db.mu.Unlock()
-	ch := make(chan struct{})
-	op.Done = func(*core.Op) { close(ch) }
+	return err
+}
+
+// admit checks closed and hands op (whose Done is already set) to the
+// working thread. It holds the admission lock shared across the whole
+// hand-off; see DB.mu.
+func (db *DB) admit(op *core.Op) error {
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		op.Release()
+		return ErrClosed
+	}
 	db.tree.Admit(op)
-	<-ch
-	return op.Res, op.Res.Err
+	db.mu.RUnlock()
+	return nil
+}
+
+// exec admits op and blocks until the working thread completes it. The
+// operation and its completion handle come from pools, so the steady
+// state adds no admission-side allocation.
+func (db *DB) exec(op *core.Op) (core.Result, error) {
+	h := acquireHandle()
+	op.Done = h.doneFn
+	if err := db.admit(op); err != nil {
+		h.abandon()
+		return core.Result{}, err
+	}
+	err := h.Wait()
+	res := h.res
+	h.recycle()
+	return res, err
 }
 
 // Put inserts or replaces key.
 func (db *DB) Put(key uint64, value []byte) error {
-	_, err := db.exec(core.NewInsert(key, value, nil))
+	_, err := db.exec(core.AcquireOp().InitInsert(key, value))
 	return err
 }
 
 // Get returns the value stored under key.
 func (db *DB) Get(key uint64) ([]byte, bool, error) {
-	res, err := db.exec(core.NewSearch(key, nil))
+	res, err := db.exec(core.AcquireOp().InitSearch(key))
 	return res.Value, res.Found, err
 }
 
 // Update replaces key only if present, reporting whether it was.
 func (db *DB) Update(key uint64, value []byte) (bool, error) {
-	res, err := db.exec(core.NewUpdate(key, value, nil))
+	res, err := db.exec(core.AcquireOp().InitUpdate(key, value))
 	return res.Found, err
 }
 
 // Delete removes key, reporting whether it was present.
 func (db *DB) Delete(key uint64) (bool, error) {
-	res, err := db.exec(core.NewDelete(key, nil))
+	res, err := db.exec(core.AcquireOp().InitDelete(key))
 	return res.Found, err
 }
 
 // Scan returns pairs with keys in [lo, hi], at most limit (0 = all).
 func (db *DB) Scan(lo, hi uint64, limit int) ([]KV, error) {
-	res, err := db.exec(core.NewRange(lo, hi, limit, nil))
+	res, err := db.exec(core.AcquireOp().InitRange(lo, hi, limit))
 	return res.Pairs, err
 }
 
 // Sync flushes all buffered updates and the meta page to the device
 // (meaningful under Weak persistence; cheap under Strong).
 func (db *DB) Sync() error {
-	_, err := db.exec(core.NewSync(nil))
+	_, err := db.exec(core.AcquireOp().InitSync())
 	return err
 }
 
-// Stats snapshots activity counters.
+// Stats snapshots activity counters. The snapshot is taken on the
+// working thread (via a pipeline no-op), so it is a consistent view and
+// racing mutations are impossible; on a closed DB the final counters are
+// read directly.
 func (db *DB) Stats() Stats {
-	st := db.tree.StatsSnapshot()
+	var st core.Stats
+	var numKeys uint64
+	var height int
+	var bufHit float64
+	snap := func() {
+		st = db.tree.StatsSnapshot()
+		numKeys = db.tree.NumKeys()
+		height = db.tree.Height()
+		bufHit = db.tree.BufferStats().HitRate()
+	}
+	op := core.AcquireOp().InitNop()
+	ch := make(chan struct{})
+	op.Done = func(o *core.Op) {
+		snap()
+		o.Release()
+		close(ch)
+	}
+	if err := db.admit(op); err != nil {
+		// Closed: the worker has exited (or is exiting); wait for it and
+		// read the final counters without a concurrent writer.
+		<-db.done
+		snap()
+	} else {
+		<-ch
+	}
 	return Stats{
-		Ops:         st.TotalOps(),
-		NumKeys:     db.tree.NumKeys(),
-		Height:      db.tree.Height(),
-		Probes:      st.Probes,
-		ReadsIssued: st.ReadsIssued,
-		WritesIssue: st.WritesIssued,
-		BufferHit:   db.tree.BufferStats().HitRate(),
+		Ops:          st.TotalOps(),
+		NumKeys:      numKeys,
+		Height:       height,
+		Probes:       st.Probes,
+		ReadsIssued:  st.ReadsIssued,
+		WritesIssued: st.WritesIssued,
+		WritesIssue:  st.WritesIssued,
+		AdmitWaits:   st.AdmitWaits,
+		BufferHit:    bufHit,
 	}
 }
 
 // Close syncs (weak mode), stops the working thread and releases the
-// device if this DB created it. Safe to call twice.
+// device if this DB created it. Safe to call twice, and safe against
+// concurrent operations: anything admitted before Close wins the
+// admission lock completes normally; anything after fails with
+// ErrClosed.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
 		return nil
 	}
-	db.mu.Unlock()
-	// Persist buffered state before shutdown.
-	syncErr := db.Sync()
-	db.mu.Lock()
+	// Mark closed before the final sync, not after it: new admissions are
+	// refused from this point, so nothing can slip into the inbox between
+	// the sync and Stop and then complete with a surprising error.
 	db.closed = true
 	db.mu.Unlock()
+	// Persist buffered state before shutdown. closed is already set, so
+	// this sync is admitted directly rather than through db.admit.
+	h := acquireHandle()
+	op := core.AcquireOp().InitSync()
+	op.Done = h.doneFn
+	db.tree.Admit(op)
+	syncErr := h.Wait()
+	h.recycle()
 	db.tree.Stop()
 	// Wake the worker in case it is idle-yielding with nothing admitted.
 	select {

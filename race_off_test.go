@@ -1,0 +1,7 @@
+//go:build !race
+
+package patree
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-sensitive throughput assertions skip themselves under it.
+const raceEnabled = false
