@@ -17,8 +17,12 @@ import (
 const benchWindow = 128
 
 func benchDB(b *testing.B) *DB {
+	return benchDBOpts(b, Options{DeviceBlocks: 1 << 16})
+}
+
+func benchDBOpts(b *testing.B, opts Options) *DB {
 	b.Helper()
-	db, err := Open(Options{DeviceBlocks: 1 << 16})
+	db, err := Open(opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -70,6 +74,31 @@ func BenchmarkGetAsync(b *testing.B) {
 
 func BenchmarkGetBatch(b *testing.B) {
 	db := benchDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; {
+		bt := db.NewBatch()
+		for j := 0; j < benchWindow && i < b.N; j++ {
+			bt.Get(uint64(i) % 4096)
+			i++
+		}
+		if err := bt.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		if err := bt.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		bt.Release()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e3, "Kops/s")
+}
+
+// BenchmarkGetBatchTraced is BenchmarkGetBatch with the lifecycle
+// tracer on — committed evidence of what Options.Trace costs. Compare
+// the two to see the tracing overhead; with Trace off the pipeline runs
+// the exact BenchmarkGetBatch numbers (tracing is a nil check).
+func BenchmarkGetBatchTraced(b *testing.B) {
+	db := benchDBOpts(b, Options{DeviceBlocks: 1 << 16, Trace: true})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; {

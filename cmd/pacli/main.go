@@ -10,13 +10,25 @@
 //	> stats
 //	...
 //
-// Commands: put <key> <value> | get <key> | del <key> | scan <lo> <hi>
-// [limit] | sync | stats | help | quit. Reads stdin, so it also works as
-// a batch processor: `pacli < script.txt`.
+// Shell commands: put <key> <value> | get <key> | del <key> | scan <lo>
+// <hi> [limit] | sync | stats | metrics | help | quit. Reads stdin, so
+// it also works as a batch processor: `pacli < script.txt`.
+//
+// Two observability subcommands run a self-contained mixed workload
+// instead of the shell:
+//
+//	pacli stats [-n ops]            run the workload, print the full
+//	                                metrics snapshot (stage latency
+//	                                breakdown, CPU categories, probe
+//	                                model accuracy)
+//	pacli trace [-n ops] [-o file]  same workload with the lifecycle
+//	                                tracer on; exports Chrome trace-event
+//	                                JSON for Perfetto / chrome://tracing
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -26,6 +38,112 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "stats":
+			os.Exit(runStats(os.Args[2:]))
+		case "trace":
+			os.Exit(runTrace(os.Args[2:]))
+		}
+	}
+	runShell()
+}
+
+// demoWorkload drives a mixed batched workload through db: bulk load,
+// batched point reads, updates, scans and deletes, then a sync. It
+// exercises every pipeline stage (inbox, ready queue, latches, reads,
+// write-backs) so the exported metrics and traces have something to say.
+func demoWorkload(db *patree.DB, n int) error {
+	const batch = 128
+	val := []byte("pacli-demo-value-0123456789abcdef")
+	for lo := 0; lo < n; lo += batch {
+		b := db.NewBatch()
+		for k := lo; k < lo+batch && k < n; k++ {
+			b.Put(uint64(k), val)
+		}
+		if err := b.Commit(); err != nil {
+			return err
+		}
+		b.Wait()
+		b.Release()
+	}
+	for lo := 0; lo < n; lo += batch {
+		b := db.NewBatch()
+		for k := lo; k < lo+batch && k < n; k++ {
+			switch k % 8 {
+			case 0:
+				b.Put(uint64(k), val)
+			case 1:
+				b.Delete(uint64(k))
+			case 2:
+				b.Scan(uint64(k), uint64(k+16), 8)
+			default:
+				b.Get(uint64(k))
+			}
+		}
+		if err := b.Commit(); err != nil {
+			return err
+		}
+		b.Wait()
+		b.Release()
+	}
+	return db.Sync()
+}
+
+func runStats(args []string) int {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	n := fs.Int("n", 1<<16, "operations to run before snapshotting")
+	fs.Parse(args)
+	db, err := patree.Open(patree.Options{Persistence: patree.Weak})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		return 1
+	}
+	defer db.Close()
+	if err := demoWorkload(db, *n); err != nil {
+		fmt.Fprintln(os.Stderr, "workload:", err)
+		return 1
+	}
+	fmt.Print(patree.FormatMetrics(db.Metrics()))
+	return 0
+}
+
+func runTrace(args []string) int {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	n := fs.Int("n", 1<<14, "operations to run while tracing")
+	out := fs.String("o", "patree-trace.json", "output file for Chrome trace JSON")
+	fs.Parse(args)
+	db, err := patree.Open(patree.Options{Persistence: patree.Weak, Trace: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		return 1
+	}
+	defer db.Close()
+	if err := demoWorkload(db, *n); err != nil {
+		fmt.Fprintln(os.Stderr, "workload:", err)
+		return 1
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "create:", err)
+		return 1
+	}
+	if err := db.WriteTrace(f); err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		f.Close()
+		return 1
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "close:", err)
+		return 1
+	}
+	m := db.Metrics()
+	fmt.Printf("wrote %s (%d events emitted); open in ui.perfetto.dev or chrome://tracing\n",
+		*out, m.TraceEvents)
+	return 0
+}
+
+func runShell() {
 	db, err := patree.Open(patree.Options{Persistence: patree.Weak})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)
@@ -53,7 +171,7 @@ func main() {
 		case "quit", "exit":
 			return
 		case "help":
-			fmt.Println("put <key> <value> | get <key> | del <key> | scan <lo> <hi> [limit] | sync | stats | quit")
+			fmt.Println("put <key> <value> | get <key> | del <key> | scan <lo> <hi> [limit] | sync | stats | metrics | quit")
 		case "put":
 			if len(fields) < 3 {
 				fmt.Println("usage: put <key> <value>")
@@ -124,7 +242,9 @@ func main() {
 		case "stats":
 			st := db.Stats()
 			fmt.Printf("keys=%d height=%d ops=%d reads=%d writes=%d probes=%d bufferHit=%.1f%%\n",
-				st.NumKeys, st.Height, st.Ops, st.ReadsIssued, st.WritesIssue, st.Probes, st.BufferHit*100)
+				st.NumKeys, st.Height, st.Ops, st.ReadsIssued, st.WritesIssued, st.Probes, st.BufferHit*100)
+		case "metrics":
+			fmt.Print(patree.FormatMetrics(db.Metrics()))
 		default:
 			fmt.Printf("unknown command %q; try help\n", fields[0])
 		}

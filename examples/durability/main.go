@@ -31,12 +31,12 @@ func main() {
 		}
 	}
 	st := db.Stats()
-	fmt.Printf("weak mode: 1000 updates to one key issued %d device writes before Sync\n", st.WritesIssue)
+	fmt.Printf("weak mode: 1000 updates to one key issued %d device writes before Sync\n", st.WritesIssued)
 	if err := db.Sync(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("after Sync: %d device writes total (repeated updates merged — the write-amplification saving of §III-C)\n",
-		db.Stats().WritesIssue)
+		db.Stats().WritesIssued)
 	if err := db.Close(); err != nil {
 		log.Fatal(err)
 	}
@@ -54,12 +54,12 @@ func main() {
 	fmt.Printf("reopened tree sees %q\n", v)
 
 	// Strong persistence: every update is durable when Put returns.
-	before := db2.Stats().WritesIssue
+	before := db2.Stats().WritesIssued
 	for i := 0; i < 100; i++ {
 		if err := db2.Put(uint64(100+i), []byte("durable")); err != nil {
 			log.Fatal(err)
 		}
 	}
 	fmt.Printf("strong mode: 100 inserts issued %d device writes (>= one per update)\n",
-		db2.Stats().WritesIssue-before)
+		db2.Stats().WritesIssued-before)
 }

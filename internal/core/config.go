@@ -5,6 +5,7 @@ import (
 
 	"github.com/patree/patree/internal/probe"
 	"github.com/patree/patree/internal/sched"
+	"github.com/patree/patree/internal/trace"
 )
 
 // Persistence selects the buffering mode of §III-C.
@@ -134,6 +135,12 @@ type Config struct {
 	Costs CostModel
 	// MaxProbeBatch bounds completions reaped per probe (0 = unlimited).
 	MaxProbeBatch int
+	// Tracer, when non-nil, receives lifecycle events (admission, queue
+	// and latch waits, I/O slices, completions, probes, yields) from the
+	// working thread. Build one with NewTracer so events carry the tree's
+	// code and kind name tables. Tracing is pure observation: it never
+	// charges CPU, so simulated schedules are identical with it on or off.
+	Tracer *trace.Tracer
 }
 
 // WithDefaults fills zero fields.

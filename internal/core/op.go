@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/patree/patree/internal/buffer"
 	"github.com/patree/patree/internal/latch"
@@ -185,6 +186,20 @@ type Op struct {
 	pendingLatch heldLatch
 	grantFn      func()
 
+	// Stage-timing observability (see Stats.Stages). enqueuedAt is the
+	// only producer-written field: it is stamped immediately before the
+	// ring publish, whose release-store makes it visible to the worker
+	// with the rest of the op. Everything below it is worker-only. The
+	// Duration fields accumulate because an op re-enters the ready queue
+	// (and may wait on latches or I/O) several times in its life.
+	enqueuedAt sim.Time
+	drainedAt  sim.Time
+	readyAt    sim.Time
+	latchFrom  sim.Time
+	queueWait  time.Duration
+	latchWait  time.Duration
+	ioWait     time.Duration
+
 	// pessimistic marks an update operation's second attempt: the first
 	// descent takes shared latches on inner nodes and an exclusive latch
 	// only on the leaf (optimistic latch coupling, per Bayer & Schkolnick
@@ -299,6 +314,13 @@ func (o *Op) reset() {
 	o.holdsWrite = false
 	o.tree = nil
 	o.pendingLatch = heldLatch{}
+	o.enqueuedAt = 0
+	o.drainedAt = 0
+	o.readyAt = 0
+	o.latchFrom = 0
+	o.queueWait = 0
+	o.latchWait = 0
+	o.ioWait = 0
 	o.pessimistic = false
 }
 

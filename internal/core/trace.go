@@ -1,0 +1,40 @@
+package core
+
+import "github.com/patree/patree/internal/trace"
+
+// Trace event codes emitted by the working thread. Each code renders as
+// its own track in the Chrome trace export; the class dimension carries
+// the operation kind (or classNone for events not tied to one op).
+const (
+	tcAdmitWait = iota // slice: producer blocked on a full admission ring
+	tcInbox            // slice: ring residency (publish → drain)
+	tcQueueWait        // slice: one ready-queue wait (push → pop)
+	tcLatchWait        // slice: one latch wait (request → grant)
+	tcIORead           // slice: read submit → completion detected (arg: page)
+	tcIOWrite          // slice: write submit → completion detected (arg: page)
+	tcDeliver          // slice: completion callback execution
+	tcOp               // slice: whole operation (admitted → completed)
+	tcProbe            // instant: probe that reaped completions (arg: count)
+	tcYield            // slice: scheduler yield
+)
+
+var traceCodeNames = []string{
+	"admit-wait", "inbox", "queue-wait", "latch-wait",
+	"io-read", "io-write", "deliver", "op", "probe", "yield",
+}
+
+// classNone labels events not attributable to a single operation
+// (background write-back I/O, probes, yields).
+const classNone = numKinds
+
+var traceClassNames = []string{
+	KindSearch.String(), KindRange.String(), KindInsert.String(),
+	KindUpdate.String(), KindDelete.String(), KindSync.String(),
+	KindNop.String(), "-",
+}
+
+// NewTracer builds a ring tracer of the given capacity labelled with the
+// tree's event-code and operation-kind tables, ready for Config.Tracer.
+func NewTracer(capacity int) *trace.Tracer {
+	return trace.New(capacity, traceCodeNames, traceClassNames)
+}

@@ -14,6 +14,7 @@ import (
 	"github.com/patree/patree/internal/sched"
 	"github.com/patree/patree/internal/sim"
 	"github.com/patree/patree/internal/storage"
+	"github.com/patree/patree/internal/trace"
 )
 
 // innerSplitMargin is how far below the hard inner capacity a node must be
@@ -55,6 +56,12 @@ type Stats struct {
 	ReadsIssued     uint64
 	WritesIssued    uint64
 	Splits          uint64
+	// Stages holds per-stage, per-kind latency histograms: where each
+	// operation's time went between admission and completion (see
+	// metrics.Stage). The conditional stages (admit-wait, latch-wait,
+	// io-wait) record only operations that actually waited there, so
+	// their percentiles describe the waiters, not a sea of zeros.
+	Stages *metrics.StageSet
 }
 
 // TotalOps returns the number of completed index operations. Pipeline
@@ -116,6 +123,11 @@ type Tree struct {
 	stopped atomic.Bool
 	running bool
 
+	// tr is Config.Tracer (nil = tracing off). All emission happens on
+	// the working thread; producer-side facts arrive as timestamps on the
+	// Op and are emitted retroactively at drain time.
+	tr *trace.Tracer
+
 	seq        uint64
 	dbgPush    uint64
 	dbgPop     uint64
@@ -149,6 +161,7 @@ func New(dev nvme.Device, cfg Config, env Env, meta *storage.Meta) (*Tree, error
 		inflight:  make(map[storage.PageID][]byte),
 		policy:    cfg.Policy,
 		inbox:     newOpRing(cfg.InboxDepth),
+		tr:        cfg.Tracer,
 	}
 	if w, ok := env.(interface{ Wake() }); ok {
 		t.wake = w.Wake
@@ -169,6 +182,7 @@ func New(dev nvme.Device, cfg Config, env Env, meta *storage.Meta) (*Tree, error
 	t.stats.Latency = metrics.NewHistogram()
 	t.stats.SearchLatency = metrics.NewHistogram()
 	t.stats.UpdateLatency = metrics.NewHistogram()
+	t.stats.Stages = metrics.NewStageSet(numKinds)
 	return t, nil
 }
 
@@ -262,6 +276,10 @@ func (t *Tree) chargeFlush() {
 func (t *Tree) Admit(o *Op) {
 	t.admitters.Add(1)
 	o.Res.Admitted = t.now()
+	// enqueuedAt is (re)stamped before every push attempt, so admit-wait
+	// (enqueuedAt − Admitted) measures the backpressure this op absorbed.
+	// The ring's release-store publishes it with the rest of the op.
+	o.enqueuedAt = o.Res.Admitted
 	if t.stopped.Load() {
 		t.admitters.Add(-1)
 		t.failAdmit(o)
@@ -270,13 +288,17 @@ func (t *Tree) Admit(o *Op) {
 	if !t.inbox.TryPush(o) {
 		t.admitWaits.Add(1)
 		spins := 0
-		for !t.inbox.TryPush(o) {
+		for {
 			if t.stopped.Load() {
 				t.admitters.Add(-1)
 				t.failAdmit(o)
 				return
 			}
 			t.admitBackoff(&spins)
+			o.enqueuedAt = t.now()
+			if t.inbox.TryPush(o) {
+				break
+			}
 		}
 	}
 	t.admitters.Add(-1)
@@ -291,6 +313,7 @@ func (t *Tree) Admit(o *Op) {
 func (t *Tree) TryAdmit(o *Op) error {
 	t.admitters.Add(1)
 	o.Res.Admitted = t.now()
+	o.enqueuedAt = o.Res.Admitted
 	if t.stopped.Load() {
 		t.admitters.Add(-1)
 		t.failAdmit(o)
@@ -317,6 +340,7 @@ func (t *Tree) AdmitBatch(ops []*Op) {
 	now := t.now()
 	for _, o := range ops {
 		o.Res.Admitted = now
+		o.enqueuedAt = now
 	}
 	for len(ops) > 0 {
 		if t.stopped.Load() {
@@ -333,7 +357,7 @@ func (t *Tree) AdmitBatch(ops []*Op) {
 		if !t.inbox.TryPushN(chunk) {
 			t.admitWaits.Add(1)
 			spins := 0
-			for !t.inbox.TryPushN(chunk) {
+			for {
 				if t.stopped.Load() {
 					t.admitters.Add(-1)
 					for _, o := range ops {
@@ -342,6 +366,13 @@ func (t *Tree) AdmitBatch(ops []*Op) {
 					return
 				}
 				t.admitBackoff(&spins)
+				retry := t.now()
+				for _, o := range chunk {
+					o.enqueuedAt = retry
+				}
+				if t.inbox.TryPushN(chunk) {
+					break
+				}
 			}
 		}
 		ops = ops[len(chunk):]
@@ -364,6 +395,7 @@ func (t *Tree) TryAdmitBatch(ops []*Op) error {
 	now := t.now()
 	for _, o := range ops {
 		o.Res.Admitted = now
+		o.enqueuedAt = now
 	}
 	if t.stopped.Load() {
 		t.admitters.Add(-1)
@@ -429,11 +461,12 @@ func (t *Tree) StatsSnapshot() Stats {
 // ResetStats zeroes counters and histograms (used by the harness to
 // exclude warm-up).
 func (t *Tree) ResetStats() {
-	lat, sl, ul := t.stats.Latency, t.stats.SearchLatency, t.stats.UpdateLatency
+	lat, sl, ul, stg := t.stats.Latency, t.stats.SearchLatency, t.stats.UpdateLatency, t.stats.Stages
 	lat.Reset()
 	sl.Reset()
 	ul.Reset()
-	t.stats = Stats{Latency: lat, SearchLatency: sl, UpdateLatency: ul}
+	stg.Reset()
+	t.stats = Stats{Latency: lat, SearchLatency: sl, UpdateLatency: ul, Stages: stg}
 	t.latches.ResetStats()
 	if t.ro != nil {
 		t.ro.ResetStats()
@@ -454,6 +487,15 @@ func (t *Tree) BufferStats() buffer.Stats {
 // LatchWaits exposes latch contention (Figure 12 analysis).
 func (t *Tree) LatchWaits() uint64 { return t.latches.Waits() }
 
+// CPUSnapshot exposes the environment's live per-category CPU account
+// (the Figure 9 attribution). Treat as read-only; on the simulated
+// environment it reflects virtual CPU actually consumed.
+func (t *Tree) CPUSnapshot() *metrics.CPUAccount { return t.env.CPU() }
+
+// Tracer returns the configured lifecycle tracer (nil when tracing is
+// off). Snapshot with Tracer().Events() from the working thread.
+func (t *Tree) Tracer() *trace.Tracer { return t.tr }
+
 // NumKeys returns the in-memory key count.
 func (t *Tree) NumKeys() uint64 { return t.numKeys }
 
@@ -462,10 +504,16 @@ func (t *Tree) Height() int { return t.height }
 
 func (t *Tree) drainInbox() {
 	drained := 0
+	var drainNow sim.Time
 	for {
 		o, ok := t.inbox.Pop()
 		if !ok {
 			break
+		}
+		if drained == 0 {
+			// One clock read covers the whole drain batch: every op in it
+			// becomes ready at the same instant.
+			drainNow = t.now()
 		}
 		drained++
 		t.seq++
@@ -483,21 +531,33 @@ func (t *Tree) drainInbox() {
 			t.liveSet = make(map[uint64]*Op)
 		}
 		t.liveSet[o.seq] = o
-		t.pushReady(o)
+		o.drainedAt = drainNow
+		if t.tr != nil {
+			// Producer-side events, emitted retroactively now that the op
+			// is on the worker (the tracer is single-threaded by design).
+			if w := o.enqueuedAt.Sub(o.Res.Admitted); w > 0 {
+				t.tr.Emit(tcAdmitWait, uint16(o.kind), o.seq, 0, int64(o.Res.Admitted), int64(w))
+			}
+			t.tr.Emit(tcInbox, uint16(o.kind), o.seq, 0, int64(o.enqueuedAt), int64(drainNow.Sub(o.enqueuedAt)))
+		}
+		t.pushReady(o, drainNow)
 	}
 	if drained > 0 {
-		t.policy.OnAdmit(drained, t.now())
+		t.policy.OnAdmit(drained, drainNow)
 	}
 }
 
 func (t *Tree) inboxEmpty() bool { return t.inbox.Empty() }
 
-// pushReady moves an op into the ready set (idempotent).
-func (t *Tree) pushReady(o *Op) {
+// pushReady moves an op into the ready set (idempotent). at is the
+// push instant — callers already hold a fresh clock reading for their
+// own accounting, so the queue-wait stamp rides along for free.
+func (t *Tree) pushReady(o *Op, at sim.Time) {
 	if o.inReady {
 		return
 	}
 	o.inReady = true
+	o.readyAt = at
 	t.dbgPush++
 	t.charge(metrics.CatSched, t.cfg.Costs.ReadyPushPop)
 	t.ready.Push(sched.Entry{Seq: o.seq, HoldsWrite: o.holdsWrite, Op: o})
@@ -516,6 +576,12 @@ func (t *Tree) Run() {
 			op := e.Op.(*Op)
 			t.dbgPop++
 			op.inReady = false
+			if w := t.now().Sub(op.readyAt); w > 0 {
+				op.queueWait += w
+				if t.tr != nil {
+					t.tr.Emit(tcQueueWait, uint16(op.kind), op.seq, 0, int64(op.readyAt), int64(w))
+				}
+			}
 			t.process(op)
 			progressed = true
 		}
@@ -539,6 +605,9 @@ func (t *Tree) Run() {
 				t.chargeFlush()
 				t.stats.Yields++
 				t.stats.YieldTime += y
+				if t.tr != nil {
+					t.tr.Emit(tcYield, classNone, 0, uint64(t.ioBlocked), int64(t.now()), int64(y))
+				}
 				if t.ioBlocked > 0 && t.spin != nil {
 					// Completions are imminent (device latency is well
 					// under a timer tick): poll instead of parking, or the
@@ -608,11 +677,18 @@ func (t *Tree) probe(policy sched.Policy) int {
 	t.charge(metrics.CatNVMe, t.cfg.Costs.ProbeCall)
 	n := t.qp.Probe(t.cfg.MaxProbeBatch)
 	t.charge(metrics.CatNVMe, time.Duration(n)*t.cfg.Costs.ProbePerCQE)
-	policy.OnProbe(t.now())
+	now := t.now()
+	policy.OnProbe(now)
 	t.stats.Probes++
 	if n > 0 {
 		t.stats.ProbeHits++
 		t.stats.CompletionsSeen += uint64(n)
+		// Only hitting probes are traced: misses can fire every scheduler
+		// step and would flush the ring without adding information (the
+		// Probes counter keeps the totals).
+		if t.tr != nil {
+			t.tr.Emit(tcProbe, classNone, 0, uint64(n), int64(now), trace.Instant)
+		}
 	}
 	return n
 }
@@ -642,8 +718,9 @@ func (t *Tree) resubmitStalled() {
 	}
 	batch := t.stalled
 	t.stalled = nil
+	now := t.now()
 	for _, o := range batch {
-		t.pushReady(o)
+		t.pushReady(o, now)
 	}
 }
 
@@ -1208,7 +1285,11 @@ func (t *Tree) drainBG() {
 		cmd := &nvme.Command{Op: nvme.OpWrite, LBA: uint64(id), Blocks: 1, Buf: data}
 		cmd.Callback = func(c nvme.Completion) {
 			t.ioBlocked--
-			t.policy.OnDetected(nvme.OpWrite, submitted, t.now())
+			now := t.now()
+			t.policy.OnDetected(nvme.OpWrite, submitted, now)
+			if t.tr != nil {
+				t.tr.Emit(tcIOWrite, classNone, 0, uint64(id), int64(submitted), int64(now.Sub(submitted)))
+			}
 			if cur, ok := t.inflight[id]; ok && &cur[0] == &data[0] {
 				delete(t.inflight, id)
 			}
@@ -1237,7 +1318,12 @@ func (t *Tree) submitRead(o *Op) bool {
 	cmd := &nvme.Command{Op: nvme.OpRead, LBA: uint64(id), Blocks: 1, Buf: buf}
 	cmd.Callback = func(c nvme.Completion) {
 		t.ioBlocked--
-		t.policy.OnDetected(nvme.OpRead, submitted, t.now())
+		now := t.now()
+		t.policy.OnDetected(nvme.OpRead, submitted, now)
+		o.ioWait += now.Sub(submitted)
+		if t.tr != nil {
+			t.tr.Emit(tcIORead, uint16(o.kind), o.seq, uint64(id), int64(submitted), int64(now.Sub(submitted)))
+		}
 		if c.Err != nil {
 			o.pendingErr = c.Err
 		} else {
@@ -1245,7 +1331,7 @@ func (t *Tree) submitRead(o *Op) bool {
 			o.ioFor = id
 			t.fillOnRead(id, buf)
 		}
-		t.pushReady(o)
+		t.pushReady(o, now)
 	}
 	t.charge(metrics.CatNVMe, t.cfg.Costs.IOSubmit)
 	if err := t.qp.Submit(cmd); err != nil {
@@ -1277,7 +1363,12 @@ func (t *Tree) submitOpWrite(o *Op) bool {
 	cmd := &nvme.Command{Op: nvme.OpWrite, LBA: uint64(w.id), Blocks: 1, Buf: w.data}
 	cmd.Callback = func(c nvme.Completion) {
 		t.ioBlocked--
-		t.policy.OnDetected(nvme.OpWrite, submitted, t.now())
+		now := t.now()
+		t.policy.OnDetected(nvme.OpWrite, submitted, now)
+		o.ioWait += now.Sub(submitted)
+		if t.tr != nil {
+			t.tr.Emit(tcIOWrite, uint16(o.kind), o.seq, uint64(w.id), int64(submitted), int64(now.Sub(submitted)))
+		}
 		if c.Err != nil {
 			o.pendingErr = c.Err
 		} else {
@@ -1286,7 +1377,7 @@ func (t *Tree) submitOpWrite(o *Op) bool {
 			}
 			o.wIdx++
 		}
-		t.pushReady(o)
+		t.pushReady(o, now)
 	}
 	t.charge(metrics.CatNVMe, t.cfg.Costs.IOSubmit)
 	if err := t.qp.Submit(cmd); err != nil {
@@ -1331,14 +1422,19 @@ func (t *Tree) runSync(o *Op) bool {
 		cmd := &nvme.Command{Op: nvme.OpWrite, LBA: uint64(id), Blocks: 1, Buf: data}
 		cmd.Callback = func(c nvme.Completion) {
 			t.ioBlocked--
-			t.policy.OnDetected(nvme.OpWrite, submitted, t.now())
+			now := t.now()
+			t.policy.OnDetected(nvme.OpWrite, submitted, now)
+			o.ioWait += now.Sub(submitted)
+			if t.tr != nil {
+				t.tr.Emit(tcIOWrite, uint16(o.kind), o.seq, uint64(id), int64(submitted), int64(now.Sub(submitted)))
+			}
 			o.syncOutstanding--
 			if c.Err != nil {
 				o.pendingErr = c.Err
 			} else if id != 0 && t.rw != nil {
 				t.rw.MarkClean(id, epoch)
 			}
-			t.pushReady(o)
+			t.pushReady(o, now)
 		}
 		t.charge(metrics.CatNVMe, t.cfg.Costs.IOSubmit)
 		if err := t.qp.Submit(cmd); err != nil {
@@ -1357,12 +1453,17 @@ func (t *Tree) runSync(o *Op) bool {
 			cmd := &nvme.Command{Op: nvme.OpFlush}
 			cmd.Callback = func(c nvme.Completion) {
 				t.ioBlocked--
-				t.policy.OnDetected(nvme.OpRead, submitted, t.now())
+				now := t.now()
+				t.policy.OnDetected(nvme.OpRead, submitted, now)
+				o.ioWait += now.Sub(submitted)
+				if t.tr != nil {
+					t.tr.Emit(tcIOWrite, uint16(o.kind), o.seq, 0, int64(submitted), int64(now.Sub(submitted)))
+				}
+				o.syncFlushDone = true
 				if c.Err != nil {
 					o.pendingErr = c.Err
 				}
-				o.syncFlushDone = true
-				t.pushReady(o)
+				t.pushReady(o, now)
 			}
 			t.charge(metrics.CatNVMe, t.cfg.Costs.IOSubmit)
 			if err := t.qp.Submit(cmd); err != nil {
@@ -1394,14 +1495,23 @@ func (t *Tree) acquireLatch(o *Op, id storage.PageID, mode latch.Mode) bool {
 	granted := t.latches.Acquire(id, mode, o.grantFn)
 	if granted {
 		o.held = append(o.held, o.pendingLatch)
+	} else {
+		o.latchFrom = t.now() // contended: wait starts now
 	}
 	return granted
 }
 
 // grantLatch is the body of every op's reusable grant callback.
 func (t *Tree) grantLatch(o *Op) {
+	now := t.now()
+	if w := now.Sub(o.latchFrom); w > 0 {
+		o.latchWait += w
+		if t.tr != nil {
+			t.tr.Emit(tcLatchWait, uint16(o.kind), o.seq, uint64(o.pendingLatch.id), int64(o.latchFrom), int64(w))
+		}
+	}
 	o.held = append(o.held, o.pendingLatch)
-	t.pushReady(o)
+	t.pushReady(o, now)
 }
 
 // releaseLatch drops one held latch by id.
@@ -1464,9 +1574,7 @@ func (t *Tree) finishOp(o *Op) {
 	} else {
 		t.stats.UpdateLatency.Record(lat)
 	}
-	if o.Done != nil {
-		o.Done(o)
-	}
+	t.completeOp(o)
 }
 
 func (t *Tree) failOp(o *Op, err error) {
@@ -1477,9 +1585,46 @@ func (t *Tree) failOp(o *Op, err error) {
 	t.liveOps--
 	delete(t.liveSet, o.seq)
 	t.stats.Completed[o.kind]++
+	t.completeOp(o)
+}
+
+// completeOp records the op's stage timings and runs its completion
+// callback, timing the delivery. The callback may Release o back to the
+// pool, so every field used afterwards is captured first.
+func (t *Tree) completeOp(o *Op) {
+	t.recordStages(o)
+	if t.tr != nil {
+		t.tr.Emit(tcOp, uint16(o.kind), o.seq, uint64(o.key), int64(o.Res.Admitted), int64(o.Res.Latency()))
+	}
+	kind, seq, done := o.kind, o.seq, o.Res.Completed
 	if o.Done != nil {
 		o.Done(o)
+		d := t.now().Sub(done)
+		t.stats.Stages.Record(metrics.StageDeliver, int(kind), d)
+		if t.tr != nil && d > 0 {
+			t.tr.Emit(tcDeliver, uint16(kind), seq, 0, int64(done), int64(d))
+		}
 	}
+}
+
+// recordStages folds a completing op's timestamps into the per-stage
+// histograms. Admit-wait, latch-wait and io-wait are recorded only when
+// the op actually waited there (see Stats.Stages).
+func (t *Tree) recordStages(o *Op) {
+	st := t.stats.Stages
+	k := int(o.kind)
+	if aw := o.enqueuedAt.Sub(o.Res.Admitted); aw > 0 {
+		st.Record(metrics.StageAdmitWait, k, aw)
+	}
+	st.Record(metrics.StageInbox, k, o.drainedAt.Sub(o.enqueuedAt))
+	st.Record(metrics.StageQueueWait, k, o.queueWait)
+	if o.latchWait > 0 {
+		st.Record(metrics.StageLatchWait, k, o.latchWait)
+	}
+	if o.ioWait > 0 {
+		st.Record(metrics.StageIOWait, k, o.ioWait)
+	}
+	st.Record(metrics.StageTotal, k, o.Res.Latency())
 }
 
 // DebugState summarizes internal state for diagnostics.

@@ -227,15 +227,20 @@ func Table2(rows []SchemeRows) Report {
 		Notes: "baselines consume 1-2 orders of magnitude more cycles per op than PA-Tree"}
 }
 
-// Fig9 renders the CPU breakdown.
+// Fig9 renders the CPU breakdown. The trailing sum column is a sanity
+// check on the live accounting: the category fractions of attributed
+// CPU must cover (essentially) all of it.
 func Fig9(rows []SchemeRows) Report {
-	tb := metrics.NewTable("method", "real work %", "synchronization %", "NVMe %", "scheduling %", "others %")
+	tb := metrics.NewTable("method", "real work %", "synchronization %", "NVMe %", "scheduling %", "others %", "sum %")
 	r := rows[0]
 	add := func(name string, s RunStats) {
 		row := []any{name}
+		sum := 0.0
 		for _, f := range s.Breakdown {
 			row = append(row, f*100)
+			sum += f * 100
 		}
+		row = append(row, sum)
 		tb.AddRow(row...)
 	}
 	add("PA-Tree", r.PA)

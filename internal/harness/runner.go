@@ -266,7 +266,9 @@ func RunPATree(cfg PAConfig) RunStats {
 
 	st := tree.StatsSnapshot()
 	rs := RunStats{Label: "PA-Tree"}
-	cpus := []*metrics.CPUAccount{&worker.CPU}
+	// The tree's own live accounting (the same account Metrics exposes):
+	// on SimEnv this is the worker thread's virtual-CPU ledger.
+	cpus := []*metrics.CPUAccount{tree.CPUSnapshot()}
 	if pollerCPU != nil {
 		cpus = append(cpus, pollerCPU)
 	}

@@ -107,14 +107,25 @@ func (h *Histogram) Min() time.Duration {
 // Max returns the largest observation.
 func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
 
-// Percentile returns the approximate p-th percentile (0 < p <= 100).
+// Percentile returns the approximate p-th percentile. p is clamped into
+// (0, 100]: non-positive (or NaN) p returns the minimum, p >= 100 the
+// maximum, and an empty histogram reports 0 for every p.
 func (h *Histogram) Percentile(p float64) time.Duration {
 	if h.total == 0 {
 		return 0
 	}
+	if math.IsNaN(p) || p <= 0 {
+		return time.Duration(h.min)
+	}
+	if p >= 100 {
+		return time.Duration(h.max)
+	}
 	rank := uint64(math.Ceil(p / 100 * float64(h.total)))
 	if rank == 0 {
 		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
 	}
 	var cum uint64
 	for i, c := range h.counts {
@@ -147,8 +158,13 @@ func (h *Histogram) Reset() {
 	h.max = 0
 }
 
-// Merge adds all observations of o into h.
+// Merge adds all observations of o into h (combining per-stage or
+// per-window histograms across resets). A nil or empty o is a no-op, so
+// merging never corrupts h's min/max sentinels.
 func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
 	for i, c := range o.counts {
 		h.counts[i] += c
 	}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stage labels one segment of an operation's trip through the admission
+// pipeline: from the embedder calling Admit, through the inbox ring, the
+// scheduler's ready queue, latch and NVMe waits, to the completion
+// callback. The sum of a completed operation's stage times (plus the CPU
+// it spent being processed) is its end-to-end latency, so a per-stage
+// histogram answers "where does the time go" — backpressure, queueing,
+// latches, or the device.
+type Stage int
+
+const (
+	// StageAdmitWait is time spent blocked in Admit on a full inbox ring
+	// (backpressure). Zero for admissions that found room immediately.
+	StageAdmitWait Stage = iota
+	// StageInbox is residency in the admission ring: published by the
+	// producer → drained by the working thread.
+	StageInbox
+	// StageQueueWait is total ready-queue residency: the sum over every
+	// push→pop slice of the operation's life (an op re-enters the ready
+	// queue after each latch grant and I/O completion).
+	StageQueueWait
+	// StageLatchWait is total time spent latch-blocked.
+	StageLatchWait
+	// StageIOWait is total time between NVMe submission and the probe
+	// that detected the completion, summed over the op's I/Os.
+	StageIOWait
+	// StageDeliver is the completion callback's execution time on the
+	// working thread (the cost of handing the result back to the waiter).
+	StageDeliver
+	// StageTotal is end-to-end latency: Admitted → Completed.
+	StageTotal
+
+	NumStages
+)
+
+// String names the stage (used as a label in tables, traces and the
+// Prometheus exposition).
+func (s Stage) String() string {
+	switch s {
+	case StageAdmitWait:
+		return "admit-wait"
+	case StageInbox:
+		return "inbox"
+	case StageQueueWait:
+		return "queue-wait"
+	case StageLatchWait:
+		return "latch-wait"
+	case StageIOWait:
+		return "io-wait"
+	case StageDeliver:
+		return "deliver"
+	case StageTotal:
+		return "total"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// Stages lists all stages in pipeline order.
+func Stages() []Stage {
+	out := make([]Stage, NumStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// StageSet is a (stage × operation-class) matrix of histograms. Classes
+// are small integers supplied by the caller (the tree uses its op kinds).
+// Histograms are allocated lazily on first record, so an idle pair costs
+// one pointer; like Histogram itself the set is single-threaded.
+type StageSet struct {
+	classes int
+	h       [NumStages][]*Histogram
+}
+
+// NewStageSet returns an empty set for the given number of classes.
+func NewStageSet(classes int) *StageSet {
+	if classes < 1 {
+		classes = 1
+	}
+	s := &StageSet{classes: classes}
+	for i := range s.h {
+		s.h[i] = make([]*Histogram, classes)
+	}
+	return s
+}
+
+// Classes returns the class count the set was built with.
+func (s *StageSet) Classes() int { return s.classes }
+
+// Record adds one observation for (stage, class). Out-of-range classes
+// are folded into class 0 rather than dropped.
+func (s *StageSet) Record(st Stage, class int, d time.Duration) {
+	if st < 0 || st >= NumStages {
+		return
+	}
+	if class < 0 || class >= s.classes {
+		class = 0
+	}
+	h := s.h[st][class]
+	if h == nil {
+		h = NewHistogram()
+		s.h[st][class] = h
+	}
+	h.Record(d)
+}
+
+// Histogram returns the histogram for (stage, class), or nil if nothing
+// has been recorded there. Treat as read-only.
+func (s *StageSet) Histogram(st Stage, class int) *Histogram {
+	if st < 0 || st >= NumStages || class < 0 || class >= s.classes {
+		return nil
+	}
+	return s.h[st][class]
+}
+
+// MergedInto combines every class histogram of stage st into dst (using
+// Histogram.Merge) and reports whether anything was merged.
+func (s *StageSet) MergedInto(st Stage, dst *Histogram) bool {
+	if st < 0 || st >= NumStages {
+		return false
+	}
+	any := false
+	for _, h := range s.h[st] {
+		if h != nil && h.Count() > 0 {
+			dst.Merge(h)
+			any = true
+		}
+	}
+	return any
+}
+
+// Reset clears every histogram in place (capacity retained).
+func (s *StageSet) Reset() {
+	for st := range s.h {
+		for _, h := range s.h[st] {
+			if h != nil {
+				h.Reset()
+			}
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestHistogramEdgeCases is the table-driven sweep of the quantile and
+// min/max corner cases: empty histograms, single samples, and clamped
+// percentile arguments.
+func TestHistogramEdgeCases(t *testing.T) {
+	single := func() *Histogram {
+		h := NewHistogram()
+		h.Record(42 * time.Microsecond)
+		return h
+	}
+	two := func() *Histogram {
+		h := NewHistogram()
+		h.Record(10 * time.Microsecond)
+		h.Record(90 * time.Microsecond)
+		return h
+	}
+	cases := []struct {
+		name  string
+		h     func() *Histogram
+		p     float64
+		want  time.Duration
+		exact bool
+	}{
+		{"empty p0", NewHistogram, 0, 0, true},
+		{"empty p50", NewHistogram, 50, 0, true},
+		{"empty p100", NewHistogram, 100, 0, true},
+		{"empty p-negative", NewHistogram, -10, 0, true},
+		{"empty pNaN", NewHistogram, math.NaN(), 0, true},
+		{"single p0 is min", single, 0, 42 * time.Microsecond, true},
+		{"single p50", single, 50, 42 * time.Microsecond, false},
+		{"single p100 is max", single, 100, 42 * time.Microsecond, true},
+		{"single p>100 clamped to max", single, 250, 42 * time.Microsecond, true},
+		{"single p<0 clamped to min", single, -5, 42 * time.Microsecond, true},
+		{"single pNaN treated as min", single, math.NaN(), 42 * time.Microsecond, true},
+		{"two p100 is max", two, 100, 90 * time.Microsecond, true},
+		{"two p0 is min", two, 0, 10 * time.Microsecond, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.h().Percentile(tc.p)
+			if tc.exact {
+				if got != tc.want {
+					t.Fatalf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+				}
+				return
+			}
+			// Bucketed value: within the histogram's ~3% precision.
+			if math.Abs(float64(got-tc.want)) > 0.04*float64(tc.want) {
+				t.Fatalf("Percentile(%v) = %v, want ≈%v", tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHistogramSingleSampleMinMax(t *testing.T) {
+	h := NewHistogram()
+	h.Record(7 * time.Millisecond)
+	if h.Min() != 7*time.Millisecond || h.Max() != 7*time.Millisecond {
+		t.Fatalf("min=%v max=%v, want both 7ms", h.Min(), h.Max())
+	}
+	if h.Mean() != 7*time.Millisecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+// TestHistogramMergeEdges covers the Merge guards: nil source, empty
+// source (whose min/max sentinels must not leak), empty destination, and
+// merging after a reset.
+func TestHistogramMergeEdges(t *testing.T) {
+	t.Run("nil source is no-op", func(t *testing.T) {
+		h := NewHistogram()
+		h.Record(time.Millisecond)
+		h.Merge(nil)
+		if h.Count() != 1 || h.Min() != time.Millisecond {
+			t.Fatal("nil merge corrupted histogram")
+		}
+	})
+	t.Run("empty source keeps sentinels", func(t *testing.T) {
+		h := NewHistogram()
+		h.Record(time.Millisecond)
+		h.Merge(NewHistogram())
+		if h.Count() != 1 || h.Min() != time.Millisecond || h.Max() != time.Millisecond {
+			t.Fatalf("empty merge corrupted stats: n=%d min=%v max=%v", h.Count(), h.Min(), h.Max())
+		}
+	})
+	t.Run("into empty destination", func(t *testing.T) {
+		src := NewHistogram()
+		src.Record(3 * time.Microsecond)
+		src.Record(5 * time.Microsecond)
+		dst := NewHistogram()
+		dst.Merge(src)
+		if dst.Count() != 2 || dst.Min() != 3*time.Microsecond || dst.Max() != 5*time.Microsecond {
+			t.Fatalf("n=%d min=%v max=%v", dst.Count(), dst.Min(), dst.Max())
+		}
+	})
+	t.Run("after reset", func(t *testing.T) {
+		src := NewHistogram()
+		src.Record(time.Microsecond)
+		dst := NewHistogram()
+		dst.Record(time.Second)
+		dst.Reset()
+		dst.Merge(src)
+		if dst.Count() != 1 || dst.Min() != time.Microsecond || dst.Max() != time.Microsecond {
+			t.Fatalf("n=%d min=%v max=%v", dst.Count(), dst.Min(), dst.Max())
+		}
+	})
+	t.Run("symmetric totals", func(t *testing.T) {
+		a, b := NewHistogram(), NewHistogram()
+		for i := 1; i <= 10; i++ {
+			a.Record(time.Duration(i) * time.Microsecond)
+			b.Record(time.Duration(i*100) * time.Microsecond)
+		}
+		ab, ba := NewHistogram(), NewHistogram()
+		ab.Merge(a)
+		ab.Merge(b)
+		ba.Merge(b)
+		ba.Merge(a)
+		if ab.Count() != ba.Count() || ab.Min() != ba.Min() || ab.Max() != ba.Max() ||
+			ab.Percentile(50) != ba.Percentile(50) {
+			t.Fatal("merge is order-dependent")
+		}
+	})
+}
+
+func TestStageNames(t *testing.T) {
+	want := []string{"admit-wait", "inbox", "queue-wait", "latch-wait", "io-wait", "deliver", "total"}
+	stages := Stages()
+	if len(stages) != len(want) || len(stages) != int(NumStages) {
+		t.Fatalf("stage count %d, want %d", len(stages), len(want))
+	}
+	for i, s := range stages {
+		if s.String() != want[i] {
+			t.Errorf("stage %d = %q, want %q", i, s, want[i])
+		}
+	}
+	if Stage(99).String() != "Stage(99)" {
+		t.Errorf("out-of-range stage name: %q", Stage(99))
+	}
+}
+
+func TestStageSetRecordAndBounds(t *testing.T) {
+	s := NewStageSet(3)
+	if s.Classes() != 3 {
+		t.Fatalf("classes = %d", s.Classes())
+	}
+	s.Record(StageInbox, 1, time.Microsecond)
+	s.Record(StageInbox, 1, 3*time.Microsecond)
+	if h := s.Histogram(StageInbox, 1); h == nil || h.Count() != 2 {
+		t.Fatal("record lost")
+	}
+	if h := s.Histogram(StageInbox, 0); h != nil {
+		t.Fatal("untouched class should have a nil (lazy) histogram")
+	}
+	// Out-of-range class folds into class 0; out-of-range stage drops.
+	s.Record(StageTotal, 17, time.Microsecond)
+	if h := s.Histogram(StageTotal, 0); h == nil || h.Count() != 1 {
+		t.Fatal("out-of-range class not folded into class 0")
+	}
+	s.Record(Stage(-1), 0, time.Microsecond)
+	s.Record(NumStages, 0, time.Microsecond)
+	if s.Histogram(Stage(-1), 0) != nil || s.Histogram(NumStages, 0) != nil {
+		t.Fatal("out-of-range stage accepted")
+	}
+}
+
+func TestStageSetMergedInto(t *testing.T) {
+	s := NewStageSet(2)
+	s.Record(StageIOWait, 0, 10*time.Microsecond)
+	s.Record(StageIOWait, 1, 30*time.Microsecond)
+	dst := NewHistogram()
+	if !s.MergedInto(StageIOWait, dst) {
+		t.Fatal("MergedInto found nothing")
+	}
+	if dst.Count() != 2 || dst.Min() != 10*time.Microsecond || dst.Max() != 30*time.Microsecond {
+		t.Fatalf("merged n=%d min=%v max=%v", dst.Count(), dst.Min(), dst.Max())
+	}
+	if s.MergedInto(StageLatchWait, dst) {
+		t.Fatal("MergedInto reported data for an empty stage")
+	}
+}
+
+func TestStageSetReset(t *testing.T) {
+	s := NewStageSet(2)
+	s.Record(StageTotal, 1, time.Millisecond)
+	s.Reset()
+	if h := s.Histogram(StageTotal, 1); h == nil || h.Count() != 0 {
+		t.Fatal("Reset should clear in place, keeping the histogram")
+	}
+	s.Record(StageTotal, 1, time.Millisecond)
+	if s.Histogram(StageTotal, 1).Count() != 1 {
+		t.Fatal("set unusable after Reset")
+	}
+}

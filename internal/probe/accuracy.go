@@ -1,0 +1,144 @@
+package probe
+
+import (
+	"time"
+
+	"github.com/patree/patree/internal/metrics"
+	"github.com/patree/patree/internal/nvme"
+	"github.com/patree/patree/internal/sim"
+)
+
+// Accuracy measures the probing model's prediction quality online, the
+// introspection behind the paper's probe-frequency sensitivity analysis:
+// at submission time the policy derives a model-implied completion time
+// for the I/O, and when the completion is detected the signed error
+// (detected − predicted) is folded into histograms. A model that tracks
+// the device keeps the absolute error near the probe granularity; a
+// mispredicting model shows up as a fat late tail (completions the probe
+// gate left sitting in the queue) or a large early count (wasted probes).
+//
+// Matching is FIFO per opcode class: NVMe completions of same-class
+// commands arrive approximately in submission order, and the error
+// statistics only need aggregate fidelity, so the tracker avoids any
+// per-command identity plumbing. Queues are bounded; submissions beyond
+// the bound are dropped (counted) rather than grown.
+//
+// Like the rest of the probing machinery, Accuracy is single-threaded
+// and purely observational: it never charges CPU or perturbs schedules.
+type Accuracy struct {
+	pend    [2]predQueue // [write, read]
+	absErr  *metrics.Histogram
+	sumErr  float64 // signed error sum, ns
+	matched uint64
+	late    uint64 // detected after the predicted time
+	early   uint64 // detected at or before the predicted time
+	dropped uint64
+}
+
+// predQueue is a bounded FIFO of predicted completion times.
+type predQueue struct {
+	buf  []int64
+	head int
+	n    int
+}
+
+const predQueueCap = 4096
+
+func (q *predQueue) push(v int64) bool {
+	if q.buf == nil {
+		q.buf = make([]int64, predQueueCap)
+	}
+	if q.n == len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+	return true
+}
+
+func (q *predQueue) pop() (int64, bool) {
+	if q.n == 0 {
+		return 0, false
+	}
+	v := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v, true
+}
+
+// NewAccuracy returns an empty tracker.
+func NewAccuracy() *Accuracy {
+	return &Accuracy{absErr: metrics.NewHistogram()}
+}
+
+func classOf(op nvme.Opcode) int {
+	if op == nvme.OpWrite {
+		return 0
+	}
+	return 1
+}
+
+// Expect records that an I/O of class op submitted at `at` is predicted
+// to complete at predictedAt.
+func (a *Accuracy) Expect(op nvme.Opcode, at, predictedAt sim.Time) {
+	_ = at
+	if !a.pend[classOf(op)].push(int64(predictedAt)) {
+		a.dropped++
+	}
+}
+
+// Observe matches a detected completion against the oldest outstanding
+// prediction of its class and records the error. Completions with no
+// outstanding prediction (tracker enabled mid-run, or queue overflow)
+// are ignored.
+func (a *Accuracy) Observe(op nvme.Opcode, now sim.Time) {
+	pred, ok := a.pend[classOf(op)].pop()
+	if !ok {
+		return
+	}
+	err := int64(now) - pred
+	a.matched++
+	a.sumErr += float64(err)
+	if err > 0 {
+		a.late++
+	} else {
+		a.early++
+	}
+	if err < 0 {
+		err = -err
+	}
+	a.absErr.Record(time.Duration(err))
+}
+
+// Matched returns the number of completions matched to a prediction.
+func (a *Accuracy) Matched() uint64 { return a.matched }
+
+// Late returns completions detected after their predicted time.
+func (a *Accuracy) Late() uint64 { return a.late }
+
+// Early returns completions detected at or before their predicted time.
+func (a *Accuracy) Early() uint64 { return a.early }
+
+// Dropped returns submissions not tracked because the queue was full.
+func (a *Accuracy) Dropped() uint64 { return a.dropped }
+
+// AbsErr returns the |detected − predicted| histogram (read-only).
+func (a *Accuracy) AbsErr() *metrics.Histogram { return a.absErr }
+
+// Bias returns the mean signed error: positive means completions are
+// detected later than the model predicts.
+func (a *Accuracy) Bias() time.Duration {
+	if a.matched == 0 {
+		return 0
+	}
+	return time.Duration(a.sumErr / float64(a.matched))
+}
+
+// Reset clears all state.
+func (a *Accuracy) Reset() {
+	a.pend[0] = predQueue{}
+	a.pend[1] = predQueue{}
+	a.absErr.Reset()
+	a.sumErr = 0
+	a.matched, a.late, a.early, a.dropped = 0, 0, 0, 0
+}

@@ -1,0 +1,86 @@
+package probe
+
+import (
+	"testing"
+	"time"
+
+	"github.com/patree/patree/internal/nvme"
+	"github.com/patree/patree/internal/sim"
+)
+
+func at(us int64) sim.Time { return sim.Time(us * 1000) }
+
+func TestAccuracyMatchesFIFOPerClass(t *testing.T) {
+	a := NewAccuracy()
+	// Two reads and one write outstanding; completions arrive out of
+	// class order but FIFO within each class.
+	a.Expect(nvme.OpRead, at(0), at(100))
+	a.Expect(nvme.OpWrite, at(1), at(50))
+	a.Expect(nvme.OpRead, at(2), at(200))
+
+	a.Observe(nvme.OpWrite, at(80)) // +30µs late
+	a.Observe(nvme.OpRead, at(90))  // -10µs early (matches the 100µs pred)
+	a.Observe(nvme.OpRead, at(200)) // exactly on time → early bucket
+
+	if a.Matched() != 3 {
+		t.Fatalf("matched = %d, want 3", a.Matched())
+	}
+	if a.Late() != 1 || a.Early() != 2 {
+		t.Fatalf("late=%d early=%d, want 1/2", a.Late(), a.Early())
+	}
+	// Mean signed error: (+30 − 10 + 0)/3 µs.
+	want := time.Duration((30000 - 10000) / 3)
+	if got := a.Bias(); got != want {
+		t.Fatalf("bias = %v, want %v", got, want)
+	}
+	if a.AbsErr().Count() != 3 {
+		t.Fatalf("absErr count = %d", a.AbsErr().Count())
+	}
+	if max := a.AbsErr().Max(); max != 30*time.Microsecond {
+		t.Fatalf("absErr max = %v, want 30µs", max)
+	}
+}
+
+func TestAccuracyUnmatchedCompletionIgnored(t *testing.T) {
+	a := NewAccuracy()
+	a.Observe(nvme.OpRead, at(10)) // enabled mid-run: nothing outstanding
+	if a.Matched() != 0 || a.AbsErr().Count() != 0 {
+		t.Fatal("unmatched completion was recorded")
+	}
+}
+
+func TestAccuracyBoundedQueueDrops(t *testing.T) {
+	a := NewAccuracy()
+	for i := 0; i < predQueueCap+10; i++ {
+		a.Expect(nvme.OpRead, at(int64(i)), at(int64(i)+100))
+	}
+	if a.Dropped() != 10 {
+		t.Fatalf("dropped = %d, want 10", a.Dropped())
+	}
+	// The retained predictions still pop FIFO.
+	a.Observe(nvme.OpRead, at(100))
+	if a.Matched() != 1 {
+		t.Fatal("queue unusable after overflow")
+	}
+}
+
+func TestAccuracyReset(t *testing.T) {
+	a := NewAccuracy()
+	a.Expect(nvme.OpWrite, at(0), at(10))
+	a.Observe(nvme.OpWrite, at(30))
+	a.Reset()
+	if a.Matched() != 0 || a.Late() != 0 || a.Early() != 0 || a.Dropped() != 0 ||
+		a.Bias() != 0 || a.AbsErr().Count() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	a.Observe(nvme.OpWrite, at(40))
+	if a.Matched() != 0 {
+		t.Fatal("Reset did not clear the pending queue")
+	}
+}
+
+func TestAccuracyEmptyBias(t *testing.T) {
+	if NewAccuracy().Bias() != 0 {
+		t.Fatal("empty tracker bias should be 0")
+	}
+}

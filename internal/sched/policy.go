@@ -207,6 +207,11 @@ type Workload struct {
 	// must keep byte-identical schedules.
 	admissionAware bool
 	lastAdmit      sim.Time
+
+	// acc, when enabled, scores the model's predictions against observed
+	// completion times (probe introspection). Pure observation: it never
+	// changes probe or yield decisions.
+	acc *probe.Accuracy
 }
 
 // NewWorkload builds the workload-aware policy around a trained model.
@@ -248,14 +253,65 @@ func (p *Workload) SetSafety(d time.Duration) { p.safety = d }
 // Tracker exposes the tracker (tests and the dedicated-poller variant).
 func (p *Workload) Tracker() *probe.Tracker { return p.tracker }
 
+// EnableAccuracy starts scoring the model's completion-time predictions
+// (see probe.Accuracy) and returns the tracker. Idempotent.
+func (p *Workload) EnableAccuracy() *probe.Accuracy {
+	if p.acc == nil {
+		p.acc = probe.NewAccuracy()
+	}
+	return p.acc
+}
+
+// Accuracy returns the prediction-error tracker, or nil when disabled.
+func (p *Workload) Accuracy() *probe.Accuracy { return p.acc }
+
 // OnSubmit implements Policy.
 func (p *Workload) OnSubmit(op nvme.Opcode, now sim.Time) {
 	p.tracker.OnSubmit(op, now)
+	if p.acc != nil {
+		p.acc.Expect(op, now, now.Add(p.predictLatency(op, now)))
+	}
+}
+
+// predictLatency derives the model-implied completion latency for an I/O
+// submitted now: the model estimates the per-slice completion rate, and
+// with k same-class I/Os already outstanding the new one is expected
+// after (k+1)/rate. A zero rate (cold model, empty window) falls back to
+// the tracker window; the result is clamped to [1µs, 100ms] so a wild
+// misprediction scores as a large-but-finite error.
+func (p *Workload) predictLatency(op nvme.Opcode, now sim.Time) time.Duration {
+	p.tracker.FillVector(p.vecBuf, now, 0)
+	w0, r0 := p.model.Predict(p.vecBuf)
+	wOut, rOut := p.tracker.Outstanding(now)
+	pred, out := r0, rOut
+	if op == nvme.OpWrite {
+		pred, out = w0, wOut
+	}
+	if out < 1 {
+		out = 1 // the tracker already counts this submission
+	}
+	var lat time.Duration
+	if pred <= 0 {
+		lat = probe.DefaultWindow
+	} else {
+		// pred completions per slice → out/pred slices until this one.
+		lat = time.Duration(float64(out) / pred * float64(p.tracker.SliceDur()))
+	}
+	if lat < time.Microsecond {
+		lat = time.Microsecond
+	}
+	if lat > 100*time.Millisecond {
+		lat = 100 * time.Millisecond
+	}
+	return lat
 }
 
 // OnDetected implements Policy.
-func (p *Workload) OnDetected(op nvme.Opcode, submittedAt, _ sim.Time) {
+func (p *Workload) OnDetected(op nvme.Opcode, submittedAt, now sim.Time) {
 	p.tracker.OnComplete(op, submittedAt)
+	if p.acc != nil {
+		p.acc.Observe(op, now)
+	}
 }
 
 // OnProbe implements Policy.

@@ -110,7 +110,8 @@ func TestSearchPageErrors(t *testing.T) {
 // DecodeNode materializes every key and value.
 func BenchmarkSearchPage(b *testing.B) {
 	n := NewLeaf(1)
-	for k := uint64(0); k < 20; k++ {
+	// 12 entries is the most a 512-byte page holds at this value size.
+	for k := uint64(0); k < 12; k++ {
 		n.InsertLeaf(k*3, []byte("0123456789abcdef"))
 	}
 	buf := n.Encode()

@@ -1,0 +1,208 @@
+// Package trace is a low-overhead, fixed-capacity ring-buffer event
+// tracer for the PA-Tree pipeline. The emitting layer (internal/core's
+// working thread) records compact binary events — no allocation, no
+// formatting, no locks — and the ring keeps the most recent N of them.
+// Export renders the captured window as Chrome trace-event JSON, which
+// loads directly into Perfetto (ui.perfetto.dev) or chrome://tracing for
+// stage-by-stage visual inspection of a workload run.
+//
+// Timestamps are int64 nanoseconds on whatever clock the emitter uses:
+// the simulation's virtual clock and RealEnv's wall clock both work, and
+// because events carry their own timestamps the export is byte-identical
+// for identical runs (the determinism the simulated experiments rely on).
+//
+// The tracer is single-threaded by design: every event is emitted from
+// the working thread (producer-side facts like admission wait arrive as
+// timestamps on the operation and are emitted retroactively at drain
+// time), so a nil check is the only cost tracing adds when disabled.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Event is one captured trace record. Code indexes the emitter's code
+// name table (one Perfetto track per code), Class its class name table
+// (e.g. the operation kind). Dur < 0 marks an instant event.
+type Event struct {
+	TS    int64 // ns on the emitter's clock
+	Dur   int64 // ns; < 0 = instant
+	Code  uint16
+	Class uint16
+	Seq   uint64 // operation sequence number (0 = none)
+	Arg   uint64 // code-specific argument (page id, count, ...)
+}
+
+// Instant is the Dur value marking an instantaneous event.
+const Instant int64 = -1
+
+// Tracer is the bounded ring. Construct with New; the zero value drops
+// every event.
+type Tracer struct {
+	buf        []Event
+	next       int
+	wrapped    bool
+	emitted    uint64
+	codeNames  []string
+	classNames []string
+}
+
+// New returns a tracer keeping the most recent capacity events (minimum
+// 16). codeNames and classNames label Code/Class values in the export;
+// out-of-range values render numerically.
+func New(capacity int, codeNames, classNames []string) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracer{buf: make([]Event, capacity), codeNames: codeNames, classNames: classNames}
+}
+
+// Emit records one event, overwriting the oldest once the ring is full.
+func (t *Tracer) Emit(code, class uint16, seq, arg uint64, ts, dur int64) {
+	if t == nil || len(t.buf) == 0 {
+		return
+	}
+	t.buf[t.next] = Event{TS: ts, Dur: dur, Code: code, Class: class, Seq: seq, Arg: arg}
+	t.next++
+	t.emitted++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.wrapped = true
+	}
+}
+
+// Len returns the number of events currently held.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	if t.wrapped {
+		return len(t.buf)
+	}
+	return t.next
+}
+
+// Emitted returns the total number of events ever emitted (held + lost
+// to ring overwrite).
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.emitted
+}
+
+// Cap returns the ring capacity.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Events returns the held events in emission order (oldest first). The
+// returned slice is a copy; safe to use after further emission.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if !t.wrapped {
+		return append([]Event(nil), t.buf[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	return append(out, t.buf[:t.next]...)
+}
+
+// Reset drops every held event (capacity and name tables retained).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.next = 0
+	t.wrapped = false
+	t.emitted = 0
+}
+
+func (t *Tracer) codeName(c uint16) string {
+	if int(c) < len(t.codeNames) {
+		return t.codeNames[c]
+	}
+	return "code" + strconv.Itoa(int(c))
+}
+
+func (t *Tracer) className(c uint16) string {
+	if int(c) < len(t.classNames) {
+		return t.classNames[c]
+	}
+	return "class" + strconv.Itoa(int(c))
+}
+
+// WriteChromeJSON renders events as a Chrome trace-event JSON object.
+// Slices become "X" (complete) events and instants become "i" events,
+// each on a per-code track (pid 1, tid = code + 1) named by the code
+// table; thread-name metadata rows come first. Timestamps are emitted in
+// microseconds with nanosecond precision, formatted deterministically,
+// so identical event sequences produce byte-identical JSON.
+//
+// Pass the events explicitly (usually Tracer.Events()) so a snapshot
+// taken on the working thread can be exported from any goroutine.
+func (t *Tracer) WriteChromeJSON(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	comma := func() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteByte('\n')
+	}
+	comma()
+	fmt.Fprintf(bw, `{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"patree"}}`)
+	// One named track per code that actually appears, in code order.
+	seen := map[uint16]bool{}
+	for _, e := range events {
+		seen[e.Code] = true
+	}
+	for c := 0; c < 1<<16; c++ {
+		if !seen[uint16(c)] {
+			continue
+		}
+		comma()
+		fmt.Fprintf(bw, `{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%q}}`,
+			c+1, t.codeName(uint16(c)))
+		delete(seen, uint16(c))
+		if len(seen) == 0 {
+			break
+		}
+	}
+	for _, e := range events {
+		comma()
+		if e.Dur < 0 {
+			fmt.Fprintf(bw, `{"ph":"i","s":"t","pid":1,"tid":%d,"ts":%s,"name":%q,"cat":"patree","args":{"op":%q,"seq":%d,"arg":%d}}`,
+				e.Code+1, usec(e.TS), t.codeName(e.Code), t.className(e.Class), e.Seq, e.Arg)
+		} else {
+			fmt.Fprintf(bw, `{"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s,"name":%q,"cat":"patree","args":{"op":%q,"seq":%d,"arg":%d}}`,
+				e.Code+1, usec(e.TS), usec(e.Dur), t.codeName(e.Code), t.className(e.Class), e.Seq, e.Arg)
+		}
+	}
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// usec formats ns as a decimal microsecond literal ("12.345"), the unit
+// the trace-event format expects, without float formatting jitter.
+func usec(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return neg + strconv.FormatInt(ns/1000, 10) + "." + fmt.Sprintf("%03d", ns%1000)
+}

@@ -1,0 +1,149 @@
+package patree
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"github.com/patree/patree/internal/core"
+	"github.com/patree/patree/internal/metrics"
+	"github.com/patree/patree/internal/trace"
+)
+
+// ErrTracingDisabled is returned by WriteTrace when the DB was opened
+// without Options.Trace.
+var ErrTracingDisabled = errors.New("patree: tracing disabled (set Options.Trace)")
+
+// StageStats summarizes one pipeline stage for one operation type:
+// where completed operations of that type spent their time between
+// admission and completion. Conditional stages (admit-wait, latch-wait,
+// io-wait) count only the operations that actually waited there.
+type StageStats struct {
+	Stage string // "admit-wait", "inbox", "queue-wait", "latch-wait", "io-wait", "deliver", "total"
+	Op    string // "search", "range", "insert", "update", "delete", "sync", "nop"
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// CPUBreakdown attributes the working thread's accounted CPU time to
+// the paper's Figure 9 categories. On the in-process device this is the
+// tree's own cost-model accounting, kept live as the tree runs.
+type CPUBreakdown struct {
+	RealWork time.Duration // index logic: node visits, mutation, splits
+	Sync     time.Duration // latching
+	NVMe     time.Duration // submission + completion-queue probing
+	Sched    time.Duration // ready-queue and main-loop bookkeeping
+	Other    time.Duration // idle spinning and everything else
+	Total    time.Duration
+}
+
+// ProbeStats reports how well the workload-aware scheduler's model
+// predicted I/O completion times: each submission records a
+// model-implied completion time, each detected completion is matched
+// FIFO within its class, and the signed error is aggregated. A positive
+// Bias means completions are detected later than predicted.
+type ProbeStats struct {
+	Matched uint64 // completions matched to a prediction
+	Late    uint64 // detected after the predicted time
+	Early   uint64 // detected at or before the predicted time
+	Dropped uint64 // submissions untracked (bounded matcher was full)
+	Bias    time.Duration
+	AbsErrMean, AbsErrP50, AbsErrP95, AbsErrP99 time.Duration
+}
+
+// Metrics is the full observability snapshot: activity counters, the
+// per-stage latency decomposition, the CPU-category breakdown and the
+// probe model's prediction accuracy. Like Stats it is collected on the
+// working thread, so it is a consistent view.
+type Metrics struct {
+	Stats
+	Stages      []StageStats
+	CPU         CPUBreakdown
+	Probe       ProbeStats
+	TraceEvents uint64 // events emitted so far (0 unless Options.Trace)
+}
+
+// Metrics snapshots the full observability state.
+func (db *DB) Metrics() Metrics {
+	var out Metrics
+	db.onWorker(func() { out = db.metricsLocked() })
+	return out
+}
+
+// metricsLocked builds the Metrics snapshot; call only from onWorker.
+func (db *DB) metricsLocked() Metrics {
+	m := Metrics{Stats: db.statsLocked()}
+
+	st := db.tree.StatsSnapshot()
+	if set := st.Stages; set != nil {
+		for _, stage := range metrics.Stages() {
+			for class := 0; class < set.Classes(); class++ {
+				h := set.Histogram(stage, class)
+				if h == nil || h.Count() == 0 {
+					continue
+				}
+				m.Stages = append(m.Stages, StageStats{
+					Stage: stage.String(),
+					Op:    kindName(class),
+					Count: h.Count(),
+					Mean:  h.Mean(),
+					P50:   h.Percentile(50),
+					P95:   h.Percentile(95),
+					P99:   h.Percentile(99),
+					Max:   h.Max(),
+				})
+			}
+		}
+	}
+
+	cpu := db.tree.CPUSnapshot()
+	m.CPU = CPUBreakdown{
+		RealWork: cpu.Get(metrics.CatRealWork),
+		Sync:     cpu.Get(metrics.CatSync),
+		NVMe:     cpu.Get(metrics.CatNVMe),
+		Sched:    cpu.Get(metrics.CatSched),
+		Other:    cpu.Get(metrics.CatOther),
+		Total:    cpu.Total(),
+	}
+
+	if acc := db.policy.Accuracy(); acc != nil {
+		e := acc.AbsErr()
+		m.Probe = ProbeStats{
+			Matched:    acc.Matched(),
+			Late:       acc.Late(),
+			Early:      acc.Early(),
+			Dropped:    acc.Dropped(),
+			Bias:       acc.Bias(),
+			AbsErrMean: e.Mean(),
+			AbsErrP50:  e.Percentile(50),
+			AbsErrP95:  e.Percentile(95),
+			AbsErrP99:  e.Percentile(99),
+		}
+	}
+
+	m.TraceEvents = db.tracer.Emitted()
+	return m
+}
+
+// kindName maps a stage-set class index back to the operation name (the
+// tree uses its op kinds as stage classes).
+func kindName(class int) string { return core.Kind(class).String() }
+
+// WriteTrace exports the tracer's captured window (the most recent
+// Options.TraceEvents events) as Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. The snapshot is taken
+// on the working thread, so it is consistent; identical workloads on
+// identical clocks export byte-identical JSON. Returns
+// ErrTracingDisabled when the DB was opened without Options.Trace.
+func (db *DB) WriteTrace(w io.Writer) error {
+	if db.tracer == nil {
+		return ErrTracingDisabled
+	}
+	var events []trace.Event
+	db.onWorker(func() { events = db.tracer.Events() })
+	return db.tracer.WriteChromeJSON(w, events)
+}

@@ -60,6 +60,7 @@ import (
 	"github.com/patree/patree/internal/probe"
 	"github.com/patree/patree/internal/sched"
 	"github.com/patree/patree/internal/storage"
+	"github.com/patree/patree/internal/trace"
 )
 
 // MaxValueSize is the largest storable value (two max-size entries share
@@ -108,6 +109,15 @@ type Options struct {
 	// Format forces re-initialization even if the device already holds a
 	// tree. Devices without a valid meta page are always formatted.
 	Format bool
+	// Trace enables the operation-lifecycle tracer: the working thread
+	// records admission, queueing, latch, I/O and completion events into
+	// a fixed ring, exported as Chrome trace-event JSON by WriteTrace
+	// (viewable in Perfetto). Off by default; when off the hot path pays
+	// only a nil check. Stage histograms (Metrics) are always collected.
+	Trace bool
+	// TraceEvents sizes the trace ring — the window of most recent events
+	// retained (default 65536, ≈48 B each). Ignored unless Trace is set.
+	TraceEvents int
 }
 
 // Stats reports tree activity.
@@ -118,11 +128,6 @@ type Stats struct {
 	Probes       uint64
 	ReadsIssued  uint64
 	WritesIssued uint64
-	// WritesIssue mirrors WritesIssued.
-	//
-	// Deprecated: the field name was a typo; use WritesIssued. It will be
-	// removed in a future release.
-	WritesIssue uint64
 	// AdmitWaits counts admissions that found the inbox ring full and had
 	// to back off — a sustained non-zero rate means callers outpace the
 	// working thread and backpressure is engaging.
@@ -136,6 +141,12 @@ type DB struct {
 	ownsDev bool
 	tree    *core.Tree
 	done    chan struct{}
+
+	// policy and tracer back the observability surface: the policy's
+	// accuracy tracker feeds ProbeStats, the tracer (nil unless
+	// Options.Trace) feeds WriteTrace.
+	policy *sched.Workload
+	tracer *trace.Tracer
 
 	// mu orders admissions against Close: admitting paths hold it shared
 	// while checking closed and handing the operation to the tree, Close
@@ -183,16 +194,28 @@ func Open(opts Options) (*DB, error) {
 	// RealEnv wakeup), so a batch landing on an idle tree is picked up
 	// immediately instead of after a yield quantum.
 	policy.SetAdmissionAware(true)
+	// Prediction-error introspection is pure observation (it never alters
+	// probe decisions), so it is always on and Metrics can report it.
+	policy.EnableAccuracy()
+	var tracer *trace.Tracer
+	if opts.Trace {
+		if opts.TraceEvents == 0 {
+			opts.TraceEvents = 65536
+		}
+		tracer = core.NewTracer(opts.TraceEvents)
+	}
 	tree, err := core.New(dev, core.Config{
 		Persistence: opts.Persistence,
 		BufferPages: opts.BufferPages,
 		InboxDepth:  opts.InboxDepth,
 		Policy:      policy,
+		Tracer:      tracer,
 	}, env, meta)
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{dev: dev, ownsDev: owns, tree: tree, done: make(chan struct{})}
+	db := &DB{dev: dev, ownsDev: owns, tree: tree, done: make(chan struct{}),
+		policy: policy, tracer: tracer}
 	go func() {
 		// The polled-mode working thread wants a dedicated OS thread, as
 		// the paper's design assumes; everything else in the process can
@@ -281,46 +304,46 @@ func (db *DB) Sync() error {
 	return err
 }
 
-// Stats snapshots activity counters. The snapshot is taken on the
-// working thread (via a pipeline no-op), so it is a consistent view and
-// racing mutations are impossible; on a closed DB the final counters are
-// read directly.
-func (db *DB) Stats() Stats {
-	var st core.Stats
-	var numKeys uint64
-	var height int
-	var bufHit float64
-	snap := func() {
-		st = db.tree.StatsSnapshot()
-		numKeys = db.tree.NumKeys()
-		height = db.tree.Height()
-		bufHit = db.tree.BufferStats().HitRate()
-	}
+// onWorker runs f on the working thread (via a pipeline no-op), giving
+// it a quiescent, consistent view of tree state with no racing
+// mutations. On a closed DB it waits for the worker to exit and runs f
+// directly — the final state is then equally race-free.
+func (db *DB) onWorker(f func()) {
 	op := core.AcquireOp().InitNop()
 	ch := make(chan struct{})
 	op.Done = func(o *core.Op) {
-		snap()
+		f()
 		o.Release()
 		close(ch)
 	}
 	if err := db.admit(op); err != nil {
-		// Closed: the worker has exited (or is exiting); wait for it and
-		// read the final counters without a concurrent writer.
 		<-db.done
-		snap()
-	} else {
-		<-ch
+		f()
+		return
 	}
+	<-ch
+}
+
+// Stats snapshots activity counters; the snapshot is taken on the
+// working thread so it is a consistent view.
+func (db *DB) Stats() Stats {
+	var out Stats
+	db.onWorker(func() { out = db.statsLocked() })
+	return out
+}
+
+// statsLocked builds the Stats snapshot; call only from onWorker.
+func (db *DB) statsLocked() Stats {
+	st := db.tree.StatsSnapshot()
 	return Stats{
 		Ops:          st.TotalOps(),
-		NumKeys:      numKeys,
-		Height:       height,
+		NumKeys:      db.tree.NumKeys(),
+		Height:       db.tree.Height(),
 		Probes:       st.Probes,
 		ReadsIssued:  st.ReadsIssued,
 		WritesIssued: st.WritesIssued,
-		WritesIssue:  st.WritesIssued,
 		AdmitWaits:   st.AdmitWaits,
-		BufferHit:    bufHit,
+		BufferHit:    db.tree.BufferStats().HitRate(),
 	}
 }
 
