@@ -135,6 +135,26 @@ type Config struct {
 	Costs CostModel
 	// MaxProbeBatch bounds completions reaped per probe (0 = unlimited).
 	MaxProbeBatch int
+	// MaxIORetries bounds how many times one operation's failed device
+	// commands are retried before the tree declares the device failed
+	// (ErrDeviceFailed). Transient statuses (media error, timeout,
+	// checksum-failed read) are retried with exponential backoff; anything
+	// else fails immediately. 0 selects the default (3); negative disables
+	// retries entirely.
+	MaxIORetries int
+	// RetryBackoff is the delay before the first retry; it doubles on each
+	// subsequent retry of the same operation. Zero selects the default
+	// (50µs).
+	RetryBackoff time.Duration
+	// Journal enables the full-page-image redo journal: every update
+	// operation appends the sealed images of its modified pages (plus the
+	// meta page when the root moves) to the device's WAL region before it
+	// is acknowledged, so a crash can never lose an acknowledged write or
+	// expose a torn multi-page update. Requires a device formatted with a
+	// WAL region (Format always lays one out); ignored when the meta page
+	// records no region. Off by default: the paper's experiments measure
+	// the unjournaled write path.
+	Journal bool
 	// Tracer, when non-nil, receives lifecycle events (admission, queue
 	// and latch waits, I/O slices, completions, probes, yields) from the
 	// working thread. Build one with NewTracer so events carry the tree's
@@ -153,6 +173,14 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.Costs == (CostModel{}) {
 		c.Costs = DefaultCosts()
+	}
+	if c.MaxIORetries == 0 {
+		c.MaxIORetries = 3
+	} else if c.MaxIORetries < 0 {
+		c.MaxIORetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Microsecond
 	}
 	if c.Policy == nil {
 		m, err := probe.Default()

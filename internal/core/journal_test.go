@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/patree/patree/internal/nvme"
+	"github.com/patree/patree/internal/sim"
+	"github.com/patree/patree/internal/simos"
+	"github.com/patree/patree/internal/storage"
+)
+
+// newJournalRig builds a rig over a device of devBlocks blocks with the
+// redo journal enabled.
+func newJournalRig(t *testing.T, cfg Config, devBlocks uint64) *rig {
+	t.Helper()
+	cfg.Journal = true
+	r := &rig{t: t}
+	r.eng = sim.NewEngine()
+	r.os = simos.New(r.eng, simos.Config{})
+	r.dev = nvme.NewSimDevice(r.eng, nvme.SimConfig{Seed: 11, NumBlocks: devBlocks})
+	meta, err := Format(r.dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.WALBlocks == 0 {
+		t.Fatalf("device of %d blocks got no WAL region", devBlocks)
+	}
+	r.attach(t, cfg, meta)
+	return r
+}
+
+// crashReopen loads a device-image snapshot into a fresh simulated
+// device (modelling a machine restart over the surviving bytes), runs
+// Recover, and returns the new rig plus the recovery report.
+func crashReopen(t *testing.T, img map[uint64][]byte, cfg Config, devBlocks uint64) (*rig, *RecoverReport) {
+	t.Helper()
+	cfg.Journal = true
+	r := &rig{t: t}
+	r.eng = sim.NewEngine()
+	r.os = simos.New(r.eng, simos.Config{})
+	r.dev = nvme.NewSimDevice(r.eng, nvme.SimConfig{Seed: 12, NumBlocks: devBlocks})
+	r.dev.LoadImage(img)
+	meta, rep, err := Recover(r.dev)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	r.attach(t, cfg, meta)
+	return r, rep
+}
+
+func TestJournalCrashRecoveryWeak(t *testing.T) {
+	const n = 300
+	const blocks = 1 << 16
+	cfg := Config{Persistence: WeakPersistence, BufferPages: 64}
+	r := newJournalRig(t, cfg, blocks)
+	for i := uint64(1); i <= n; i++ {
+		if err := r.insert(i*7, fmt.Sprintf("v%d", i)).Err; err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	st := r.tree.StatsSnapshot()
+	if st.JournalAppends == 0 {
+		t.Fatal("journal enabled but no records appended")
+	}
+
+	// Crash: every acknowledged op's redo group is durable, but buffered
+	// leaf pages may never have reached the device.
+	img := r.dev.ImageSnapshot()
+	r2, rep := crashReopen(t, img, cfg, blocks)
+	if !rep.Journaled {
+		t.Fatal("recovery did not scan the journal")
+	}
+	if rep.PagesRedone == 0 {
+		t.Fatal("weak-mode crash should require page redo")
+	}
+	if rep.KeysCounted != n {
+		t.Fatalf("recovered %d keys, want %d (report %+v)", rep.KeysCounted, n, rep)
+	}
+	for i := uint64(1); i <= n; i++ {
+		res := r2.search(i * 7)
+		if res.Err != nil {
+			t.Fatalf("key %d lost after crash: %v", i*7, res.Err)
+		}
+		if want := fmt.Sprintf("v%d", i); string(res.Value) != want {
+			t.Fatalf("key %d = %q, want %q", i*7, res.Value, want)
+		}
+	}
+	// The reopened tree must accept new writes.
+	if err := r2.insert(1, "post-crash").Err; err != nil {
+		t.Fatalf("insert after recovery: %v", err)
+	}
+}
+
+func TestJournalCrashRecoveryStrong(t *testing.T) {
+	const n = 200
+	const blocks = 1 << 16
+	cfg := Config{Persistence: StrongPersistence, BufferPages: 64}
+	r := newJournalRig(t, cfg, blocks)
+	for i := uint64(1); i <= n; i++ {
+		if err := r.insert(i, fmt.Sprintf("s%d", i)).Err; err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	img := r.dev.ImageSnapshot()
+	r2, rep := crashReopen(t, img, cfg, blocks)
+	if rep.KeysCounted != n {
+		t.Fatalf("recovered %d keys, want %d", rep.KeysCounted, n)
+	}
+	// Strong mode already wrote pages in place; replay is idempotent.
+	for i := uint64(1); i <= n; i++ {
+		res := r2.search(i)
+		if res.Err != nil || string(res.Value) != fmt.Sprintf("s%d", i) {
+			t.Fatalf("key %d after crash: err=%v val=%q", i, res.Err, res.Value)
+		}
+	}
+}
+
+// TestRecoverIdempotent models a crash during recovery: running Recover
+// again over the already-recovered image converges to the same tree.
+func TestRecoverIdempotent(t *testing.T) {
+	const n = 100
+	const blocks = 1 << 16
+	cfg := Config{Persistence: WeakPersistence, BufferPages: 64}
+	r := newJournalRig(t, cfg, blocks)
+	for i := uint64(1); i <= n; i++ {
+		r.insert(i, "x")
+	}
+	img := r.dev.ImageSnapshot()
+
+	eng := sim.NewEngine()
+	dev := nvme.NewSimDevice(eng, nvme.SimConfig{Seed: 3, NumBlocks: blocks})
+	dev.LoadImage(img)
+	m1, rep1, err := Recover(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, rep2, err := Recover(dev)
+	if err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	if *m1 != *m2 && (m1.Root != m2.Root || m1.NumKeys != m2.NumKeys || m1.Height != m2.Height) {
+		t.Fatalf("recovery not idempotent: %+v vs %+v", m1, m2)
+	}
+	if rep2.PagesRedone != 0 || rep2.Records != 0 {
+		t.Fatalf("second recovery replayed work: %+v (first %+v)", rep2, rep1)
+	}
+	if m2.WALGen <= m1.WALGen-1 {
+		t.Fatalf("generation fence did not advance: %d then %d", m1.WALGen, m2.WALGen)
+	}
+}
+
+// TestJournalCheckpoint fills a small journal region until the tree
+// checkpoints on its own, then verifies both the live tree and the
+// crash-recovered image.
+func TestJournalCheckpoint(t *testing.T) {
+	const n = 500
+	const blocks = 2048 // walGeometry: 256-block region at 1792
+	cfg := Config{Persistence: WeakPersistence, BufferPages: 128}
+	r := newJournalRig(t, cfg, blocks)
+	for i := uint64(1); i <= n; i++ {
+		if err := r.insert(i, fmt.Sprintf("c%d", i)).Err; err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	st := r.tree.StatsSnapshot()
+	if st.Checkpoints == 0 {
+		t.Fatalf("journal region never checkpointed (appends=%d)", st.JournalAppends)
+	}
+	for i := uint64(1); i <= n; i++ {
+		if res := r.search(i); res.Err != nil {
+			t.Fatalf("key %d after checkpoints: %v", i, res.Err)
+		}
+	}
+	img := r.dev.ImageSnapshot()
+	r2, rep := crashReopen(t, img, cfg, blocks)
+	if rep.KeysCounted != n {
+		t.Fatalf("recovered %d keys, want %d (report %+v)", rep.KeysCounted, n, rep)
+	}
+	if res := r2.search(n / 2); res.Err != nil {
+		t.Fatalf("key %d after crash: %v", n/2, res.Err)
+	}
+}
+
+// TestJournalExplicitSync verifies a user Sync acts as a checkpoint:
+// the region is emptied and recovery afterwards has nothing to replay.
+func TestJournalExplicitSync(t *testing.T) {
+	const n = 50
+	const blocks = 1 << 16
+	cfg := Config{Persistence: WeakPersistence, BufferPages: 64}
+	r := newJournalRig(t, cfg, blocks)
+	for i := uint64(1); i <= n; i++ {
+		r.insert(i, "y")
+	}
+	if err := r.do(NewSync(nil)).Err; err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	st := r.tree.StatsSnapshot()
+	if st.Checkpoints == 0 {
+		t.Fatal("sync did not run the checkpoint pipeline")
+	}
+	img := r.dev.ImageSnapshot()
+	r2, rep := crashReopen(t, img, cfg, blocks)
+	if rep.Records != 0 || rep.PagesRedone != 0 {
+		t.Fatalf("post-sync crash left journal work: %+v", rep)
+	}
+	if rep.KeysCounted != n {
+		t.Fatalf("recovered %d keys, want %d", rep.KeysCounted, n)
+	}
+	for i := uint64(1); i <= n; i++ {
+		if res := r2.search(i); res.Err != nil {
+			t.Fatalf("key %d: %v", i, res.Err)
+		}
+	}
+}
+
+// TestJournalDisabledUnchanged pins that Journal=false trees behave as
+// before: no appends, no checkpoints, sync still works.
+func TestJournalDisabledUnchanged(t *testing.T) {
+	r := newRig(t, Config{Persistence: WeakPersistence, BufferPages: 64})
+	for i := uint64(1); i <= 50; i++ {
+		r.insert(i, "z")
+	}
+	if err := r.do(NewSync(nil)).Err; err != nil {
+		t.Fatal(err)
+	}
+	st := r.tree.StatsSnapshot()
+	if st.JournalAppends != 0 || st.Checkpoints != 0 {
+		t.Fatalf("journal activity while disabled: %+v", st)
+	}
+	meta, err := ReadMeta(r.dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The region description written by Format must survive syncs even
+	// with the journal off, so a later journaled open can use it.
+	if meta.WALBlocks == 0 || meta.WALStart == 0 {
+		t.Fatalf("sync dropped the WAL region description: %+v", meta)
+	}
+}
+
+// TestRecoverTornMeta tears page 0 and verifies recovery rebuilds it
+// from the journaled meta image (journal groups include the meta page
+// whenever the root moves, so a fresh tree always has one).
+func TestRecoverTornMeta(t *testing.T) {
+	const n = 120 // enough inserts to split the root at least once
+	const blocks = 1 << 16
+	cfg := Config{Persistence: WeakPersistence, BufferPages: 64}
+	r := newJournalRig(t, cfg, blocks)
+	for i := uint64(1); i <= n; i++ {
+		r.insert(i, fmt.Sprintf("t%d", i))
+	}
+	img := r.dev.ImageSnapshot()
+	// Tear the superblock: the crash landed mid-way through a meta write.
+	torn := img[0]
+	for i := 0; i < storage.PageSize/2; i++ {
+		torn[i] = 0xFF
+	}
+	r2, rep := crashReopen(t, img, cfg, blocks)
+	if !rep.MetaRepaired {
+		t.Fatalf("torn meta not flagged as repaired: %+v", rep)
+	}
+	if rep.KeysCounted != n {
+		t.Fatalf("recovered %d keys, want %d", rep.KeysCounted, n)
+	}
+	for i := uint64(1); i <= n; i++ {
+		res := r2.search(i)
+		if res.Err != nil || string(res.Value) != fmt.Sprintf("t%d", i) {
+			t.Fatalf("key %d after torn-meta crash: err=%v val=%q", i, res.Err, res.Value)
+		}
+	}
+}

@@ -105,6 +105,7 @@ const (
 	stReadNode                    // need the content of op.cur
 	stProcess                     // have op.curNode; run index logic
 	stWriteNext                   // strong mode: issue the next queued write
+	stJournal                     // journaled update: persist the redo group
 	stSyncRun                     // sync op: drive the flush pipeline
 	stDone
 )
@@ -174,6 +175,38 @@ type Op struct {
 	syncOutstanding int
 	syncFlushSent   bool
 	syncFlushDone   bool
+	// journaled-sync bookkeeping: the checkpoint pipeline advances through
+	// numbered phases (see runSyncJournaled); syncSent marks a single
+	// in-flight phase command, syncResetDone that the in-memory log has
+	// already been reset, syncFenced that this op owns the append fence.
+	syncPhase     int
+	syncSent      bool
+	syncResetDone bool
+	syncFenced    bool
+	// internal marks tree-spawned operations (checkpoint syncs) so their
+	// completion can release pipeline-serialization flags.
+	internal bool
+
+	// ioRetries is the op's cumulative transient-failure retry budget
+	// consumed so far (compared against Config.MaxIORetries).
+	ioRetries int
+
+	// Redo-journal bookkeeping. jNeed is the log byte watermark that must
+	// be durable before this op may be acknowledged (ordinary mutations
+	// hand their WAL blocks to the tree-level writer and park on it);
+	// jLiveMark/jParked record whether the op is counted in Tree.jLive /
+	// parked in Tree.jWaiters, and postJournal whether it is counted in
+	// Tree.postJournalLive (strong mode, between journal durability and
+	// in-place write completion). jBlocks/jIdx serve the checkpoint
+	// pipeline, which writes its fenced meta record itself (sequentially,
+	// jIdx next) while the shared writer is drained.
+	jBlocks     []writeReq
+	jIdx        int
+	jNeed       int
+	jAppended   bool
+	jLiveMark   bool
+	jParked     bool
+	postJournal bool
 
 	holdsWrite bool
 
@@ -311,6 +344,22 @@ func (o *Op) reset() {
 	o.syncOutstanding = 0
 	o.syncFlushSent = false
 	o.syncFlushDone = false
+	o.syncPhase = 0
+	o.syncSent = false
+	o.syncResetDone = false
+	o.syncFenced = false
+	o.internal = false
+	o.ioRetries = 0
+	for i := range o.jBlocks {
+		o.jBlocks[i] = writeReq{}
+	}
+	o.jBlocks = o.jBlocks[:0]
+	o.jIdx = 0
+	o.jNeed = 0
+	o.jAppended = false
+	o.jLiveMark = false
+	o.jParked = false
+	o.postJournal = false
 	o.holdsWrite = false
 	o.tree = nil
 	o.pendingLatch = heldLatch{}

@@ -15,6 +15,7 @@ import (
 	"github.com/patree/patree/internal/sim"
 	"github.com/patree/patree/internal/storage"
 	"github.com/patree/patree/internal/trace"
+	"github.com/patree/patree/internal/wal"
 )
 
 // innerSplitMargin is how far below the hard inner capacity a node must be
@@ -33,6 +34,23 @@ var ErrStopped = errors.New("core: tree stopped")
 // ErrBacklog is returned by TryAdmit/TryAdmitBatch when the bounded
 // admission ring is full — backpressure the embedder can react to.
 var ErrBacklog = errors.New("core: admission ring full")
+
+// ErrDeviceFailed is the terminal error: an I/O failed beyond the retry
+// budget (or with a non-transient status), the tree entered its failed
+// state, and every live and future operation completes with this error.
+// The working thread keeps running so pending operations drain cleanly;
+// Tree.FailCause reports the underlying device error.
+var ErrDeviceFailed = errors.New("core: device failed")
+
+// errCorruptRead marks a read whose page image failed its checksum
+// (bit rot, or a torn write surfacing later). It is transient from the
+// retry machinery's point of view: a re-read may return clean data.
+var errCorruptRead = errors.New("core: page image failed checksum")
+
+// transientIOErr reports whether a device error is worth retrying.
+func transientIOErr(err error) bool {
+	return err == nvme.ErrMedia || err == nvme.ErrTimeout || err == errCorruptRead
+}
 
 // Stats aggregates the tree-side measurements the experiments report.
 type Stats struct {
@@ -56,6 +74,14 @@ type Stats struct {
 	ReadsIssued     uint64
 	WritesIssued    uint64
 	Splits          uint64
+	// IOErrors counts device commands that completed with an error status;
+	// IORetries counts the retries issued in response (bounded per op by
+	// Config.MaxIORetries). JournalAppends counts redo records appended to
+	// the WAL, and Checkpoints counts completed journal checkpoints.
+	IOErrors       uint64
+	IORetries      uint64
+	JournalAppends uint64
+	Checkpoints    uint64
 	// Stages holds per-stage, per-kind latency histograms: where each
 	// operation's time went between admission and completion (see
 	// metrics.Stage). The conditional stages (admit-wait, latch-wait,
@@ -101,7 +127,57 @@ type Tree struct {
 	// inflight tracks weak-mode write-backs between submission and
 	// completion so read misses never fetch stale pages from the device.
 	inflight map[storage.PageID][]byte
-	bgQueue  []buffer.Dirty // dirty evictions awaiting submission
+	bgQueue  []bgWrite // dirty evictions awaiting (re)submission
+
+	// Redo-journal state (Config.Journal). wal appends over the region
+	// [walStart, walStart+walBlocks); journalOn gates the whole pipeline
+	// (walStart/walBlocks/metaWALGen are kept even when it is off, so meta
+	// rewrites preserve the region description). jDurable is the log byte
+	// watermark known durable; jWaiters holds ops whose records were
+	// carried to the device by another op's block writes and wait for the
+	// watermark to cover them. jLive counts ops inside stJournal,
+	// postJournalLive the strong-mode ops still writing in place after
+	// their group became durable — a checkpoint quiesces both before it
+	// retires records. jFence blocks new mutations (checked before the
+	// leaf is touched) while a checkpoint drains.
+	wal             *wal.Log
+	walStart        uint64
+	walBlocks       uint64
+	metaWALGen      uint32
+	journalOn       bool
+	jDurable        int
+	jLive           int
+	postJournalLive int
+	jFence          bool
+	jWaiters        []*Op
+
+	// The WAL block writer: one tree-level FIFO issuing block writes
+	// strictly in log order, a single write in flight. Per-op writers
+	// would race on the shared tail block — a stale rewrite landing after
+	// a newer one truncates certified bytes, and an op completing its own
+	// blocks could certify bytes an earlier op still has in flight,
+	// acknowledging records a crash can still revert. A flush that
+	// rewrites a block still pending here supersedes it in place; an
+	// entry's certify watermark is applied to jDurable only when that
+	// entry itself completes, so the durable prefix is always contiguous.
+	jwq       []jwEntry
+	jwBusy    bool
+	jwRetries int
+
+	// syncActive serializes sync/checkpoint pipelines; checkpointPending
+	// is set while an internal checkpoint op is live so the trigger never
+	// double-fires. retryq holds ops sleeping out a transient-failure
+	// backoff (or a journal-gate deferral).
+	syncActive        bool
+	checkpointPending bool
+	retryq            []retryEntry
+
+	// failed flips once on the first unrecoverable device error; from then
+	// on every live and future operation drains with ErrDeviceFailed
+	// instead of wedging the working thread. failCause keeps the root
+	// cause for diagnostics.
+	failed    bool
+	failCause error
 
 	policy  sched.Policy
 	ready   sched.ReadyQueue
@@ -139,6 +215,29 @@ type Tree struct {
 	pollerLive bool
 }
 
+// bgWrite is one queued background write-back, with its retry budget and
+// the earliest instant it may be (re)submitted.
+type bgWrite struct {
+	buffer.Dirty
+	retries int
+	due     sim.Time
+}
+
+// retryEntry parks an op until its backoff elapses (promoteRetries).
+type retryEntry struct {
+	op  *Op
+	due sim.Time
+}
+
+// jwEntry is one WAL block image queued for the tree-level writer.
+// certify, when non-zero, is the log byte watermark that becomes
+// durable once this write completes (set on a flush's final block).
+type jwEntry struct {
+	id      storage.PageID
+	data    []byte
+	certify int
+}
+
 // New creates a tree on dev using an existing on-device image described
 // by meta (use Format to initialize a fresh device).
 func New(dev nvme.Device, cfg Config, env Env, meta *storage.Meta) (*Tree, error) {
@@ -162,6 +261,18 @@ func New(dev nvme.Device, cfg Config, env Env, meta *storage.Meta) (*Tree, error
 		policy:    cfg.Policy,
 		inbox:     newOpRing(cfg.InboxDepth),
 		tr:        cfg.Tracer,
+	}
+	t.walStart = meta.WALStart
+	t.walBlocks = meta.WALBlocks
+	t.metaWALGen = meta.WALGen
+	if cfg.Journal && meta.WALBlocks > 0 && meta.WALStart > 0 {
+		t.wal = wal.NewLog(storage.PageSize, meta.WALBlocks)
+		g := meta.WALGen
+		if g < 1 {
+			g = 1
+		}
+		t.wal.SetGeneration(g)
+		t.journalOn = true
 	}
 	if w, ok := env.(interface{ Wake() }); ok {
 		t.wake = w.Wake
@@ -188,9 +299,22 @@ func New(dev nvme.Device, cfg Config, env Env, meta *storage.Meta) (*Tree, error
 
 // Format initializes a fresh device with an empty tree (meta page + empty
 // root leaf) using direct synchronous I/O, and returns the meta image.
+// When the device is large enough, a WAL region is carved from its top
+// and recorded in the meta page; the redo journal (Config.Journal) and
+// crash recovery use it, and it costs nothing when left disabled.
 func Format(dev nvme.Device) (*storage.Meta, error) {
 	root := storage.NewLeaf(1)
-	meta := &storage.Meta{Root: 1, Height: 1, Watermark: 2}
+	walStart, walBlocks := walGeometry(dev.NumBlocks())
+	meta := &storage.Meta{Root: 1, Height: 1, Watermark: 2,
+		WALStart: walStart, WALBlocks: walBlocks}
+	if walBlocks > 0 {
+		meta.WALGen = 1
+		// Zero the region's first block so stale frames from a previous
+		// life of the device can never be replayed.
+		if err := syncWrite(dev, storage.PageID(walStart), make([]byte, storage.PageSize)); err != nil {
+			return nil, err
+		}
+	}
 	if err := syncWrite(dev, 1, root.Encode()); err != nil {
 		return nil, err
 	}
@@ -571,6 +695,7 @@ func (t *Tree) Run() {
 	costs := &t.cfg.Costs
 	for {
 		t.drainInbox()
+		t.promoteRetries()
 		progressed := false
 		if e, ok := t.ready.Pop(); ok {
 			op := e.Op.(*Op)
@@ -592,6 +717,9 @@ func (t *Tree) Run() {
 			}
 		}
 		t.resubmitStalled()
+		t.drainBG()
+		t.jwKick()
+		t.maybeCheckpoint()
 		t.charge(metrics.CatSched, costs.SchedStep)
 		if !progressed && t.ready.Len() == 0 && t.inboxEmpty() {
 			// Exit order matters: admitters is read before re-checking the
@@ -737,6 +865,16 @@ func (t *Tree) process(o *Op) {
 		if DebugTraceSeq != 0 && o.seq == DebugTraceSeq {
 			fmt.Printf("TRACE op%d state=%d cur=%d depth=%d held=%v err=%v\n", o.seq, o.state, o.cur, o.depth, o.held, o.pendingErr)
 		}
+		if t.failed && o.state != stDone {
+			// Terminal device failure: fail the operation as soon as it has
+			// no commands in flight. Callbacks for outstanding commands keep
+			// rescheduling it here until it has drained, so nothing is ever
+			// freed back to the pool with a completion still pointing at it.
+			if o.syncOutstanding == 0 {
+				t.failOp(o, ErrDeviceFailed)
+			}
+			return
+		}
 		if o.pendingErr != nil && o.state != stSyncRun {
 			t.failOp(o, o.pendingErr)
 			return
@@ -824,8 +962,17 @@ func (t *Tree) process(o *Op) {
 			}
 			return // I/O-blocked until this write completes
 
+		case stJournal:
+			if t.runJournal(o) {
+				return
+			}
+
 		case stSyncRun:
-			if t.runSync(o) {
+			if t.journalOn {
+				if t.runSyncJournaled(o) {
+					return
+				}
+			} else if t.runSync(o) {
 				return
 			}
 
@@ -992,6 +1139,9 @@ func (t *Tree) leafAction(o *Op) bool {
 			t.failOp(o, ErrValueTooLarge)
 			return true
 		}
+		if !t.journalGate(o) {
+			return true // deferred before mutating; re-runs via retryq
+		}
 		i, found := node.SearchLeaf(o.key)
 		if o.kind == KindUpdate && !found {
 			o.Res.Found = false
@@ -1013,6 +1163,9 @@ func (t *Tree) leafAction(o *Op) bool {
 		if !found {
 			t.finishOp(o)
 			return true
+		}
+		if !t.journalGate(o) {
+			return true // deferred before mutating; re-runs via retryq
 		}
 		node.DeleteLeafAt(i)
 		o.Res.Found = true
@@ -1183,6 +1336,13 @@ func (t *Tree) beginWriteback(o *Op) bool {
 		for _, n := range o.modified {
 			t.bufferWrite(n.ID, n.Encode())
 		}
+		if t.journalOn {
+			// Acknowledge only once the redo group is durable: the buffered
+			// pages may not reach the device until much later, but the WAL
+			// can replay them after a crash.
+			o.state = stJournal
+			return false
+		}
 		t.finishOp(o)
 		return true
 	}
@@ -1203,6 +1363,13 @@ func (t *Tree) beginWriteback(o *Op) bool {
 		// Root changed: persist the new meta image after everything else.
 		meta := t.pendingMeta(o)
 		o.writes = append(o.writes, writeReq{id: 0, data: meta.Encode()})
+	}
+	if t.journalOn {
+		// Journal-first: the redo group becomes durable before the in-place
+		// writes start, so a crash tearing the in-place update is healed by
+		// replay.
+		o.state = stJournal
+		return false
 	}
 	o.state = stWriteNext
 	return false // continue in process(): stWriteNext issues the first write
@@ -1226,7 +1393,33 @@ func (t *Tree) pendingMeta(o *Op) *storage.Meta {
 		Watermark: t.alloc.Watermark(),
 		NumKeys:   t.numKeys,
 		SyncEpoch: t.syncEpoch,
+		WALStart:  t.walStart,
+		WALBlocks: t.walBlocks,
+		WALGen:    t.walGenCurrent(),
 	}
+}
+
+// currentMeta builds the meta image for the tree's present in-memory
+// state, preserving the journal region description.
+func (t *Tree) currentMeta() *storage.Meta {
+	return &storage.Meta{
+		Root:      t.rootID,
+		Height:    uint8(t.height),
+		Watermark: t.alloc.Watermark(),
+		NumKeys:   t.numKeys,
+		SyncEpoch: t.syncEpoch,
+		WALStart:  t.walStart,
+		WALBlocks: t.walBlocks,
+		WALGen:    t.walGenCurrent(),
+	}
+}
+
+// walGenCurrent returns the journal generation a meta rewrite must carry.
+func (t *Tree) walGenCurrent() uint32 {
+	if t.wal != nil {
+		return t.wal.Generation()
+	}
+	return t.metaWALGen
 }
 
 // ─── Page access ────────────────────────────────────────────────────────
@@ -1268,45 +1461,112 @@ func (t *Tree) bufferWrite(id storage.PageID, data []byte) {
 }
 
 func (t *Tree) queueBG(d buffer.Dirty) {
-	t.bgQueue = append(t.bgQueue, d)
+	if t.failed {
+		return // terminal state: durability is already lost, drop quietly
+	}
+	// Coalesce with a queued-but-unsubmitted write of the same page: the
+	// newest image supersedes (same-page submission order must hold, or a
+	// retried stale image could overwrite fresher data).
+	for i := range t.bgQueue {
+		if t.bgQueue[i].ID == d.ID {
+			t.bgQueue[i].Dirty = d
+			t.bgQueue[i].retries = 0
+			t.bgQueue[i].due = 0
+			t.drainBG()
+			return
+		}
+	}
+	t.bgQueue = append(t.bgQueue, bgWrite{Dirty: d})
 	t.drainBG()
 }
 
-// drainBG submits queued background write-backs, leaving the rest queued
-// when the submission queue is full.
+// drainBG submits queued background write-backs whose backoff has
+// elapsed, leaving the rest queued when the submission queue is full.
 func (t *Tree) drainBG() {
-	for len(t.bgQueue) > 0 {
-		d := t.bgQueue[0]
-		data := d.Data
-		id := d.ID
-		epoch := d.Epoch
-		t.inflight[id] = data
-		submitted := t.now()
-		cmd := &nvme.Command{Op: nvme.OpWrite, LBA: uint64(id), Blocks: 1, Buf: data}
-		cmd.Callback = func(c nvme.Completion) {
-			t.ioBlocked--
-			now := t.now()
-			t.policy.OnDetected(nvme.OpWrite, submitted, now)
-			if t.tr != nil {
-				t.tr.Emit(tcIOWrite, classNone, 0, uint64(id), int64(submitted), int64(now.Sub(submitted)))
-			}
-			if cur, ok := t.inflight[id]; ok && &cur[0] == &data[0] {
-				delete(t.inflight, id)
-			}
-			if epoch != 0 {
-				t.rw.MarkClean(id, epoch)
-			}
-		}
-		t.charge(metrics.CatNVMe, t.cfg.Costs.IOSubmit)
-		if err := t.qp.Submit(cmd); err != nil {
-			delete(t.inflight, id)
-			return // queue full; retry on a later pass
-		}
-		t.policy.OnSubmit(nvme.OpWrite, submitted)
-		t.ioBlocked++
-		t.stats.WritesIssued++
-		t.bgQueue = t.bgQueue[1:]
+	if len(t.bgQueue) == 0 {
+		return
 	}
+	if t.failed {
+		t.bgQueue = t.bgQueue[:0]
+		return
+	}
+	now := t.now()
+	rest := t.bgQueue[:0]
+	for i := 0; i < len(t.bgQueue); i++ {
+		w := t.bgQueue[i]
+		if w.due > now {
+			rest = append(rest, w)
+			continue
+		}
+		if !t.submitBG(w) {
+			// Submission queue full: keep this and everything after it.
+			rest = append(rest, t.bgQueue[i:]...)
+			break
+		}
+	}
+	t.bgQueue = rest
+}
+
+// submitBG issues one background write-back. Returns false when the
+// submission queue is full (the entry stays queued). A transient error
+// re-queues the write with backoff until its retry budget runs out;
+// exhaustion or a non-transient status fails the device.
+func (t *Tree) submitBG(w bgWrite) bool {
+	data := w.Data
+	id := w.ID
+	epoch := w.Epoch
+	retries := w.retries
+	t.inflight[id] = data
+	submitted := t.now()
+	cmd := &nvme.Command{Op: nvme.OpWrite, LBA: uint64(id), Blocks: 1, Buf: data}
+	cmd.Callback = func(c nvme.Completion) {
+		t.ioBlocked--
+		now := t.now()
+		t.policy.OnDetected(nvme.OpWrite, submitted, now)
+		if t.tr != nil {
+			t.tr.Emit(tcIOWrite, classNone, 0, uint64(id), int64(submitted), int64(now.Sub(submitted)))
+		}
+		if cur, ok := t.inflight[id]; ok && &cur[0] == &data[0] {
+			delete(t.inflight, id)
+		}
+		if c.Err != nil {
+			t.stats.IOErrors++
+			if !t.failed && transientIOErr(c.Err) && retries < t.cfg.MaxIORetries {
+				t.stats.IORetries++
+				t.requeueBG(bgWrite{
+					Dirty:   buffer.Dirty{ID: id, Data: data, Epoch: epoch},
+					retries: retries + 1,
+					due:     now.Add(t.retryDelay(retries + 1)),
+				})
+			} else {
+				t.enterFailed(c.Err)
+			}
+			return
+		}
+		if epoch != 0 {
+			t.rw.MarkClean(id, epoch)
+		}
+	}
+	t.charge(metrics.CatNVMe, t.cfg.Costs.IOSubmit)
+	if err := t.qp.Submit(cmd); err != nil {
+		delete(t.inflight, id)
+		return false // queue full; retried by the main loop's drainBG
+	}
+	t.policy.OnSubmit(nvme.OpWrite, submitted)
+	t.ioBlocked++
+	t.stats.WritesIssued++
+	return true
+}
+
+// requeueBG re-queues a failed background write for retry — unless a
+// newer image of the same page is already queued, which supersedes it.
+func (t *Tree) requeueBG(w bgWrite) {
+	for i := range t.bgQueue {
+		if t.bgQueue[i].ID == w.ID {
+			return
+		}
+	}
+	t.bgQueue = append(t.bgQueue, w)
 }
 
 // submitRead issues the read for o.cur. Returns false if the op stalled
@@ -1324,8 +1584,16 @@ func (t *Tree) submitRead(o *Op) bool {
 		if t.tr != nil {
 			t.tr.Emit(tcIORead, uint16(o.kind), o.seq, uint64(id), int64(submitted), int64(now.Sub(submitted)))
 		}
-		if c.Err != nil {
-			o.pendingErr = c.Err
+		err := c.Err
+		if err == nil && !storage.VerifyPage(buf) {
+			// Bit rot or a torn write: never admit a checksum-failed image
+			// into the buffers. A re-read may heal transient corruption.
+			err = errCorruptRead
+		}
+		if err != nil {
+			if t.handleOpIOError(o, err) {
+				return // parked in retryq; promoted after the backoff
+			}
 		} else {
 			o.ioData = buf
 			o.ioFor = id
@@ -1370,7 +1638,9 @@ func (t *Tree) submitOpWrite(o *Op) bool {
 			t.tr.Emit(tcIOWrite, uint16(o.kind), o.seq, uint64(w.id), int64(submitted), int64(now.Sub(submitted)))
 		}
 		if c.Err != nil {
-			o.pendingErr = c.Err
+			if t.handleOpIOError(o, c.Err) {
+				return // parked in retryq; stWriteNext resubmits w.id
+			}
 		} else {
 			if w.id != 0 {
 				t.ro.FillOnWriteComplete(w.id, w.data)
@@ -1390,12 +1660,355 @@ func (t *Tree) submitOpWrite(o *Op) bool {
 	return true
 }
 
+// ─── Fault handling: retries and the terminal failed state ─────────────
+
+// handleOpIOError classifies an errored command on o's critical path.
+// A transient status within the op's retry budget schedules a delayed
+// re-run of the op's current state (which naturally resubmits the same
+// I/O) and returns true; otherwise the tree enters the failed state,
+// o.pendingErr is set, and false is returned — the caller pushes the op
+// so process() can drain it.
+func (t *Tree) handleOpIOError(o *Op, err error) bool {
+	t.stats.IOErrors++
+	if t.failed || !transientIOErr(err) || o.ioRetries >= t.cfg.MaxIORetries {
+		t.enterFailed(err)
+		o.pendingErr = ErrDeviceFailed
+		return false
+	}
+	o.ioRetries++
+	t.stats.IORetries++
+	t.scheduleRetry(o, t.retryDelay(o.ioRetries))
+	return true
+}
+
+// retryDelay is the exponential backoff before the attempt-th retry.
+func (t *Tree) retryDelay(attempt int) time.Duration {
+	d := t.cfg.RetryBackoff
+	for i := 1; i < attempt && d < time.Second; i++ {
+		d *= 2
+	}
+	return d
+}
+
+// scheduleRetry parks o until its backoff elapses. Only ops with no
+// other pending wake-up source (no outstanding commands, no latch
+// request) may be parked here, so a promotion can never double-schedule
+// an op that moved on in the meantime.
+func (t *Tree) scheduleRetry(o *Op, d time.Duration) {
+	t.retryq = append(t.retryq, retryEntry{op: o, due: t.now().Add(d)})
+}
+
+// promoteRetries pushes parked ops whose backoff elapsed back into the
+// ready set. In the failed state every entry is promoted immediately so
+// the pipeline drains without waiting out backoffs.
+func (t *Tree) promoteRetries() {
+	if len(t.retryq) == 0 {
+		return
+	}
+	now := t.now()
+	rest := t.retryq[:0]
+	for _, e := range t.retryq {
+		if t.failed || e.due <= now {
+			t.pushReady(e.op, now)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	t.retryq = rest
+}
+
+// enterFailed flips the tree into its terminal failed state: background
+// write-backs are dropped and every parked operation is woken so it
+// drains with ErrDeviceFailed. The working thread itself stays healthy —
+// Run keeps going until every live op has completed, so no waiter is
+// stranded and Close still works.
+func (t *Tree) enterFailed(cause error) {
+	if t.failed {
+		return
+	}
+	t.failed = true
+	t.failCause = cause
+	t.bgQueue = t.bgQueue[:0]
+	t.promoteRetries()
+	t.promoteJWaiters()
+}
+
+// Failed reports whether the tree is in the terminal failed state.
+// Worker-thread only.
+func (t *Tree) Failed() bool { return t.failed }
+
+// FailCause returns the device error that moved the tree into the failed
+// state (nil while healthy). Worker-thread only.
+func (t *Tree) FailCause() error { return t.failCause }
+
+// ─── Redo journal (Config.Journal) ──────────────────────────────────────
+
+// journalRecordBytes is the payload size of one redo record:
+// opSeq(8) idx(1) cnt(1) pageID(8) page image(512).
+const journalRecordBytes = 18 + storage.PageSize
+
+// maxJournalGroup bounds the records one operation can journal: a leaf
+// multi-split chain plus the parent path plus a new root plus the meta
+// image stays far below this (see splitCurrent), and the gate reserves
+// this much headroom before any mutation, so an admitted group always
+// fits.
+const maxJournalGroup = 24
+
+// journalGate defers a mutating operation while the journal cannot
+// accept its redo group: during a checkpoint's append fence, or when the
+// region lacks headroom for a worst-case group (which triggers a
+// checkpoint). The gate runs before the leaf is touched, so a deferred
+// operation re-runs later with no state to undo — and a checkpoint's
+// dirty-page snapshot is complete, because no page can become dirty
+// behind it.
+func (t *Tree) journalGate(o *Op) bool {
+	if !t.journalOn {
+		return true
+	}
+	if t.jFence {
+		t.scheduleRetry(o, t.cfg.RetryBackoff)
+		return false
+	}
+	if t.wal.Remaining() < maxJournalGroup*(journalRecordBytes+wal.FrameOverhead) {
+		t.maybeCheckpoint()
+		t.scheduleRetry(o, t.cfg.RetryBackoff)
+		return false
+	}
+	return true
+}
+
+// runJournal drives stJournal: append the op's redo group (once), hand
+// the flushed WAL blocks to the tree-level writer, then wait until the
+// durability watermark covers the group's bytes before acknowledging
+// (weak) or starting the in-place writes (strong). Returns true when
+// the op left the ready set.
+func (t *Tree) runJournal(o *Op) bool {
+	if !o.jAppended {
+		t.journalBuild(o)
+		o.jAppended = true
+		o.jLiveMark = true
+		t.jLive++
+		t.jwKick()
+	}
+	if o.jNeed > t.jDurable {
+		// The op's records ride in the shared writer's queue; park until
+		// the durability watermark covers them.
+		if !o.jParked {
+			o.jParked = true
+			t.jWaiters = append(t.jWaiters, o)
+		}
+		return true
+	}
+	o.jLiveMark = false
+	t.jLive--
+	if t.cfg.Persistence == WeakPersistence {
+		t.finishOp(o)
+		return true
+	}
+	o.postJournal = true
+	t.postJournalLive++
+	o.state = stWriteNext
+	return false
+}
+
+// journalBuild appends the op's redo group — one record per modified
+// page, plus the meta image when the root moves — and collects the WAL
+// block writes the flush produced. The gate guaranteed capacity, so
+// append errors are logic bugs.
+func (t *Tree) journalBuild(o *Op) {
+	cnt := len(o.modified)
+	if o.commit != nil {
+		cnt++
+	}
+	if cnt > maxJournalGroup {
+		panic(fmt.Sprintf("core: journal group of %d records exceeds the gate bound", cnt))
+	}
+	rec := make([]byte, journalRecordBytes)
+	idx := 0
+	emit := func(id storage.PageID, image []byte) {
+		putJU64(rec[0:8], o.seq)
+		rec[8] = byte(idx)
+		rec[9] = byte(cnt)
+		putJU64(rec[10:18], uint64(id))
+		copy(rec[18:], image)
+		if _, err := t.wal.Append(rec); err != nil {
+			panic("core: journal append failed after gate: " + err.Error())
+		}
+		idx++
+	}
+	for _, n := range o.modified {
+		emit(n.ID, n.Encode())
+	}
+	if o.commit != nil {
+		emit(0, t.pendingMeta(o).Encode())
+	}
+	t.wal.Flush(func(bi uint64, data []byte) {
+		t.jwEnqueue(storage.PageID(t.walStart+bi), data)
+	})
+	// After Flush, UsedBytes covers everything flushed so far; the
+	// watermark is certified when the flush's final block completes.
+	target := t.wal.UsedBytes()
+	if n := len(t.jwq); n > 0 && target > t.jwq[n-1].certify {
+		t.jwq[n-1].certify = target
+	}
+	o.jNeed = target
+	t.stats.JournalAppends += uint64(cnt)
+}
+
+// jwEnqueue queues one WAL block image for the tree-level writer. A
+// pending rewrite of the same block (the growing tail) is superseded in
+// place — unless it is the write currently in flight, in which case the
+// newer image queues behind it and lands after, preserving log order.
+func (t *Tree) jwEnqueue(id storage.PageID, data []byte) {
+	// Flush reuses its block buffer between calls: copy.
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	if n := len(t.jwq); n > 0 && t.jwq[n-1].id == id && !(n == 1 && t.jwBusy) {
+		t.jwq[n-1].data = cp
+		return
+	}
+	t.jwq = append(t.jwq, jwEntry{id: id, data: cp})
+}
+
+// jwKick submits the head of the WAL writer queue if nothing is in
+// flight. Called after enqueueing and from the main loop (to recover
+// from a full submission queue). Completions chain the next submit, so
+// the queue drains one ordered write at a time.
+func (t *Tree) jwKick() {
+	if t.jwBusy || len(t.jwq) == 0 || t.failed {
+		return
+	}
+	e := t.jwq[0]
+	submitted := t.now()
+	cmd := &nvme.Command{Op: nvme.OpWrite, LBA: uint64(e.id), Blocks: 1, Buf: e.data}
+	cmd.Callback = func(c nvme.Completion) {
+		t.ioBlocked--
+		now := t.now()
+		t.policy.OnDetected(nvme.OpWrite, submitted, now)
+		if t.tr != nil {
+			t.tr.Emit(tcIOWrite, classNone, 0, uint64(e.id), int64(submitted), int64(now.Sub(submitted)))
+		}
+		t.jwBusy = false
+		if c.Err != nil {
+			t.stats.IOErrors++
+			if transientIOErr(c.Err) && t.jwRetries < t.cfg.MaxIORetries {
+				t.jwRetries++
+				t.stats.IORetries++
+				t.jwKick() // resubmit the same entry
+				return
+			}
+			t.enterFailed(c.Err)
+			t.jwq = t.jwq[:0]
+			t.promoteJWaiters() // failed: wake parked ops so they drain
+			return
+		}
+		t.jwRetries = 0
+		t.jwq = t.jwq[1:]
+		if e.certify > t.jDurable {
+			t.jDurable = e.certify
+			t.promoteJWaiters()
+		}
+		t.jwKick()
+	}
+	t.charge(metrics.CatNVMe, t.cfg.Costs.IOSubmit)
+	if err := t.qp.Submit(cmd); err != nil {
+		return // queue full: the main loop kicks again
+	}
+	t.policy.OnSubmit(nvme.OpWrite, submitted)
+	t.ioBlocked++
+	t.stats.WritesIssued++
+	t.jwBusy = true
+}
+
+// promoteJWaiters wakes ops whose journal bytes became durable (or, in
+// the failed state, every parked op so it can drain).
+func (t *Tree) promoteJWaiters() {
+	if len(t.jWaiters) == 0 {
+		return
+	}
+	now := t.now()
+	rest := t.jWaiters[:0]
+	for _, o := range t.jWaiters {
+		if t.failed || o.jNeed <= t.jDurable {
+			o.jParked = false
+			t.pushReady(o, now)
+		} else {
+			rest = append(rest, o)
+		}
+	}
+	t.jWaiters = rest
+}
+
+// maybeCheckpoint spawns an internal checkpoint sync when the journal
+// region is running out of headroom (3/4 full). Called from the main
+// loop and from the journal gate.
+func (t *Tree) maybeCheckpoint() {
+	if !t.journalOn || t.failed || t.syncActive || t.checkpointPending {
+		return
+	}
+	if t.wal.Remaining()*4 >= t.wal.CapBytes() {
+		return
+	}
+	t.checkpointPending = true
+	o := AcquireOp().InitSync()
+	o.internal = true
+	o.Done = func(o *Op) { o.Release() }
+	t.adoptOp(o, stSyncRun)
+}
+
+// adoptOp injects a tree-spawned operation directly into the live set,
+// bypassing the admission ring. Worker-thread only.
+func (t *Tree) adoptOp(o *Op, st opState) {
+	now := t.now()
+	o.Res.Admitted = now
+	o.enqueuedAt = now
+	o.drainedAt = now
+	t.seq++
+	o.seq = t.seq
+	o.tree = t
+	if o.grantFn == nil {
+		o.grantFn = func() { o.tree.grantLatch(o) }
+	}
+	o.state = st
+	t.liveOps++
+	if t.liveSet == nil {
+		t.liveSet = make(map[uint64]*Op)
+	}
+	t.liveSet[o.seq] = o
+	t.pushReady(o, now)
+}
+
+// putJU64 is little-endian encoding for journal record fields.
+func putJU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func getJU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
 // ─── Sync (weak persistence §III-C) ─────────────────────────────────────
 
 // runSync drives a sync operation. Returns true when the op left the
 // ready set.
 func (t *Tree) runSync(o *Op) bool {
 	if o.pendingErr != nil {
+		if o.syncOutstanding > 0 {
+			// Absorb the remaining completions before failing: failOp may
+			// release the op back to the pool, and a late callback must
+			// never run against a recycled op.
+			return true
+		}
 		t.failOp(o, o.pendingErr)
 		return true
 	}
@@ -1405,13 +2018,7 @@ func (t *Tree) runSync(o *Op) bool {
 			o.syncQueue = t.rw.DirtyPages()
 		}
 		t.syncEpoch++
-		meta := &storage.Meta{
-			Root:      t.rootID,
-			Height:    uint8(t.height),
-			Watermark: t.alloc.Watermark(),
-			NumKeys:   t.numKeys,
-			SyncEpoch: t.syncEpoch,
-		}
+		meta := t.currentMeta()
 		o.syncQueue = append(o.syncQueue, buffer.Dirty{ID: 0, Data: meta.Encode()})
 	}
 	// Submit as much of the queue as fits.
@@ -1481,6 +2088,296 @@ func (t *Tree) runSync(o *Op) bool {
 		}
 	}
 	return true // waiting for completions
+}
+
+// Journal checkpoint phases (runSyncJournaled).
+const (
+	spPages        = iota // write the dirty-page snapshot (weak mode)
+	spPagesFlush          // barrier: snapshot + background write-backs durable
+	spMetaLog             // journal the fenced meta image
+	spMetaLogFlush        // barrier: the meta record is durable
+	spMeta                // write the fenced meta page in place
+	spMetaFlush           // barrier: meta durable
+	spReset               // reset the log, zero its first block
+	spResetFlush          // barrier: zero block durable
+)
+
+// runSyncJournaled drives a sync when the redo journal is on: a full
+// checkpoint that makes every buffered page durable, fences the retired
+// journal generation out of the meta page, and resets the log region.
+// The phase order is load-bearing: data pages must be durable (flush
+// barrier) before the meta fence advances, and the fence must be durable
+// before the log is reset — at every crash point, either the records or
+// the pages they describe survive. Always returns true (the pipeline
+// never continues into another state).
+func (t *Tree) runSyncJournaled(o *Op) bool {
+	if o.pendingErr != nil {
+		if o.syncOutstanding > 0 {
+			return true // absorb outstanding completions before failing
+		}
+		t.failOp(o, o.pendingErr)
+		return true
+	}
+	if !o.syncStarted {
+		if t.syncActive {
+			// Another sync owns the pipeline; run again once it finishes.
+			t.scheduleRetry(o, t.cfg.RetryBackoff)
+			return true
+		}
+		o.syncStarted = true
+		o.syncFenced = true
+		t.syncActive = true
+		t.jFence = true
+		if t.rw != nil {
+			o.syncQueue = t.rw.DirtyPages()
+		}
+		o.syncPhase = spPages
+	}
+	for {
+		switch o.syncPhase {
+		case spPages:
+			for len(o.syncQueue) > 0 {
+				if !t.submitSyncPage(o, o.syncQueue[0]) {
+					return true // queue full: stalled list resumes us
+				}
+				o.syncQueue = o.syncQueue[1:]
+			}
+			if o.syncOutstanding > 0 {
+				return true
+			}
+			if len(t.bgQueue) > 0 || len(t.inflight) > 0 {
+				// Background write-backs must land under the coming flush
+				// barrier too; their completions do not reschedule this op,
+				// so poll.
+				t.scheduleRetry(o, t.cfg.RetryBackoff)
+				return true
+			}
+			o.syncPhase = spPagesFlush
+			o.syncSent = false
+
+		case spPagesFlush, spMetaLogFlush, spMetaFlush, spResetFlush:
+			if !o.syncSent {
+				phase := o.syncPhase
+				ok := t.submitSyncCmd(o, &nvme.Command{Op: nvme.OpFlush}, func() {
+					switch phase {
+					case spPagesFlush:
+						o.syncPhase = spMetaLog
+					case spMetaLogFlush:
+						o.syncPhase = spMeta
+					case spMetaFlush:
+						o.syncPhase = spReset
+					case spResetFlush:
+						o.syncPhase = -1 // complete
+					}
+					o.syncSent = false
+				})
+				if !ok {
+					return true // stalled
+				}
+				o.syncSent = true
+			}
+			return true
+
+		case spMetaLog:
+			if t.jLive > 0 || t.postJournalLive > 0 || t.jwBusy || len(t.jwq) > 0 {
+				// Ops whose records are in the retiring generation must
+				// finish their in-place / buffered writes first — and the
+				// shared WAL writer must drain — before the log is retired;
+				// the fence keeps new ones out.
+				t.scheduleRetry(o, t.cfg.RetryBackoff)
+				return true
+			}
+			// Journal the fenced meta image before writing it in place: a
+			// crash that tears page 0 mid-write is then always healable,
+			// even when no root move left a meta record in this generation.
+			// The image is rebuilt identically in spMeta (nothing that
+			// feeds it can change while the fence is up).
+			if !o.jAppended {
+				rec := make([]byte, journalRecordBytes)
+				putJU64(rec[0:8], o.seq)
+				rec[8], rec[9] = 0, 1
+				putJU64(rec[10:18], 0)
+				t.syncMetaImage(rec[18:])
+				if _, err := t.wal.Append(rec); err == nil {
+					o.jBlocks = o.jBlocks[:0]
+					t.wal.Flush(func(bi uint64, data []byte) {
+						cp := make([]byte, len(data))
+						copy(cp, data)
+						o.jBlocks = append(o.jBlocks, writeReq{id: storage.PageID(t.walStart + bi), data: cp})
+					})
+					t.stats.JournalAppends++
+				}
+				o.jAppended = true
+				o.jIdx = 0
+			}
+			for o.jIdx < len(o.jBlocks) {
+				if o.syncOutstanding > 0 {
+					return true
+				}
+				w := o.jBlocks[o.jIdx]
+				cmd := &nvme.Command{Op: nvme.OpWrite, LBA: uint64(w.id), Blocks: 1, Buf: w.data}
+				if !t.submitSyncCmd(o, cmd, func() { o.jIdx++ }) {
+					return true
+				}
+				return true
+			}
+			if o.syncOutstanding > 0 {
+				return true
+			}
+			o.syncPhase = spMetaLogFlush
+			o.syncSent = false
+
+		case spMeta:
+			if !o.syncSent {
+				buf := make([]byte, storage.PageSize)
+				t.syncMetaImage(buf)
+				cmd := &nvme.Command{Op: nvme.OpWrite, LBA: 0, Blocks: 1, Buf: buf}
+				ok := t.submitSyncCmd(o, cmd, func() {
+					t.syncEpoch++
+					o.syncPhase = spMetaFlush
+					o.syncSent = false
+				})
+				if !ok {
+					return true
+				}
+				o.syncSent = true
+			}
+			return true
+
+		case spReset:
+			if !o.syncResetDone {
+				// The physical zero-block write is issued below (and
+				// retried if it fails); Reset's own write callback is a
+				// no-op so the in-memory state advances exactly once.
+				t.wal.Reset(func(uint64, []byte) {})
+				t.jDurable = 0
+				o.syncResetDone = true
+			}
+			if !o.syncSent {
+				cmd := &nvme.Command{Op: nvme.OpWrite, LBA: t.walStart, Blocks: 1,
+					Buf: make([]byte, storage.PageSize)}
+				ok := t.submitSyncCmd(o, cmd, func() {
+					o.syncPhase = spResetFlush
+					o.syncSent = false
+				})
+				if !ok {
+					return true
+				}
+				o.syncSent = true
+			}
+			return true
+
+		case -1:
+			t.stats.Checkpoints++
+			t.finishOp(o) // opTeardown lifts the fence and syncActive
+			return true
+
+		default:
+			panic(fmt.Sprintf("core: bad sync phase %d", o.syncPhase))
+		}
+	}
+}
+
+// syncMetaImage encodes the checkpoint's fenced meta page into buf: the
+// present tree state with the sync epoch advanced and the journal
+// generation bumped past every record in the region. Both spMetaLog and
+// spMeta call it; with the fence up and the journal quiesced its inputs
+// cannot change between phases, so the two images are byte-identical.
+func (t *Tree) syncMetaImage(buf []byte) {
+	meta := t.currentMeta()
+	meta.SyncEpoch = t.syncEpoch + 1
+	meta.WALGen = t.wal.Generation() + 1
+	meta.EncodeTo(buf)
+}
+
+// submitSyncPage issues one dirty-page write for the checkpoint
+// snapshot. A transient error re-appends the page to the op's queue
+// (consuming retry budget); exhaustion or a non-transient status fails
+// the device. Returns false when the submission queue is full (the
+// caller keeps the entry queued and the stalled list reschedules).
+func (t *Tree) submitSyncPage(o *Op, d buffer.Dirty) bool {
+	id, data, epoch := d.ID, d.Data, d.Epoch
+	submitted := t.now()
+	cmd := &nvme.Command{Op: nvme.OpWrite, LBA: uint64(id), Blocks: 1, Buf: data}
+	cmd.Callback = func(c nvme.Completion) {
+		t.ioBlocked--
+		now := t.now()
+		t.policy.OnDetected(nvme.OpWrite, submitted, now)
+		o.ioWait += now.Sub(submitted)
+		if t.tr != nil {
+			t.tr.Emit(tcIOWrite, uint16(o.kind), o.seq, uint64(id), int64(submitted), int64(now.Sub(submitted)))
+		}
+		o.syncOutstanding--
+		if c.Err != nil {
+			t.stats.IOErrors++
+			if !t.failed && transientIOErr(c.Err) && o.ioRetries < t.cfg.MaxIORetries {
+				o.ioRetries++
+				t.stats.IORetries++
+				o.syncQueue = append(o.syncQueue, d)
+			} else {
+				t.enterFailed(c.Err)
+				o.pendingErr = ErrDeviceFailed
+			}
+		} else if id != 0 && t.rw != nil {
+			t.rw.MarkClean(id, epoch)
+		}
+		t.pushReady(o, now)
+	}
+	t.charge(metrics.CatNVMe, t.cfg.Costs.IOSubmit)
+	if err := t.qp.Submit(cmd); err != nil {
+		t.stalled = append(t.stalled, o)
+		return false
+	}
+	t.policy.OnSubmit(nvme.OpWrite, submitted)
+	t.ioBlocked++
+	t.stats.WritesIssued++
+	o.syncOutstanding++
+	return true
+}
+
+// submitSyncCmd issues one phase command (flush, meta write, zero-block
+// write) for the journaled sync pipeline. On success onOK runs in the
+// completion callback; a transient error clears syncSent so the phase
+// resubmits; a terminal one fails the device. Returns false when the
+// submission queue is full.
+func (t *Tree) submitSyncCmd(o *Op, cmd *nvme.Command, onOK func()) bool {
+	submitted := t.now()
+	cmd.Callback = func(c nvme.Completion) {
+		t.ioBlocked--
+		now := t.now()
+		t.policy.OnDetected(cmd.Op, submitted, now)
+		o.ioWait += now.Sub(submitted)
+		if t.tr != nil {
+			t.tr.Emit(tcIOWrite, uint16(o.kind), o.seq, cmd.LBA, int64(submitted), int64(now.Sub(submitted)))
+		}
+		o.syncOutstanding--
+		if c.Err != nil {
+			t.stats.IOErrors++
+			if !t.failed && transientIOErr(c.Err) && o.ioRetries < t.cfg.MaxIORetries {
+				o.ioRetries++
+				t.stats.IORetries++
+				o.syncSent = false // the phase resubmits
+			} else {
+				t.enterFailed(c.Err)
+				o.pendingErr = ErrDeviceFailed
+			}
+		} else if onOK != nil {
+			onOK()
+		}
+		t.pushReady(o, now)
+	}
+	t.charge(metrics.CatNVMe, t.cfg.Costs.IOSubmit)
+	if err := t.qp.Submit(cmd); err != nil {
+		t.stalled = append(t.stalled, o)
+		return false
+	}
+	t.policy.OnSubmit(cmd.Op, submitted)
+	t.ioBlocked++
+	if cmd.Op == nvme.OpWrite {
+		t.stats.WritesIssued++
+	}
+	o.syncOutstanding++
+	return true
 }
 
 // ─── Latch helpers ──────────────────────────────────────────────────────
@@ -1562,6 +2459,7 @@ func (t *Tree) finishOp(o *Op) {
 		o.commit = nil
 	}
 	t.releaseAll(o)
+	t.opTeardown(o)
 	o.state = stDone
 	o.Res.Completed = t.now()
 	t.liveOps--
@@ -1580,12 +2478,45 @@ func (t *Tree) finishOp(o *Op) {
 func (t *Tree) failOp(o *Op, err error) {
 	o.Res.Err = err
 	t.releaseAll(o)
+	t.opTeardown(o)
 	o.state = stDone
 	o.Res.Completed = t.now()
 	t.liveOps--
 	delete(t.liveSet, o.seq)
 	t.stats.Completed[o.kind]++
 	t.completeOp(o)
+}
+
+// opTeardown releases every piece of journal/sync pipeline state an op
+// may hold when it terminates, successfully or not. It must be
+// idempotent: finishOp falls through to failOp when pendingErr is set,
+// and both call it.
+func (t *Tree) opTeardown(o *Op) {
+	if o.jLiveMark {
+		o.jLiveMark = false
+		t.jLive--
+	}
+	if o.postJournal {
+		o.postJournal = false
+		t.postJournalLive--
+	}
+	if o.jParked {
+		o.jParked = false
+		for i, w := range t.jWaiters {
+			if w == o {
+				t.jWaiters = append(t.jWaiters[:i], t.jWaiters[i+1:]...)
+				break
+			}
+		}
+	}
+	if o.syncFenced {
+		o.syncFenced = false
+		t.jFence = false
+		t.syncActive = false
+	}
+	if o.internal && o.kind == KindSync {
+		t.checkpointPending = false
+	}
 }
 
 // completeOp records the op's stage timings and runs its completion

@@ -1,0 +1,334 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/patree/patree/internal/nvme"
+	"github.com/patree/patree/internal/sim"
+)
+
+const bs = 512
+
+// testRig couples an engine, a simulated device and a fault wrapper.
+type testRig struct {
+	eng *sim.Engine
+	sd  *nvme.SimDevice
+	dev *Device
+	qp  nvme.QueuePair
+}
+
+func newTestRig(t *testing.T, cfg Config) *testRig {
+	t.Helper()
+	eng := sim.NewEngine()
+	sd := nvme.NewSimDevice(eng, nvme.SimConfig{Seed: 7, NumBlocks: 1024})
+	if cfg.Now == nil {
+		cfg.Now = eng.Now
+	}
+	dev := New(sd, cfg)
+	qp, err := dev.AllocQueuePair(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testRig{eng: eng, sd: sd, dev: dev, qp: qp}
+}
+
+// do submits one command and drives the simulation until its completion
+// is delivered, returning the completion error.
+func (r *testRig) do(t *testing.T, cmd *nvme.Command) error {
+	t.Helper()
+	done := false
+	var got error
+	cmd.Callback = func(c nvme.Completion) { done = true; got = c.Err }
+	if err := r.qp.Submit(cmd); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	for i := 0; i < 1000 && !done; i++ {
+		r.sd.Advance()
+		r.qp.Probe(0)
+		if !done {
+			r.eng.RunFor(time.Millisecond)
+		}
+	}
+	if !done {
+		t.Fatal("completion never delivered")
+	}
+	return got
+}
+
+func pattern(b byte) []byte {
+	buf := make([]byte, bs)
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}
+
+func TestPassthroughWhenDisabled(t *testing.T) {
+	r := newTestRig(t, Config{Seed: 1, Probs: Probs{ReadErr: 1, WriteErr: 1, Timeout: 1}})
+	r.dev.SetEnabled(false)
+	if err := r.do(t, &nvme.Command{Op: nvme.OpWrite, LBA: 3, Blocks: 1, Buf: pattern(0xAA)}); err != nil {
+		t.Fatalf("disabled write: %v", err)
+	}
+	buf := make([]byte, bs)
+	if err := r.do(t, &nvme.Command{Op: nvme.OpRead, LBA: 3, Blocks: 1, Buf: buf}); err != nil {
+		t.Fatalf("disabled read: %v", err)
+	}
+	if !bytes.Equal(buf, pattern(0xAA)) {
+		t.Fatal("disabled wrapper corrupted data")
+	}
+	if c := r.dev.Counts(); c != (Counts{}) {
+		t.Fatalf("faults injected while disabled: %+v", c)
+	}
+}
+
+func TestErrorClasses(t *testing.T) {
+	t.Run("write-err-leaves-media-untouched", func(t *testing.T) {
+		r := newTestRig(t, Config{Seed: 2})
+		r.dev.SetEnabled(false)
+		r.do(t, &nvme.Command{Op: nvme.OpWrite, LBA: 5, Blocks: 1, Buf: pattern(0x11)})
+		r.dev.SetEnabled(true)
+		r.dev.cfg.Probs = Probs{WriteErr: 1}
+		if err := r.do(t, &nvme.Command{Op: nvme.OpWrite, LBA: 5, Blocks: 1, Buf: pattern(0x22)}); err != nvme.ErrMedia {
+			t.Fatalf("err = %v, want ErrMedia", err)
+		}
+		buf := make([]byte, bs)
+		r.sd.ReadAt(5, buf)
+		if !bytes.Equal(buf, pattern(0x11)) {
+			t.Fatal("failed write modified the media")
+		}
+		if r.dev.Counts().WriteErrs != 1 {
+			t.Fatalf("counts: %+v", r.dev.Counts())
+		}
+	})
+	t.Run("read-err", func(t *testing.T) {
+		r := newTestRig(t, Config{Seed: 3, Probs: Probs{ReadErr: 1}})
+		buf := make([]byte, bs)
+		if err := r.do(t, &nvme.Command{Op: nvme.OpRead, LBA: 1, Blocks: 1, Buf: buf}); err != nvme.ErrMedia {
+			t.Fatalf("err = %v, want ErrMedia", err)
+		}
+	})
+	t.Run("timeout", func(t *testing.T) {
+		r := newTestRig(t, Config{Seed: 4, Probs: Probs{Timeout: 1}})
+		if err := r.do(t, &nvme.Command{Op: nvme.OpFlush}); err != nvme.ErrTimeout {
+			t.Fatalf("err = %v, want ErrTimeout", err)
+		}
+	})
+}
+
+func TestTornWrite(t *testing.T) {
+	wide := func(b byte, blocks int) []byte {
+		buf := make([]byte, bs*blocks)
+		for i := range buf {
+			buf[i] = b
+		}
+		return buf
+	}
+	r := newTestRig(t, Config{Seed: 5})
+	r.dev.SetEnabled(false)
+	r.do(t, &nvme.Command{Op: nvme.OpWrite, LBA: 9, Blocks: 4, Buf: wide(0x55, 4)})
+	r.dev.SetEnabled(true)
+	r.dev.cfg.Probs = Probs{TornWrite: 1}
+	if err := r.do(t, &nvme.Command{Op: nvme.OpWrite, LBA: 9, Blocks: 4, Buf: wide(0xAA, 4)}); err != nvme.ErrMedia {
+		t.Fatalf("torn write err = %v, want ErrMedia", err)
+	}
+	buf := make([]byte, 4*bs)
+	r.sd.ReadAt(9, buf)
+	cut := 0
+	for cut < 4*bs && buf[cut] == 0xAA {
+		cut++
+	}
+	if cut == 0 || cut == 4*bs {
+		t.Fatalf("torn write left no tear (cut=%d)", cut)
+	}
+	if cut%bs != 0 {
+		t.Fatalf("tear at byte %d is not block-aligned", cut)
+	}
+	if !bytes.Equal(buf[cut:], wide(0x55, 4)[cut:]) {
+		t.Fatal("torn write suffix is not the old content")
+	}
+	if r.dev.Counts().TornWrites != 1 {
+		t.Fatalf("counts: %+v", r.dev.Counts())
+	}
+}
+
+// TestTornWriteSingleBlockAtomic pins the per-LBA atomicity contract: a
+// single-block write is never torn even with the probability at 1.
+func TestTornWriteSingleBlockAtomic(t *testing.T) {
+	r := newTestRig(t, Config{Seed: 5})
+	r.dev.SetEnabled(false)
+	r.do(t, &nvme.Command{Op: nvme.OpWrite, LBA: 9, Blocks: 1, Buf: pattern(0x55)})
+	r.dev.SetEnabled(true)
+	r.dev.cfg.Probs = Probs{TornWrite: 1}
+	if err := r.do(t, &nvme.Command{Op: nvme.OpWrite, LBA: 9, Blocks: 1, Buf: pattern(0xAA)}); err != nil {
+		t.Fatalf("single-block write with TornWrite=1: %v", err)
+	}
+	buf := make([]byte, bs)
+	r.sd.ReadAt(9, buf)
+	if !bytes.Equal(buf, pattern(0xAA)) {
+		t.Fatal("single-block write was torn")
+	}
+	if c := r.dev.Counts(); c.TornWrites != 0 {
+		t.Fatalf("counts: %+v", c)
+	}
+}
+
+func TestBitRot(t *testing.T) {
+	r := newTestRig(t, Config{Seed: 6})
+	r.dev.SetEnabled(false)
+	r.do(t, &nvme.Command{Op: nvme.OpWrite, LBA: 2, Blocks: 1, Buf: pattern(0x00)})
+	r.dev.SetEnabled(true)
+	r.dev.cfg.Probs = Probs{BitRot: 1}
+	buf := make([]byte, bs)
+	if err := r.do(t, &nvme.Command{Op: nvme.OpRead, LBA: 2, Blocks: 1, Buf: buf}); err != nil {
+		t.Fatalf("bit-rot read must report success, got %v", err)
+	}
+	flipped := 0
+	for _, b := range buf {
+		for ; b != 0; b &= b - 1 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("%d bits flipped, want exactly 1", flipped)
+	}
+	// The media itself is clean: re-read without injection.
+	r.dev.SetEnabled(false)
+	clean := make([]byte, bs)
+	r.do(t, &nvme.Command{Op: nvme.OpRead, LBA: 2, Blocks: 1, Buf: clean})
+	if !bytes.Equal(clean, pattern(0x00)) {
+		t.Fatal("bit-rot corrupted the media, not just the transfer")
+	}
+}
+
+func TestLatencySpike(t *testing.T) {
+	r := newTestRig(t, Config{Seed: 7, Probs: Probs{LatencySpike: 1}, SpikeDelay: 5 * time.Millisecond})
+	done := false
+	cmd := &nvme.Command{Op: nvme.OpWrite, LBA: 1, Blocks: 1, Buf: pattern(0x77)}
+	cmd.Callback = func(nvme.Completion) { done = true }
+	if err := r.qp.Submit(cmd); err != nil {
+		t.Fatal(err)
+	}
+	r.sd.Advance() // inner completion lands, delivery is deferred
+	r.qp.Probe(0)
+	if done {
+		t.Fatal("spiked completion delivered before the delay")
+	}
+	r.eng.RunFor(10 * time.Millisecond)
+	r.qp.Probe(0)
+	if !done {
+		t.Fatal("spiked completion never delivered")
+	}
+	if r.dev.Counts().Spikes != 1 {
+		t.Fatalf("counts: %+v", r.dev.Counts())
+	}
+}
+
+func TestCrashResolvesInflightWrites(t *testing.T) {
+	wide := func(b byte) []byte {
+		buf := make([]byte, 2*bs)
+		for i := range buf {
+			buf[i] = b
+		}
+		return buf
+	}
+	r := newTestRig(t, Config{Seed: 8})
+	r.dev.SetEnabled(false)
+	for i := uint64(0); i < 8; i++ {
+		r.do(t, &nvme.Command{Op: nvme.OpWrite, LBA: 2 * i, Blocks: 2, Buf: wide(0x0F)})
+	}
+	// Eight two-block overwrites in flight: submitted, never probed.
+	results := make([]error, 8)
+	delivered := 0
+	for i := uint64(0); i < 8; i++ {
+		i := i
+		cmd := &nvme.Command{Op: nvme.OpWrite, LBA: 2 * i, Blocks: 2, Buf: wide(0xF0)}
+		cmd.Callback = func(c nvme.Completion) { results[i] = c.Err; delivered++ }
+		if err := r.qp.Submit(cmd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.dev.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	r.qp.Probe(0)
+	if delivered != 8 {
+		t.Fatalf("%d completions after crash, want 8", delivered)
+	}
+	for i, err := range results {
+		if err != ErrCrashed {
+			t.Fatalf("write %d: err = %v, want ErrCrashed", i, err)
+		}
+	}
+	c := r.dev.Counts()
+	if c.CrashKept+c.CrashReverted+c.CrashTorn != 8 {
+		t.Fatalf("crash resolution counts don't sum to 8: %+v", c)
+	}
+	// Each individual block must be wholly old or wholly new (per-LBA
+	// atomicity), and a torn command is a prefix of new blocks followed
+	// by old ones — never interleaved garbage.
+	torn := 0
+	for i := uint64(0); i < 8; i++ {
+		buf := make([]byte, 2*bs)
+		r.sd.ReadAt(2*i, buf)
+		isNew := func(blk []byte) bool { return bytes.Equal(blk, pattern(0xF0)) }
+		isOld := func(blk []byte) bool { return bytes.Equal(blk, pattern(0x0F)) }
+		b0, b1 := buf[:bs], buf[bs:]
+		switch {
+		case isNew(b0) && isNew(b1): // kept
+		case isOld(b0) && isOld(b1): // reverted
+		case isNew(b0) && isOld(b1): // torn at the block boundary
+			torn++
+		default:
+			t.Fatalf("write %d left blocks in an impossible state", i)
+		}
+	}
+	if int(c.CrashTorn) != torn {
+		t.Fatalf("observed %d torn writes, counters say %d", torn, c.CrashTorn)
+	}
+	// The device is dead: new submissions complete with ErrCrashed.
+	var postErr error
+	post := &nvme.Command{Op: nvme.OpRead, LBA: 0, Blocks: 1, Buf: make([]byte, bs)}
+	post.Callback = func(c nvme.Completion) { postErr = c.Err }
+	if err := r.qp.Submit(post); err != nil {
+		t.Fatal(err)
+	}
+	r.qp.Probe(0)
+	if postErr != ErrCrashed {
+		t.Fatalf("post-crash submit: err = %v, want ErrCrashed", postErr)
+	}
+}
+
+// TestDeterministicSchedule pins the seed-reproducibility contract: the
+// same seed and workload produce the identical fault sequence; a
+// different seed produces a different one.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed uint64) (string, Counts) {
+		r := newTestRig(t, Config{Seed: seed, Probs: Probs{
+			ReadErr: 0.2, WriteErr: 0.2, Timeout: 0.1, BitRot: 0.1, TornWrite: 0.2, LatencySpike: 0.1,
+		}})
+		var trace bytes.Buffer
+		for i := 0; i < 200; i++ {
+			lba := uint64(i % 32)
+			var err error
+			if i%2 == 0 {
+				err = r.do(t, &nvme.Command{Op: nvme.OpWrite, LBA: lba, Blocks: 1, Buf: pattern(byte(i))})
+			} else {
+				err = r.do(t, &nvme.Command{Op: nvme.OpRead, LBA: lba, Blocks: 1, Buf: make([]byte, bs)})
+			}
+			fmt.Fprintf(&trace, "%d:%v\n", i, err)
+		}
+		return trace.String(), r.dev.Counts()
+	}
+	t1, c1 := run(42)
+	t2, c2 := run(42)
+	if t1 != t2 || c1 != c2 {
+		t.Fatalf("same seed diverged:\ncounts %+v vs %+v", c1, c2)
+	}
+	t3, c3 := run(43)
+	if t1 == t3 && c1 == c3 {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}

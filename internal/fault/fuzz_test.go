@@ -1,0 +1,133 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/patree/patree/internal/core"
+	"github.com/patree/patree/internal/nvme"
+	"github.com/patree/patree/internal/sim"
+	"github.com/patree/patree/internal/simos"
+)
+
+// FuzzTreeOps decodes the fuzzer's byte stream into a tree operation
+// sequence and cross-checks every result against an in-memory model —
+// the same oracle idea as the stress harness, but driven by
+// coverage-guided input mutation instead of seeded randomness. The tree
+// runs journaled over a deterministic simulated device, so any corpus
+// file that trips an assertion replays exactly.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 5, 1, 0, 1, 5, 2, 0, 1, 0})
+	f.Add([]byte{0, 1, 0, 3, 0, 1, 0, 7, 3, 0, 0, 0, 2, 1, 0, 0})
+	f.Add(bytes.Repeat([]byte{0, 2, 3, 9, 1, 2, 3, 0}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const chunk = 4
+		ops := len(data) / chunk
+		if ops == 0 {
+			t.Skip()
+		}
+		if ops > 600 {
+			ops = 600
+		}
+		eng := sim.NewEngine()
+		sd := nvme.NewSimDevice(eng, nvme.SimConfig{Seed: 99, NumBlocks: 1 << 13})
+		meta, err := core.Format(sd)
+		if err != nil {
+			t.Fatalf("format: %v", err)
+		}
+		osched := simos.New(eng, simos.Config{})
+		var tree *core.Tree
+		th := osched.Spawn("patree", func(*simos.Thread) { tree.Run() })
+		tree, err = core.New(sd, core.Config{
+			Persistence: core.WeakPersistence,
+			BufferPages: 32,
+			Journal:     true,
+		}, core.SimEnv{T: th}, meta)
+		if err != nil {
+			t.Fatalf("new: %v", err)
+		}
+		defer func() {
+			tree.Stop()
+			eng.RunFor(time.Second)
+		}()
+
+		do := func(op *core.Op) core.Result {
+			done := false
+			op.Done = func(*core.Op) { done = true }
+			eng.After(0, func() { tree.Admit(op) })
+			for !done {
+				if !eng.Step() {
+					t.Fatal("simulation wedged")
+				}
+			}
+			return op.Res
+		}
+
+		model := map[uint64][]byte{}
+		for i := 0; i < ops; i++ {
+			b := data[i*chunk : (i+1)*chunk]
+			key := 1 + uint64(binary.LittleEndian.Uint16(b[1:3]))%256
+			val := []byte{b[3], byte(key), byte(i)}
+			switch b[0] % 5 {
+			case 0, 1: // insert (upsert)
+				_, existed := model[key]
+				res := do(core.NewInsert(key, val, nil))
+				if res.Err != nil {
+					t.Fatalf("op %d: insert %d: %v", i, key, res.Err)
+				}
+				if res.Found != existed {
+					t.Fatalf("op %d: insert %d replaced=%v, model %v", i, key, res.Found, existed)
+				}
+				model[key] = append([]byte(nil), val...)
+			case 2: // delete
+				_, existed := model[key]
+				res := do(core.NewDelete(key, nil))
+				if res.Err != nil {
+					t.Fatalf("op %d: delete %d: %v", i, key, res.Err)
+				}
+				if res.Found != existed {
+					t.Fatalf("op %d: delete %d found=%v, model %v", i, key, res.Found, existed)
+				}
+				delete(model, key)
+			case 3: // search
+				want, existed := model[key]
+				res := do(core.NewSearch(key, nil))
+				if res.Err != nil {
+					t.Fatalf("op %d: search %d: %v", i, key, res.Err)
+				}
+				if res.Found != existed || (existed && !bytes.Equal(res.Value, want)) {
+					t.Fatalf("op %d: search %d = %q/%v, model %q/%v", i, key, res.Value, res.Found, want, existed)
+				}
+			default: // range scan across the whole model
+				res := do(core.NewRange(0, ^uint64(0), 0, nil))
+				if res.Err != nil {
+					t.Fatalf("op %d: scan: %v", i, res.Err)
+				}
+				if len(res.Pairs) != len(model) {
+					t.Fatalf("op %d: scan saw %d keys, model %d", i, len(res.Pairs), len(model))
+				}
+				keys := make([]uint64, 0, len(model))
+				for k := range model {
+					keys = append(keys, k)
+				}
+				sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+				for j, kv := range res.Pairs {
+					if kv.Key != keys[j] || !bytes.Equal(kv.Value, model[kv.Key]) {
+						t.Fatalf("op %d: scan[%d] = %d/%q, model %d/%q",
+							i, j, kv.Key, kv.Value, keys[j], model[keys[j]])
+					}
+				}
+			}
+		}
+		// Final pass: everything the model holds must be in the tree.
+		for k, want := range model {
+			res := do(core.NewSearch(k, nil))
+			if res.Err != nil || !res.Found || !bytes.Equal(res.Value, want) {
+				t.Fatalf("final: key %d = %q/%v (err %v), model %q", k, res.Value, res.Found, res.Err, want)
+			}
+		}
+	})
+}

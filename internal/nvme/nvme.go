@@ -70,15 +70,21 @@ type Completion struct {
 	Latency time.Duration
 }
 
-// Errors returned by devices.
+// Errors returned by devices. ErrQueueFull, ErrOutOfRange, ErrBadCommand,
+// ErrNilBuffer and ErrShortBuffer describe the command; ErrMedia and
+// ErrTimeout describe the device (transient command statuses a robust
+// caller may retry); the rest describe the queue-pair lifecycle.
 var (
-	ErrQueueFull    = errors.New("nvme: submission queue full")
-	ErrOutOfRange   = errors.New("nvme: LBA out of range")
-	ErrBadCommand   = errors.New("nvme: malformed command")
-	ErrClosed       = errors.New("nvme: device closed")
-	ErrTooManyQP    = errors.New("nvme: queue pair limit reached")
-	ErrShortBuffer  = errors.New("nvme: buffer smaller than Blocks*BlockSize")
-	ErrQueueFreed   = errors.New("nvme: queue pair freed")
+	ErrQueueFull   = errors.New("nvme: submission queue full")
+	ErrOutOfRange  = errors.New("nvme: LBA out of range")
+	ErrBadCommand  = errors.New("nvme: malformed command")
+	ErrClosed      = errors.New("nvme: device closed")
+	ErrTooManyQP   = errors.New("nvme: queue pair limit reached")
+	ErrNilBuffer   = errors.New("nvme: nil buffer for data command")
+	ErrShortBuffer = errors.New("nvme: buffer smaller than Blocks*BlockSize")
+	ErrQueueFreed  = errors.New("nvme: queue pair freed")
+	ErrMedia       = errors.New("nvme: media error")
+	ErrTimeout     = errors.New("nvme: command timeout")
 )
 
 // Device is a block device exposing the NVMe queue-pair interface.
@@ -123,6 +129,9 @@ func validate(d Device, cmd *Command) error {
 	}
 	if cmd.LBA+uint64(cmd.Blocks) > d.NumBlocks() || cmd.LBA+uint64(cmd.Blocks) < cmd.LBA {
 		return ErrOutOfRange
+	}
+	if cmd.Buf == nil {
+		return ErrNilBuffer
 	}
 	if len(cmd.Buf) < cmd.Blocks*d.BlockSize() {
 		return ErrShortBuffer

@@ -117,6 +117,66 @@ func (d *RAMDevice) AllocQueuePair(depth int) (QueuePair, error) {
 	return &ramQP{dev: d, depth: depth}, nil
 }
 
+// ReadAt copies blocks starting at lba into buf (len must be a multiple
+// of the block size), bypassing the queue pairs. Unwritten blocks read
+// as zeros. Together with WriteAt it gives test harnesses (fault
+// injection, crash simulation) direct image access.
+func (d *RAMDevice) ReadAt(lba uint64, buf []byte) {
+	bs := d.cfg.BlockSize
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := 0; i*bs < len(buf); i++ {
+		dst := buf[i*bs : (i+1)*bs]
+		if blk := d.data[lba+uint64(i)]; blk != nil {
+			copy(dst, blk)
+		} else {
+			for j := range dst {
+				dst[j] = 0
+			}
+		}
+	}
+}
+
+// WriteAt stores buf (a whole number of blocks) at lba, bypassing the
+// queue pairs.
+func (d *RAMDevice) WriteAt(lba uint64, buf []byte) {
+	bs := d.cfg.BlockSize
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := 0; i*bs < len(buf); i++ {
+		blk := make([]byte, bs)
+		copy(blk, buf[i*bs:(i+1)*bs])
+		d.data[lba+uint64(i)] = blk
+	}
+}
+
+// ImageSnapshot returns a deep copy of every written block, keyed by
+// LBA — the surviving bytes a crash-recovery test reopens.
+func (d *RAMDevice) ImageSnapshot() map[uint64][]byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	img := make(map[uint64][]byte, len(d.data))
+	for lba, blk := range d.data {
+		cp := make([]byte, len(blk))
+		copy(cp, blk)
+		img[lba] = cp
+	}
+	return img
+}
+
+// LoadImage replaces the device content with img (deep-copied), the
+// counterpart of ImageSnapshot for reopen-after-crash tests.
+func (d *RAMDevice) LoadImage(img map[uint64][]byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.data = make(map[uint64][]byte, len(img))
+	for lba, blk := range img {
+		cp := make([]byte, len(blk))
+		copy(cp, blk)
+		d.data[lba] = cp
+	}
+}
+
 func (d *RAMDevice) worker() {
 	defer d.wg.Done()
 	bs := d.cfg.BlockSize

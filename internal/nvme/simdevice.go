@@ -251,6 +251,29 @@ func (d *SimDevice) WriteAt(lba uint64, buf []byte) {
 	}
 }
 
+// ImageSnapshot deep-copies the device's current block image. Combined
+// with LoadImage on a fresh device it lets crash-recovery tests freeze a
+// device mid-run and reopen the surviving bytes under a new engine.
+func (d *SimDevice) ImageSnapshot() map[uint64][]byte {
+	img := make(map[uint64][]byte, len(d.data))
+	for lba, blk := range d.data {
+		cp := make([]byte, len(blk))
+		copy(cp, blk)
+		img[lba] = cp
+	}
+	return img
+}
+
+// LoadImage replaces the device's block image with a deep copy of img.
+func (d *SimDevice) LoadImage(img map[uint64][]byte) {
+	d.data = make(map[uint64][]byte, len(img))
+	for lba, blk := range img {
+		cp := make([]byte, len(blk))
+		copy(cp, blk)
+		d.data[lba] = cp
+	}
+}
+
 // Advance steps the simulation engine until every submitted command has
 // posted its completion. Intended for setup and recovery code (Format,
 // Open, bulk loading) that runs before the simulated workload starts;

@@ -25,12 +25,23 @@ const MetaVersion = 1
 //	[32:40] watermark (first never-allocated page id)
 //	[40:48] number of keys in the tree
 //	[48:56] sync epoch (incremented by each durable sync)
+//	[56:64] WAL region start block (0 = no journal region)
+//	[64:72] WAL region length in blocks
+//	[72:76] WAL generation fence: recovery replays only records whose
+//	        generation is >= this value, so records retired by a
+//	        checkpoint can never resurrect
+//
+// The WAL fields decode as zero on images written before they existed,
+// which reads as "no journal region" — older images stay openable.
 type Meta struct {
 	Root      PageID
 	Height    uint8
 	Watermark PageID
 	NumKeys   uint64
 	SyncEpoch uint64
+	WALStart  uint64 // first block of the journal region (0 = none)
+	WALBlocks uint64 // journal region length in blocks
+	WALGen    uint32 // minimum live journal generation
 }
 
 // ErrNotMeta reports a page that is not a valid meta page.
@@ -49,6 +60,9 @@ func (m *Meta) EncodeTo(buf []byte) {
 	putU64(buf[32:40], uint64(m.Watermark))
 	putU64(buf[40:48], m.NumKeys)
 	putU64(buf[48:56], m.SyncEpoch)
+	putU64(buf[56:64], m.WALStart)
+	putU64(buf[64:72], m.WALBlocks)
+	putU32(buf[72:76], m.WALGen)
 	seal(buf[:PageSize])
 }
 
@@ -79,6 +93,9 @@ func DecodeMeta(buf []byte) (*Meta, error) {
 		Watermark: PageID(getU64(buf[32:40])),
 		NumKeys:   getU64(buf[40:48]),
 		SyncEpoch: getU64(buf[48:56]),
+		WALStart:  getU64(buf[56:64]),
+		WALBlocks: getU64(buf[64:72]),
+		WALGen:    getU32(buf[72:76]),
 	}, nil
 }
 

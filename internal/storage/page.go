@@ -145,6 +145,14 @@ func checkSeal(buf []byte) bool {
 	return got == want
 }
 
+// VerifyPage reports whether buf holds a full page whose checksum matches
+// its contents. It is how readers detect bit-rot and torn writes before
+// trusting a page image; VerifyPage may briefly restore the checksum field
+// in place, so buf must not be read concurrently.
+func VerifyPage(buf []byte) bool {
+	return len(buf) >= PageSize && checkSeal(buf[:PageSize])
+}
+
 // LeafUsed returns the bytes a leaf currently occupies (header + slots +
 // values).
 func (n *Node) LeafUsed() int {

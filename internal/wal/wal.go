@@ -66,6 +66,30 @@ func NewLog(blockSize int, capBlocks uint64) *Log {
 // Generation returns the current generation number.
 func (l *Log) Generation() uint32 { return l.gen }
 
+// SetGeneration overrides the current generation. Recovery uses it to
+// continue a reopened log past the generations that are already on the
+// device (or fenced out by the superblock), so fresh records always carry
+// a strictly newer generation than anything stale in the region.
+func (l *Log) SetGeneration(g uint32) {
+	if g < 1 {
+		g = 1
+	}
+	l.gen = g
+}
+
+// CapBytes returns the region capacity in bytes.
+func (l *Log) CapBytes() int { return int(l.capBlocks) * l.blockSize }
+
+// UsedBytes returns the bytes consumed by flushed and pending frames.
+func (l *Log) UsedBytes() int { return l.flushedBytes + len(l.pending) }
+
+// Remaining returns the bytes still appendable before ErrLogFull.
+func (l *Log) Remaining() int { return l.CapBytes() - l.UsedBytes() }
+
+// FrameOverhead is the per-record framing cost in bytes, exported so
+// callers can budget capacity checks before appending.
+const FrameOverhead = headerBytes
+
 // NextLSN returns the LSN the next Append will receive.
 func (l *Log) NextLSN() uint64 { return l.nextLSN }
 

@@ -75,6 +75,14 @@ var ErrClosed = errors.New("patree: closed")
 // and the caller should apply backpressure (wait, or shed load).
 var ErrBacklog = core.ErrBacklog
 
+// ErrDeviceFailed is returned by every operation once the device has
+// failed unrecoverably (an I/O error that survived MaxIORetries
+// retries). The DB is then in a terminal degraded state: in-flight and
+// future operations drain with this error, and Close still shuts the
+// working thread down cleanly. Reopening the device runs journal
+// recovery, which restores every acknowledged write the device kept.
+var ErrDeviceFailed = core.ErrDeviceFailed
+
 // KV is a key/value pair returned by Scan.
 type KV = core.KV
 
@@ -107,8 +115,21 @@ type Options struct {
 	// TryCommit return ErrBacklog.
 	InboxDepth int
 	// Format forces re-initialization even if the device already holds a
-	// tree. Devices without a valid meta page are always formatted.
+	// tree. Devices without a valid meta page are formatted only after
+	// crash recovery fails to rebuild one from the redo journal.
 	Format bool
+	// Journal enables the redo journal: every mutation's page images are
+	// appended to an on-device WAL and made durable before the operation
+	// is acknowledged, so a crash loses no acknowledged write — Open
+	// replays the journal on the next start. Under Weak persistence this
+	// buys crash durability while pages stay buffered; under Strong it
+	// closes the multi-page torn-update window.
+	Journal bool
+	// MaxIORetries bounds how many times one operation's failed device
+	// command is retried (with exponential backoff) before the DB enters
+	// the terminal ErrDeviceFailed state. 0 selects the default (3);
+	// negative disables retries.
+	MaxIORetries int
 	// Trace enables the operation-lifecycle tracer: the working thread
 	// records admission, queueing, latch, I/O and completion events into
 	// a fixed ring, exported as Chrome trace-event JSON by WriteTrace
@@ -133,6 +154,16 @@ type Stats struct {
 	// working thread and backpressure is engaging.
 	AdmitWaits uint64
 	BufferHit  float64
+	// IOErrors counts device commands that completed with an error;
+	// IORetries counts the bounded retries issued in response. A growing
+	// gap between the two precedes the terminal ErrDeviceFailed state.
+	IOErrors  uint64
+	IORetries uint64
+	// JournalAppends counts redo records appended to the WAL and
+	// Checkpoints the completed journal truncations (both 0 unless
+	// Options.Journal).
+	JournalAppends uint64
+	Checkpoints    uint64
 }
 
 // DB is an open PA-Tree.
@@ -175,11 +206,28 @@ func Open(opts Options) (*DB, error) {
 		opts.BufferPages = 4096
 	}
 	meta, err := core.ReadMeta(dev)
-	if err != nil || opts.Format {
-		meta, err = core.Format(dev)
-		if err != nil {
+	switch {
+	case opts.Format:
+		if meta, err = core.Format(dev); err != nil {
 			return nil, fmt.Errorf("patree: format: %w", err)
 		}
+	case err != nil:
+		// The superblock is unreadable — possibly torn by a crash mid
+		// meta write. Recovery can rebuild it from the journaled image;
+		// only a device with no recoverable tree at all is formatted.
+		if m, _, rerr := core.Recover(dev); rerr == nil {
+			meta = m
+		} else if meta, err = core.Format(dev); err != nil {
+			return nil, fmt.Errorf("patree: format: %w", err)
+		}
+	case meta.WALBlocks != 0:
+		// The device describes a journal region: replay whatever an
+		// unclean shutdown left there (a no-op after a clean Close).
+		m, _, rerr := core.Recover(dev)
+		if rerr != nil {
+			return nil, fmt.Errorf("patree: recover: %w", rerr)
+		}
+		meta = m
 	}
 	env := core.NewRealEnv()
 	// Real-time polling: probes are cheap host work, so use a tight
@@ -205,11 +253,13 @@ func Open(opts Options) (*DB, error) {
 		tracer = core.NewTracer(opts.TraceEvents)
 	}
 	tree, err := core.New(dev, core.Config{
-		Persistence: opts.Persistence,
-		BufferPages: opts.BufferPages,
-		InboxDepth:  opts.InboxDepth,
-		Policy:      policy,
-		Tracer:      tracer,
+		Persistence:  opts.Persistence,
+		BufferPages:  opts.BufferPages,
+		InboxDepth:   opts.InboxDepth,
+		Journal:      opts.Journal,
+		MaxIORetries: opts.MaxIORetries,
+		Policy:       policy,
+		Tracer:       tracer,
 	}, env, meta)
 	if err != nil {
 		return nil, err
@@ -336,14 +386,18 @@ func (db *DB) Stats() Stats {
 func (db *DB) statsLocked() Stats {
 	st := db.tree.StatsSnapshot()
 	return Stats{
-		Ops:          st.TotalOps(),
-		NumKeys:      db.tree.NumKeys(),
-		Height:       db.tree.Height(),
-		Probes:       st.Probes,
-		ReadsIssued:  st.ReadsIssued,
-		WritesIssued: st.WritesIssued,
-		AdmitWaits:   st.AdmitWaits,
-		BufferHit:    db.tree.BufferStats().HitRate(),
+		Ops:            st.TotalOps(),
+		NumKeys:        db.tree.NumKeys(),
+		Height:         db.tree.Height(),
+		Probes:         st.Probes,
+		ReadsIssued:    st.ReadsIssued,
+		WritesIssued:   st.WritesIssued,
+		AdmitWaits:     st.AdmitWaits,
+		BufferHit:      db.tree.BufferStats().HitRate(),
+		IOErrors:       st.IOErrors,
+		IORetries:      st.IORetries,
+		JournalAppends: st.JournalAppends,
+		Checkpoints:    st.Checkpoints,
 	}
 }
 
