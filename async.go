@@ -67,9 +67,17 @@ func acquireHandle() *Handle {
 // references before calling Done — and the result (whose slices are
 // freshly allocated per operation, never pooled) moves to the handle.
 func (h *Handle) complete(o *core.Op) {
-	h.res = o.Res
-	h.res.Err = mapErr(h.res.Err)
+	res := o.Res
 	o.Release()
+	h.deliver(res)
+}
+
+// deliver resolves the handle with res. It is the single fulfilment
+// path: complete uses it for one-op handles, a fanAgg uses it after
+// merging the per-shard results of a scattered operation.
+func (h *Handle) deliver(res core.Result) {
+	h.res = res
+	h.res.Err = mapErr(h.res.Err)
 	if h.state.CompareAndSwap(hPending, hCompleted) {
 		h.ch <- struct{}{} // cap 1: never blocks the working thread
 	} else {
@@ -133,46 +141,173 @@ func (h *Handle) abandon() {
 	h.recycle()
 }
 
-// admitAsync pairs op with a pooled handle and admits it. If the inbox
-// ring is full this blocks until the working thread frees space
+// admitAsync pairs op with a pooled handle and admits it on s. If the
+// inbox ring is full this blocks until the working thread frees space
 // (bounded-queue backpressure).
-func (db *DB) admitAsync(op *core.Op) (*Handle, error) {
+func (db *DB) admitAsync(s *shard, op *core.Op) (*Handle, error) {
 	h := acquireHandle()
 	op.Done = h.doneFn
-	if err := db.admit(op); err != nil {
+	if err := db.admit(s, op); err != nil {
 		h.abandon()
 		return nil, err
 	}
 	return h, nil
 }
 
+// fanAgg aggregates one logical operation scattered across every shard
+// into a single Handle: each shard's Done callback stores its result,
+// and whichever callback finishes last merges them and delivers. The
+// per-shard slots make the result deterministic regardless of
+// completion order.
+type fanAgg struct {
+	h         *Handle
+	remaining atomic.Int32
+	res       []core.Result
+	merge     func([]core.Result) core.Result
+}
+
+// done returns the Done callback for shard slot i.
+func (a *fanAgg) done(i int) func(*core.Op) {
+	return func(o *core.Op) {
+		a.res[i] = o.Res
+		o.Release()
+		if a.remaining.Add(-1) == 0 {
+			a.h.deliver(a.merge(a.res))
+		}
+	}
+}
+
+// fanOut admits one operation per shard (built by mk) under a single
+// admission-lock hold, returning the aggregated future. Holding the
+// lock across all admissions makes the fan-out atomic against Close:
+// either every shard receives its piece or none does.
+func (db *DB) fanOut(mk func() *core.Op, merge func([]core.Result) core.Result) (*Handle, error) {
+	h := acquireHandle()
+	agg := &fanAgg{h: h, res: make([]core.Result, len(db.shards)), merge: merge}
+	agg.remaining.Store(int32(len(db.shards)))
+	ops := make([]*core.Op, len(db.shards))
+	for i := range ops {
+		op := mk()
+		op.Done = agg.done(i)
+		ops[i] = op
+	}
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		for _, op := range ops {
+			op.Release()
+		}
+		h.abandon()
+		return nil, ErrClosed
+	}
+	for i, s := range db.shards {
+		s.tree.Admit(ops[i])
+	}
+	db.mu.RUnlock()
+	return h, nil
+}
+
+// mergeScan merge-sorts per-shard scan results (each already ascending,
+// keyspaces disjoint) into one ascending run, honoring the global limit
+// (<= 0 = unlimited). The first shard error wins and discards the data.
+func mergeScan(rs []core.Result, limit int) core.Result {
+	out := mergeFirstErr(rs)
+	if out.Err != nil {
+		return out
+	}
+	total := 0
+	for _, r := range rs {
+		total += len(r.Pairs)
+	}
+	if limit > 0 && total > limit {
+		total = limit
+	}
+	if total == 0 {
+		return out
+	}
+	idx := make([]int, len(rs))
+	pairs := make([]KV, 0, total)
+	for len(pairs) < total {
+		best := -1
+		var bestKey uint64
+		for i := range rs {
+			if idx[i] >= len(rs[i].Pairs) {
+				continue
+			}
+			if k := rs[i].Pairs[idx[i]].Key; best < 0 || k < bestKey {
+				best, bestKey = i, k
+			}
+		}
+		if best < 0 {
+			break
+		}
+		pairs = append(pairs, rs[best].Pairs[idx[best]])
+		idx[best]++
+	}
+	out.Pairs = pairs
+	return out
+}
+
+// mergeFirstErr folds per-shard results into one carrying the first
+// (lowest shard index) error and the widest admitted→completed window,
+// so the merged latency covers the whole scattered operation.
+func mergeFirstErr(rs []core.Result) core.Result {
+	var out core.Result
+	for i, r := range rs {
+		if r.Err != nil && out.Err == nil {
+			out.Err = r.Err
+		}
+		if i == 0 || r.Admitted < out.Admitted {
+			out.Admitted = r.Admitted
+		}
+		if r.Completed > out.Completed {
+			out.Completed = r.Completed
+		}
+	}
+	return out
+}
+
 // PutAsync admits an insert-or-replace and returns its future.
 func (db *DB) PutAsync(key uint64, value []byte) (*Handle, error) {
-	return db.admitAsync(core.AcquireOp().InitInsert(key, value))
+	return db.admitAsync(db.shardFor(key), core.AcquireOp().InitInsert(key, value))
 }
 
 // GetAsync admits a point lookup and returns its future.
 func (db *DB) GetAsync(key uint64) (*Handle, error) {
-	return db.admitAsync(core.AcquireOp().InitSearch(key))
+	return db.admitAsync(db.shardFor(key), core.AcquireOp().InitSearch(key))
 }
 
 // UpdateAsync admits a replace-if-present and returns its future.
 func (db *DB) UpdateAsync(key uint64, value []byte) (*Handle, error) {
-	return db.admitAsync(core.AcquireOp().InitUpdate(key, value))
+	return db.admitAsync(db.shardFor(key), core.AcquireOp().InitUpdate(key, value))
 }
 
 // DeleteAsync admits a delete and returns its future.
 func (db *DB) DeleteAsync(key uint64) (*Handle, error) {
-	return db.admitAsync(core.AcquireOp().InitDelete(key))
+	return db.admitAsync(db.shardFor(key), core.AcquireOp().InitDelete(key))
 }
 
 // ScanAsync admits a range scan over [lo, hi] (limit <= 0 = unlimited)
-// and returns its future.
+// and returns its future. Across shards it scatters one scan per shard
+// — each with the full limit, since any single shard could own the
+// first limit keys of the range — and merges on completion.
 func (db *DB) ScanAsync(lo, hi uint64, limit int) (*Handle, error) {
-	return db.admitAsync(core.AcquireOp().InitRange(lo, hi, limit))
+	if len(db.shards) == 1 {
+		return db.admitAsync(db.shards[0], core.AcquireOp().InitRange(lo, hi, limit))
+	}
+	return db.fanOut(
+		func() *core.Op { return core.AcquireOp().InitRange(lo, hi, limit) },
+		func(rs []core.Result) core.Result { return mergeScan(rs, limit) },
+	)
 }
 
-// SyncAsync admits a sync and returns its future.
+// SyncAsync admits a sync (on every shard) and returns its future.
 func (db *DB) SyncAsync() (*Handle, error) {
-	return db.admitAsync(core.AcquireOp().InitSync())
+	if len(db.shards) == 1 {
+		return db.admitAsync(db.shards[0], core.AcquireOp().InitSync())
+	}
+	return db.fanOut(
+		func() *core.Op { return core.AcquireOp().InitSync() },
+		mergeFirstErr,
+	)
 }

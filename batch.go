@@ -18,10 +18,22 @@ import (
 // released Batch must not be reused; call DB.NewBatch again — it is
 // pooled, so the steady state allocates nothing.
 //
+// Over a sharded DB the batch splits into per-shard sub-batches at
+// commit: each shard receives its members as one contiguous ring
+// transaction in staging order. Commit blocks per shard as needed;
+// TryCommit reserves room on every shard before publishing anywhere, so
+// it remains all-or-nothing — ErrBacklog means no shard admitted
+// anything. Scans and syncs staged on a sharded batch fan out to every
+// shard and their index reports the merged result.
+//
 // A Batch is not safe for concurrent use by multiple goroutines.
 type Batch struct {
-	db        *DB
+	db *DB
+	// ops are the physical operations in staging order; shardIdx[i] is
+	// the shard that owns ops[i]. A logical scan/sync over N shards
+	// stages N physical ops behind one handle.
 	ops       []*core.Op
+	shardIdx  []int
 	handles   []*Handle
 	committed bool
 }
@@ -36,53 +48,98 @@ func (db *DB) NewBatch() *Batch {
 	return b
 }
 
-// add stages one operation and returns its index.
-func (b *Batch) add(op *core.Op) int {
+// add stages one single-shard operation and returns its index.
+func (b *Batch) add(si int, op *core.Op) int {
 	h := acquireHandle()
 	op.Done = h.doneFn
 	b.ops = append(b.ops, op)
+	b.shardIdx = append(b.shardIdx, si)
 	b.handles = append(b.handles, h)
 	return len(b.handles) - 1
 }
 
+// addFanned stages one logical operation as a physical op on every
+// shard, aggregated behind a single handle, and returns its index.
+func (b *Batch) addFanned(mk func() *core.Op, merge func([]core.Result) core.Result) int {
+	h := acquireHandle()
+	agg := &fanAgg{h: h, res: make([]core.Result, len(b.db.shards)), merge: merge}
+	agg.remaining.Store(int32(len(b.db.shards)))
+	for i := range b.db.shards {
+		op := mk()
+		op.Done = agg.done(i)
+		b.ops = append(b.ops, op)
+		b.shardIdx = append(b.shardIdx, i)
+	}
+	b.handles = append(b.handles, h)
+	return len(b.handles) - 1
+}
+
+// shardOf routes key within this batch's DB.
+func (b *Batch) shardOf(key uint64) int {
+	return core.ShardOf(key, len(b.db.shards))
+}
+
 // Put stages an insert-or-replace and returns its index.
 func (b *Batch) Put(key uint64, value []byte) int {
-	return b.add(core.AcquireOp().InitInsert(key, value))
+	return b.add(b.shardOf(key), core.AcquireOp().InitInsert(key, value))
 }
 
 // Get stages a point lookup and returns its index.
 func (b *Batch) Get(key uint64) int {
-	return b.add(core.AcquireOp().InitSearch(key))
+	return b.add(b.shardOf(key), core.AcquireOp().InitSearch(key))
 }
 
 // Update stages a replace-if-present and returns its index.
 func (b *Batch) Update(key uint64, value []byte) int {
-	return b.add(core.AcquireOp().InitUpdate(key, value))
+	return b.add(b.shardOf(key), core.AcquireOp().InitUpdate(key, value))
 }
 
 // Delete stages a delete and returns its index.
 func (b *Batch) Delete(key uint64) int {
-	return b.add(core.AcquireOp().InitDelete(key))
+	return b.add(b.shardOf(key), core.AcquireOp().InitDelete(key))
 }
 
 // Scan stages a range scan over [lo, hi] (limit <= 0 = unlimited) and
 // returns its index.
 func (b *Batch) Scan(lo, hi uint64, limit int) int {
-	return b.add(core.AcquireOp().InitRange(lo, hi, limit))
+	if len(b.db.shards) == 1 {
+		return b.add(0, core.AcquireOp().InitRange(lo, hi, limit))
+	}
+	return b.addFanned(
+		func() *core.Op { return core.AcquireOp().InitRange(lo, hi, limit) },
+		func(rs []core.Result) core.Result { return mergeScan(rs, limit) },
+	)
 }
 
-// Sync stages a sync and returns its index.
+// Sync stages a sync (of every shard) and returns its index.
 func (b *Batch) Sync() int {
-	return b.add(core.AcquireOp().InitSync())
+	if len(b.db.shards) == 1 {
+		return b.add(0, core.AcquireOp().InitSync())
+	}
+	return b.addFanned(
+		func() *core.Op { return core.AcquireOp().InitSync() },
+		mergeFirstErr,
+	)
 }
 
-// Len returns the number of staged operations.
+// Len returns the number of staged (logical) operations.
 func (b *Batch) Len() int { return len(b.handles) }
 
-// Commit admits every staged operation in order as one transaction on
-// the admission ring. If the ring is full it blocks until the working
-// thread frees space (backpressure). Commit may be called once; after it
-// the batch only serves Wait, the accessors and Release.
+// perShard splits the staged physical ops by owning shard, preserving
+// staging order within each shard.
+func (b *Batch) perShard() [][]*core.Op {
+	groups := make([][]*core.Op, len(b.db.shards))
+	for i, op := range b.ops {
+		si := b.shardIdx[i]
+		groups[si] = append(groups[si], op)
+	}
+	return groups
+}
+
+// Commit admits every staged operation in order as one transaction per
+// shard's admission ring. If a ring is full it blocks until that
+// working thread frees space (backpressure). Commit may be called once;
+// after it the batch only serves Wait, the accessors and Release.
 func (b *Batch) Commit() error {
 	if b.committed {
 		panic("patree: Batch.Commit called twice")
@@ -91,21 +148,32 @@ func (b *Batch) Commit() error {
 		b.committed = true
 		return nil
 	}
-	b.db.mu.RLock()
-	if b.db.closed {
-		b.db.mu.RUnlock()
+	db := b.db
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
 		return ErrClosed
 	}
-	b.db.tree.AdmitBatch(b.ops)
-	b.db.mu.RUnlock()
+	if len(db.shards) == 1 {
+		db.shards[0].tree.AdmitBatch(b.ops)
+	} else {
+		for si, ops := range b.perShard() {
+			if len(ops) > 0 {
+				db.shards[si].tree.AdmitBatch(ops)
+			}
+		}
+	}
+	db.mu.RUnlock()
 	b.finishCommit()
 	return nil
 }
 
-// TryCommit is Commit without blocking: if the admission ring cannot
-// accept the whole batch as one contiguous transaction right now it
-// returns ErrBacklog and admits nothing — the batch stays staged and may
-// be retried.
+// TryCommit is Commit without blocking: if any shard's admission ring
+// cannot accept its sub-batch as one contiguous transaction right now
+// it returns ErrBacklog and admits nothing anywhere — room is reserved
+// on every shard before anything is published, and the reservations of
+// the shards that had space are aborted when a later one is full. The
+// batch stays staged and may be retried.
 func (b *Batch) TryCommit() error {
 	if b.committed {
 		panic("patree: Batch.TryCommit after Commit")
@@ -114,21 +182,43 @@ func (b *Batch) TryCommit() error {
 		b.committed = true
 		return nil
 	}
-	b.db.mu.RLock()
-	if b.db.closed {
-		b.db.mu.RUnlock()
+	db := b.db
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
 		return ErrClosed
 	}
-	err := b.db.tree.TryAdmitBatch(b.ops)
-	b.db.mu.RUnlock()
-	if err != nil {
-		return mapErr(err)
+	if len(db.shards) == 1 {
+		err := db.shards[0].tree.TryAdmitBatch(b.ops)
+		db.mu.RUnlock()
+		if err != nil {
+			return mapErr(err)
+		}
+		b.finishCommit()
+		return nil
 	}
+	groups := b.perShard()
+	reservations := make([]core.Reservation, len(groups))
+	for si, ops := range groups {
+		r, err := db.shards[si].tree.TryReserve(len(ops))
+		if err != nil {
+			for _, prev := range reservations[:si] {
+				prev.Abort()
+			}
+			db.mu.RUnlock()
+			return mapErr(err)
+		}
+		reservations[si] = r
+	}
+	for si, ops := range groups {
+		reservations[si].Publish(ops)
+	}
+	db.mu.RUnlock()
 	b.finishCommit()
 	return nil
 }
 
-// finishCommit drops the admitted ops: they are owned by the tree now
+// finishCommit drops the admitted ops: they are owned by the trees now
 // and will be released by their completions, so the batch must not keep
 // references past this point.
 func (b *Batch) finishCommit() {
@@ -137,6 +227,7 @@ func (b *Batch) finishCommit() {
 		b.ops[i] = nil
 	}
 	b.ops = b.ops[:0]
+	b.shardIdx = b.shardIdx[:0]
 }
 
 // Wait blocks until every committed operation has completed and returns
@@ -177,6 +268,7 @@ func (b *Batch) Release() {
 		b.ops[i] = nil
 	}
 	b.ops = b.ops[:0]
+	b.shardIdx = b.shardIdx[:0]
 	for i, h := range b.handles {
 		if b.committed {
 			h.Release()

@@ -27,7 +27,7 @@ func main() {
 	flag.Parse()
 
 	ids := []string{"fig3a", "fig3b", "fig3c", "fig7", "fig8", "table1", "table2",
-		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"}
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "figshards"}
 	if *list {
 		fmt.Println(strings.Join(ids, "\n"))
 		return
@@ -87,6 +87,8 @@ func main() {
 			reports = append(reports, harness.Fig14(scale))
 		case "fig15":
 			reports = append(reports, harness.Fig15(scale))
+		case "figshards":
+			reports = append(reports, harness.FigShards(scale))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
 			os.Exit(2)

@@ -40,14 +40,16 @@ func (h *Handle) WaitContext(ctx context.Context) error {
 }
 
 // execContext is exec with cancellation: on ctx expiry the call returns
-// immediately with the context's error while the operation finishes (and
-// is discarded) on the working thread.
-func (db *DB) execContext(ctx context.Context, op *core.Op) (core.Result, error) {
+// immediately with the context's error while the operation (possibly
+// fanned out across shards) finishes — and is discarded — on the
+// working threads. admit builds and admits the operation(s), returning
+// the future; it is a closure so nothing is allocated or admitted when
+// the context is already dead.
+func (db *DB) execContext(ctx context.Context, admit func() (*Handle, error)) (core.Result, error) {
 	if err := ctx.Err(); err != nil {
-		op.Release()
 		return core.Result{}, err
 	}
-	h, err := db.admitAsync(op)
+	h, err := admit()
 	if err != nil {
 		return core.Result{}, err
 	}
@@ -68,38 +70,38 @@ func (db *DB) execContext(ctx context.Context, op *core.Op) (core.Result, error)
 
 // PutContext is Put unblocking on ctx cancellation.
 func (db *DB) PutContext(ctx context.Context, key uint64, value []byte) error {
-	_, err := db.execContext(ctx, core.AcquireOp().InitInsert(key, value))
+	_, err := db.execContext(ctx, func() (*Handle, error) { return db.PutAsync(key, value) })
 	return err
 }
 
 // GetContext is Get unblocking on ctx cancellation.
 func (db *DB) GetContext(ctx context.Context, key uint64) ([]byte, bool, error) {
-	res, err := db.execContext(ctx, core.AcquireOp().InitSearch(key))
+	res, err := db.execContext(ctx, func() (*Handle, error) { return db.GetAsync(key) })
 	return res.Value, res.Found, err
 }
 
 // UpdateContext is Update unblocking on ctx cancellation.
 func (db *DB) UpdateContext(ctx context.Context, key uint64, value []byte) (bool, error) {
-	res, err := db.execContext(ctx, core.AcquireOp().InitUpdate(key, value))
+	res, err := db.execContext(ctx, func() (*Handle, error) { return db.UpdateAsync(key, value) })
 	return res.Found, err
 }
 
 // DeleteContext is Delete unblocking on ctx cancellation.
 func (db *DB) DeleteContext(ctx context.Context, key uint64) (bool, error) {
-	res, err := db.execContext(ctx, core.AcquireOp().InitDelete(key))
+	res, err := db.execContext(ctx, func() (*Handle, error) { return db.DeleteAsync(key) })
 	return res.Found, err
 }
 
 // ScanContext is Scan unblocking on ctx cancellation.
 func (db *DB) ScanContext(ctx context.Context, lo, hi uint64, limit int) ([]KV, error) {
-	res, err := db.execContext(ctx, core.AcquireOp().InitRange(lo, hi, limit))
+	res, err := db.execContext(ctx, func() (*Handle, error) { return db.ScanAsync(lo, hi, limit) })
 	return res.Pairs, err
 }
 
 // SyncContext is Sync unblocking on ctx cancellation. Note that a
 // cancelled SyncContext does not undo the flush: it proceeds on the
-// working thread.
+// working thread(s).
 func (db *DB) SyncContext(ctx context.Context) error {
-	_, err := db.execContext(ctx, core.AcquireOp().InitSync())
+	_, err := db.execContext(ctx, func() (*Handle, error) { return db.SyncAsync() })
 	return err
 }

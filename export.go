@@ -65,6 +65,9 @@ func writePrometheus(w io.Writer, m Metrics) {
 	p("# HELP patree_buffer_hit_ratio Page-buffer hit ratio.\n")
 	p("# TYPE patree_buffer_hit_ratio gauge\n")
 	p("patree_buffer_hit_ratio %g\n", m.BufferHit)
+	p("# HELP patree_shards Number of shard workers serving the keyspace.\n")
+	p("# TYPE patree_shards gauge\n")
+	p("patree_shards %d\n", m.Shards)
 
 	p("# HELP patree_stage_seconds Per-stage operation latency decomposition.\n")
 	p("# TYPE patree_stage_seconds summary\n")
@@ -116,6 +119,9 @@ func FormatMetrics(m Metrics) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "ops=%d keys=%d height=%d probes=%d reads=%d writes=%d admitWaits=%d bufferHit=%.2f%%\n",
 		m.Ops, m.NumKeys, m.Height, m.Probes, m.ReadsIssued, m.WritesIssued, m.AdmitWaits, 100*m.BufferHit)
+	if m.Shards > 1 {
+		fmt.Fprintf(&b, "shards: %d\n", m.Shards)
+	}
 	if len(m.Stages) > 0 {
 		fmt.Fprintf(&b, "%-11s %-7s %9s %11s %11s %11s %11s %11s\n",
 			"stage", "op", "count", "mean", "p50", "p95", "p99", "max")

@@ -3,19 +3,25 @@ package core
 import (
 	"fmt"
 
-	"github.com/patree/patree/internal/nvme"
 	"github.com/patree/patree/internal/storage"
 )
 
+// ImageWriter is the direct-write access BulkLoad needs: SimDevice,
+// RAMDevice, and nvme.Partition all provide it, so experiments can
+// preload whole devices or individual shard partitions alike.
+type ImageWriter interface {
+	WriteAt(lba uint64, buf []byte)
+}
+
 // BulkLoad builds a tree bottom-up from sorted, unique key/value pairs and
-// writes it directly into the simulated device (bypassing queues and
+// writes it directly into the device image (bypassing queues and
 // virtual time), returning the meta image. It exists so experiments can
 // preload the 10M+ key trees of the paper's evaluation without simulating
 // millions of load operations; timed runs then Open the result.
 //
 // fill is the target occupancy of leaves and inner nodes in (0, 1];
 // 0 selects 0.7, leaving headroom so early inserts don't split everything.
-func BulkLoad(dev *nvme.SimDevice, pairs []KV, fill float64) (*storage.Meta, error) {
+func BulkLoad(dev ImageWriter, pairs []KV, fill float64) (*storage.Meta, error) {
 	if fill <= 0 {
 		fill = 0.7
 	}

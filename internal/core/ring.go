@@ -101,6 +101,47 @@ func (r *opRing) TryPushN(ops []*Op) bool {
 	}
 }
 
+// tryClaim claims n contiguous slots without publishing anything and
+// returns the base position of the span. The claim holds room on the
+// ring: the consumer reads the span's slots as empty until each is
+// published via publishAt, and producers behind the claim queue up as
+// usual. Callers must eventually publish every claimed slot (with real
+// ops or no-ops) or the consumer stalls forever; pair with the tree's
+// admitters protocol so the worker cannot exit mid-claim.
+func (r *opRing) tryClaim(n int) (uint64, bool) {
+	un := uint64(n)
+	if un == 0 {
+		return 0, true
+	}
+	if un > uint64(len(r.slots)) {
+		return 0, false
+	}
+	for {
+		pos := r.head.Load()
+		// Same free-in-order argument as TryPushN: last slot free for this
+		// lap implies the whole span is free.
+		last := &r.slots[(pos+un-1)&r.mask]
+		seq := last.seq.Load()
+		switch d := int64(seq - (pos + un - 1)); {
+		case d == 0:
+			if r.head.CompareAndSwap(pos, pos+un) {
+				return pos, true
+			}
+		case d < 0:
+			return 0, false
+		}
+	}
+}
+
+// publishAt publishes o into the i-th slot of a span claimed at pos.
+// Slots of one claim may be published in any order; the consumer blocks
+// at the first unpublished slot, preserving FIFO.
+func (r *opRing) publishAt(pos uint64, i int, o *Op) {
+	slot := &r.slots[(pos+uint64(i))&r.mask]
+	slot.op = o
+	slot.seq.Store(pos + uint64(i) + 1)
+}
+
 // Pop removes the oldest published operation. It must only be called by
 // the single consumer. A claimed-but-unpublished slot reads as empty, so
 // Pop never reorders past an in-flight producer.

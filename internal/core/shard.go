@@ -1,0 +1,19 @@
+package core
+
+// ShardOf maps a key to one of n hash partitions of the uint64
+// keyspace. The mixer is the splitmix64 finalizer, so adjacent keys
+// spread across shards instead of landing in runs (range scans then pay
+// a scatter-gather, but point-op load balances under any key pattern).
+// Every layer that partitions by key — the public DB, the harness, the
+// stress oracles — must agree on this function, which is why it lives
+// in core rather than the embedding package.
+func ShardOf(key uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(n))
+}

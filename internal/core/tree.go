@@ -120,6 +120,12 @@ type Tree struct {
 	syncEpoch uint64
 	alloc     *storage.Allocator
 
+	// Shard identity from the opening meta, copied into every meta image
+	// the tree writes so checkpoints and root moves can never demote a
+	// shard member back to an unsharded superblock (0/0 = unsharded).
+	shardID    uint16
+	shardCount uint16
+
 	latches *latch.Table
 	ro      *buffer.ReadOnly  // strong persistence
 	rw      *buffer.ReadWrite // weak persistence
@@ -262,6 +268,8 @@ func New(dev nvme.Device, cfg Config, env Env, meta *storage.Meta) (*Tree, error
 		inbox:     newOpRing(cfg.InboxDepth),
 		tr:        cfg.Tracer,
 	}
+	t.shardID = meta.ShardID
+	t.shardCount = meta.ShardCount
 	t.walStart = meta.WALStart
 	t.walBlocks = meta.WALBlocks
 	t.metaWALGen = meta.WALGen
@@ -303,10 +311,20 @@ func New(dev nvme.Device, cfg Config, env Env, meta *storage.Meta) (*Tree, error
 // and recorded in the meta page; the redo journal (Config.Journal) and
 // crash recovery use it, and it costs nothing when left disabled.
 func Format(dev nvme.Device) (*storage.Meta, error) {
+	return FormatShard(dev, 0, 0)
+}
+
+// FormatShard is Format with a shard identity stamped into the meta
+// page: shard id of count trees hash-partitioning one keyspace
+// (0 of 0 = unsharded). Open-time checks compare the recorded identity
+// against the requested shard layout, so a device formatted for one
+// layout cannot silently open under another.
+func FormatShard(dev nvme.Device, id, count uint16) (*storage.Meta, error) {
 	root := storage.NewLeaf(1)
 	walStart, walBlocks := walGeometry(dev.NumBlocks())
 	meta := &storage.Meta{Root: 1, Height: 1, Watermark: 2,
-		WALStart: walStart, WALBlocks: walBlocks}
+		WALStart: walStart, WALBlocks: walBlocks,
+		ShardID: id, ShardCount: count}
 	if walBlocks > 0 {
 		meta.WALGen = 1
 		// Zero the region's first block so stale frames from a previous
@@ -355,16 +373,16 @@ func syncIO(dev nvme.Device, cmd *nvme.Command) error {
 	if err := qp.Submit(cmd); err != nil {
 		return err
 	}
-	// On the simulated device, completions appear as the engine advances;
-	// tests drive the engine before relying on the result. On the real
-	// device, poll until done.
-	if sd, ok := dev.(*nvme.SimDevice); ok {
+	// On a simulated device (or a partition/fault wrapper over one),
+	// Advance drains the engine and the completion is ready immediately.
+	// Wrappers over real-time devices expose a no-op Advance, so fall
+	// through to wall-clock polling whenever the completion is not there.
+	if sd, ok := dev.(interface{ Advance() }); ok {
 		sd.Advance()
 		qp.Probe(0)
-		if !done {
-			return fmt.Errorf("core: sync I/O did not complete")
+		if done {
+			return ioErr
 		}
-		return ioErr
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for !done {
@@ -537,6 +555,86 @@ func (t *Tree) TryAdmitBatch(ops []*Op) error {
 		t.wake()
 	}
 	return nil
+}
+
+// Reservation is a claimed-but-unpublished span of the admission ring,
+// the building block for all-or-nothing admission across several trees
+// (a sharded batch commit): reserve room on every tree first, then
+// publish everywhere, or abort the claims already made. Between
+// TryReserve and Publish/Abort the reserving goroutine counts as an
+// in-flight admitter, so the worker never exits under a live claim.
+type Reservation struct {
+	t   *Tree
+	pos uint64
+	n   int
+}
+
+// TryReserve claims room for n operations or returns ErrBacklog without
+// side effects. A successful reservation (n >= 1) MUST be finished with
+// Publish or Abort — an abandoned claim wedges the worker.
+func (t *Tree) TryReserve(n int) (Reservation, error) {
+	if n <= 0 {
+		return Reservation{}, nil
+	}
+	if n > t.inbox.Cap() {
+		return Reservation{}, ErrBacklog
+	}
+	t.admitters.Add(1)
+	if t.stopped.Load() {
+		t.admitters.Add(-1)
+		return Reservation{}, ErrStopped
+	}
+	pos, ok := t.inbox.tryClaim(n)
+	if !ok {
+		t.admitters.Add(-1)
+		return Reservation{}, ErrBacklog
+	}
+	return Reservation{t: t, pos: pos, n: n}, nil
+}
+
+// Publish fills the reservation with ops (len(ops) must equal the
+// reserved count) and releases the span to the worker. If the tree
+// stopped after the reservation was taken the ops are still drained by
+// the worker's shutdown path — the admitters count keeps it alive.
+func (r Reservation) Publish(ops []*Op) {
+	if r.t == nil {
+		return
+	}
+	if len(ops) != r.n {
+		panic("core: Reservation.Publish with mismatched op count")
+	}
+	now := r.t.now()
+	for i, o := range ops {
+		o.Res.Admitted = now
+		o.enqueuedAt = now
+		r.t.inbox.publishAt(r.pos, i, o)
+	}
+	r.t.admitters.Add(-1)
+	if r.t.wake != nil {
+		r.t.wake()
+	}
+}
+
+// Abort releases the reservation by publishing internal no-ops into the
+// claimed slots (the span cannot be un-claimed once later producers may
+// have queued behind it); the no-ops flow through the worker and free
+// themselves.
+func (r Reservation) Abort() {
+	if r.t == nil {
+		return
+	}
+	now := r.t.now()
+	for i := 0; i < r.n; i++ {
+		o := AcquireOp().InitNop()
+		o.Done = func(o *Op) { o.Release() }
+		o.Res.Admitted = now
+		o.enqueuedAt = now
+		r.t.inbox.publishAt(r.pos, i, o)
+	}
+	r.t.admitters.Add(-1)
+	if r.t.wake != nil {
+		r.t.wake()
+	}
 }
 
 // failAdmit completes an operation that cannot be admitted.
@@ -1388,14 +1486,16 @@ func (t *Tree) pendingMeta(o *Op) *storage.Meta {
 		}
 	}
 	return &storage.Meta{
-		Root:      root,
-		Height:    uint8(height),
-		Watermark: t.alloc.Watermark(),
-		NumKeys:   t.numKeys,
-		SyncEpoch: t.syncEpoch,
-		WALStart:  t.walStart,
-		WALBlocks: t.walBlocks,
-		WALGen:    t.walGenCurrent(),
+		Root:       root,
+		Height:     uint8(height),
+		Watermark:  t.alloc.Watermark(),
+		NumKeys:    t.numKeys,
+		SyncEpoch:  t.syncEpoch,
+		WALStart:   t.walStart,
+		WALBlocks:  t.walBlocks,
+		WALGen:     t.walGenCurrent(),
+		ShardID:    t.shardID,
+		ShardCount: t.shardCount,
 	}
 }
 
@@ -1403,14 +1503,16 @@ func (t *Tree) pendingMeta(o *Op) *storage.Meta {
 // state, preserving the journal region description.
 func (t *Tree) currentMeta() *storage.Meta {
 	return &storage.Meta{
-		Root:      t.rootID,
-		Height:    uint8(t.height),
-		Watermark: t.alloc.Watermark(),
-		NumKeys:   t.numKeys,
-		SyncEpoch: t.syncEpoch,
-		WALStart:  t.walStart,
-		WALBlocks: t.walBlocks,
-		WALGen:    t.walGenCurrent(),
+		Root:       t.rootID,
+		Height:     uint8(t.height),
+		Watermark:  t.alloc.Watermark(),
+		NumKeys:    t.numKeys,
+		SyncEpoch:  t.syncEpoch,
+		WALStart:   t.walStart,
+		WALBlocks:  t.walBlocks,
+		WALGen:     t.walGenCurrent(),
+		ShardID:    t.shardID,
+		ShardCount: t.shardCount,
 	}
 }
 

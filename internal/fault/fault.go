@@ -184,6 +184,16 @@ func (d *Device) NumBlocks() uint64 { return d.inner.NumBlocks() }
 // Close implements nvme.Device.
 func (d *Device) Close() error { return d.inner.Close() }
 
+// Advance forwards the simulation hook of a SimDevice-backed inner
+// device, so wrappers layered above (an nvme.Partition per shard) can
+// still drive setup and recovery I/O deterministically. No-op on
+// real-time inners.
+func (d *Device) Advance() {
+	if a, ok := d.inner.(interface{ Advance() }); ok {
+		a.Advance()
+	}
+}
+
 // AllocQueuePair implements nvme.Device.
 func (d *Device) AllocQueuePair(depth int) (nvme.QueuePair, error) {
 	qp, err := d.inner.AllocQueuePair(depth)

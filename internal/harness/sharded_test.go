@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/patree/patree/internal/core"
+	"github.com/patree/patree/internal/nvme"
+	"github.com/patree/patree/internal/sim"
+	"github.com/patree/patree/internal/simos"
+	"github.com/patree/patree/internal/trace"
+)
+
+func TestRunShardedPATreeProducesStats(t *testing.T) {
+	s := tinyScale()
+	rs := RunShardedPATree(ShardedPAConfig{
+		Scale:  s,
+		Shards: 4,
+		MkTree: func() core.Config { return paTreeConfig(0, core.StrongPersistence) },
+		Gen:    defaultGen(s, 10, 0.3),
+	})
+	if rs.Ops == 0 || rs.Throughput <= 0 {
+		t.Fatalf("no ops measured: %+v", rs)
+	}
+	if rs.MeanLatency <= 0 || rs.CPU <= 0 || rs.IOPS <= 0 {
+		t.Fatalf("stats incomplete: %+v", rs)
+	}
+	if rs.Label != "PA-Tree x4" {
+		t.Fatalf("label = %q", rs.Label)
+	}
+	// Four single-threaded workers: more than one core busy, at most ~4.
+	if rs.CPU < 1.0 || rs.CPU > 4.5 {
+		t.Fatalf("4-shard CPU = %v cores", rs.CPU)
+	}
+}
+
+// TestShardsOneByteCompat pins the Shards=1 degenerate case to the
+// single-worker driver: with the same seed and workload, the sharded
+// runner with one shard must reproduce RunPATree's measurements exactly
+// — same ops, latencies, probe counts. Any divergence means Shards:1 is
+// not byte-compatible with the unsharded layout.
+func TestShardsOneByteCompat(t *testing.T) {
+	s := tinyScale()
+	a := RunPATree(PAConfig{
+		Scale: s,
+		Tree:  paTreeConfig(0, core.StrongPersistence),
+		Gen:   defaultGen(s, 10, 0.3),
+	})
+	b := RunShardedPATree(ShardedPAConfig{
+		Scale:  s,
+		Shards: 1,
+		MkTree: func() core.Config { return paTreeConfig(0, core.StrongPersistence) },
+		Gen:    defaultGen(s, 10, 0.3),
+	})
+	if a.Ops != b.Ops {
+		t.Errorf("ops diverged: flat=%d sharded(1)=%d", a.Ops, b.Ops)
+	}
+	if a.Throughput != b.Throughput {
+		t.Errorf("throughput diverged: flat=%v sharded(1)=%v", a.Throughput, b.Throughput)
+	}
+	if a.MeanLatency != b.MeanLatency || a.P99Latency != b.P99Latency {
+		t.Errorf("latency diverged: flat mean=%v p99=%v, sharded(1) mean=%v p99=%v",
+			a.MeanLatency, a.P99Latency, b.MeanLatency, b.P99Latency)
+	}
+	if a.Probes != b.Probes {
+		t.Errorf("probes diverged: flat=%d sharded(1)=%d", a.Probes, b.Probes)
+	}
+	if a.LatchWaits != b.LatchWaits {
+		t.Errorf("latch waits diverged: flat=%d sharded(1)=%d", a.LatchWaits, b.LatchWaits)
+	}
+	if a.IOPS != b.IOPS {
+		t.Errorf("IOPS diverged: flat=%v sharded(1)=%v", a.IOPS, b.IOPS)
+	}
+}
+
+// shardedTraceRun drives two traced shards over partitions of one
+// simulated device through a fixed workload and returns the combined
+// multi-process Chrome trace. Called twice with the same seed it must
+// produce byte-identical output — the property the simulated experiments
+// (and every stress reproduction) rely on.
+func shardedTraceRun(t *testing.T, seed uint64) []byte {
+	t.Helper()
+	const shards = 2
+	const blocksPer = 1 << 12
+	eng := sim.NewEngine()
+	sd := nvme.NewSimDevice(eng, nvme.SimConfig{Seed: seed, NumBlocks: shards * blocksPer})
+	osched := simos.New(eng, simos.Config{})
+	trees := make([]*core.Tree, shards)
+	tracers := make([]*trace.Tracer, shards)
+	for i := 0; i < shards; i++ {
+		part, err := nvme.NewPartition(sd, uint64(i)*blocksPer, blocksPer)
+		if err != nil {
+			t.Fatalf("partition %d: %v", i, err)
+		}
+		meta, err := core.FormatShard(part, uint16(i), shards)
+		if err != nil {
+			t.Fatalf("format shard %d: %v", i, err)
+		}
+		tracers[i] = core.NewTracer(1 << 14)
+		i := i
+		th := osched.Spawn(fmt.Sprintf("patree-shard%d", i), func(*simos.Thread) { trees[i].Run() })
+		trees[i], err = core.New(part, core.Config{
+			Persistence: core.StrongPersistence,
+			BufferPages: 32,
+			Tracer:      tracers[i],
+		}, core.SimEnv{T: th}, meta)
+		if err != nil {
+			t.Fatalf("new tree %d: %v", i, err)
+		}
+	}
+
+	rng := sim.NewRNG(seed ^ 0x7ace)
+	const total = 400
+	resolved := 0
+	admit := func() {
+		key := 1 + rng.Uint64n(256)
+		var op *core.Op
+		if rng.Intn(100) < 60 {
+			op = core.NewInsert(key, []byte(fmt.Sprintf("v%d", key)), func(*core.Op) { resolved++ })
+		} else {
+			op = core.NewSearch(key, func(*core.Op) { resolved++ })
+		}
+		trees[core.ShardOf(key, shards)].Admit(op)
+	}
+	eng.After(0, func() {
+		for i := 0; i < total; i++ {
+			admit()
+		}
+	})
+	for resolved < total {
+		if !eng.Step() {
+			t.Fatalf("seed %d: trace run wedged at %d/%d", seed, resolved, total)
+		}
+	}
+	for _, tr := range trees {
+		tr.Stop()
+	}
+	eng.RunFor(time.Second)
+
+	procs := make([]trace.Process, shards)
+	for i, tc := range tracers {
+		procs[i] = trace.Process{Name: fmt.Sprintf("patree-shard%d", i), Events: tc.Events()}
+		if len(procs[i].Events) == 0 {
+			t.Fatalf("seed %d: shard %d emitted no trace events", seed, i)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tracers[0].WriteChromeJSONProcs(&buf, procs); err != nil {
+		t.Fatalf("seed %d: write trace: %v", seed, err)
+	}
+	return buf.Bytes()
+}
+
+// TestShardedTraceDeterminism asserts that two same-seed simulated runs
+// over N>1 shards export byte-identical multi-process traces.
+func TestShardedTraceDeterminism(t *testing.T) {
+	const seed = 1337
+	t1 := shardedTraceRun(t, seed)
+	t2 := shardedTraceRun(t, seed)
+	if !bytes.Equal(t1, t2) {
+		t.Fatalf("seed %d: sharded traces diverged between runs (%d vs %d bytes)", seed, len(t1), len(t2))
+	}
+	for _, want := range []string{`"patree-shard0"`, `"patree-shard1"`, `"process_name"`, `"thread_name"`} {
+		if !bytes.Contains(t1, []byte(want)) {
+			t.Fatalf("trace missing %s", want)
+		}
+	}
+}

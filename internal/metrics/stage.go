@@ -137,6 +137,34 @@ func (s *StageSet) MergedInto(st Stage, dst *Histogram) bool {
 	return any
 }
 
+// Merge folds every histogram of o into s, allocating destination
+// histograms as needed. Classes beyond s's range fold into class 0,
+// mirroring Record. Used to aggregate per-shard stage sets into one
+// view; merge into a private copy, never into a live set another thread
+// records to.
+func (s *StageSet) Merge(o *StageSet) {
+	if o == nil {
+		return
+	}
+	for st := range o.h {
+		for class, h := range o.h[st] {
+			if h == nil || h.Count() == 0 {
+				continue
+			}
+			c := class
+			if c < 0 || c >= s.classes {
+				c = 0
+			}
+			dst := s.h[st][c]
+			if dst == nil {
+				dst = NewHistogram()
+				s.h[st][c] = dst
+			}
+			dst.Merge(h)
+		}
+	}
+}
+
 // Reset clears every histogram in place (capacity retained).
 func (s *StageSet) Reset() {
 	for st := range s.h {

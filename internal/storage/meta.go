@@ -30,18 +30,23 @@ const MetaVersion = 1
 //	[72:76] WAL generation fence: recovery replays only records whose
 //	        generation is >= this value, so records retired by a
 //	        checkpoint can never resurrect
+//	[76:78] shard id (0-based position in a sharded DB)
+//	[78:80] shard count (0 = unsharded single-worker tree)
 //
-// The WAL fields decode as zero on images written before they existed,
-// which reads as "no journal region" — older images stay openable.
+// The WAL and shard fields decode as zero on images written before they
+// existed, which reads as "no journal region" and "unsharded" — older
+// images stay openable.
 type Meta struct {
-	Root      PageID
-	Height    uint8
-	Watermark PageID
-	NumKeys   uint64
-	SyncEpoch uint64
-	WALStart  uint64 // first block of the journal region (0 = none)
-	WALBlocks uint64 // journal region length in blocks
-	WALGen    uint32 // minimum live journal generation
+	Root       PageID
+	Height     uint8
+	Watermark  PageID
+	NumKeys    uint64
+	SyncEpoch  uint64
+	WALStart   uint64 // first block of the journal region (0 = none)
+	WALBlocks  uint64 // journal region length in blocks
+	WALGen     uint32 // minimum live journal generation
+	ShardID    uint16 // position of this tree in a sharded keyspace
+	ShardCount uint16 // total shards (0 = unsharded)
 }
 
 // ErrNotMeta reports a page that is not a valid meta page.
@@ -63,6 +68,8 @@ func (m *Meta) EncodeTo(buf []byte) {
 	putU64(buf[56:64], m.WALStart)
 	putU64(buf[64:72], m.WALBlocks)
 	putU32(buf[72:76], m.WALGen)
+	putU16(buf[76:78], m.ShardID)
+	putU16(buf[78:80], m.ShardCount)
 	seal(buf[:PageSize])
 }
 
@@ -88,14 +95,16 @@ func DecodeMeta(buf []byte) (*Meta, error) {
 		return nil, fmt.Errorf("storage: meta version %d unsupported", buf[1])
 	}
 	return &Meta{
-		Root:      PageID(getU64(buf[20:28])),
-		Height:    buf[28],
-		Watermark: PageID(getU64(buf[32:40])),
-		NumKeys:   getU64(buf[40:48]),
-		SyncEpoch: getU64(buf[48:56]),
-		WALStart:  getU64(buf[56:64]),
-		WALBlocks: getU64(buf[64:72]),
-		WALGen:    getU32(buf[72:76]),
+		Root:       PageID(getU64(buf[20:28])),
+		Height:     buf[28],
+		Watermark:  PageID(getU64(buf[32:40])),
+		NumKeys:    getU64(buf[40:48]),
+		SyncEpoch:  getU64(buf[48:56]),
+		WALStart:   getU64(buf[56:64]),
+		WALBlocks:  getU64(buf[64:72]),
+		WALGen:     getU32(buf[72:76]),
+		ShardID:    getU16(buf[76:78]),
+		ShardCount: getU16(buf[78:80]),
 	}, nil
 }
 

@@ -197,6 +197,72 @@ func (t *Tracer) WriteChromeJSON(w io.Writer, events []Event) error {
 	return bw.Flush()
 }
 
+// Process is one Chrome-trace process in a multi-process export: a
+// display name and the event window captured by that process's tracer.
+// Used by sharded exports, where every shard becomes its own process
+// row with the familiar per-code thread lanes underneath.
+type Process struct {
+	Name   string
+	Events []Event
+}
+
+// WriteChromeJSONProcs renders several event windows as one Chrome
+// trace-event JSON object, one trace process per entry (pid = index+1,
+// process_name metadata first, then the entry's thread-name metadata
+// and events). The receiver supplies the code and class name tables
+// for every process — shards share one emitter configuration, so their
+// tables are identical. Formatting matches WriteChromeJSON, so the
+// output is byte-identical for identical inputs.
+func (t *Tracer) WriteChromeJSONProcs(w io.Writer, procs []Process) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	comma := func() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteByte('\n')
+	}
+	for pi, p := range procs {
+		pid := pi + 1
+		comma()
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%q}}`, pid, p.Name)
+		seen := map[uint16]bool{}
+		for _, e := range p.Events {
+			seen[e.Code] = true
+		}
+		for c := 0; c < 1<<16; c++ {
+			if !seen[uint16(c)] {
+				continue
+			}
+			comma()
+			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%q}}`,
+				pid, c+1, t.codeName(uint16(c)))
+			delete(seen, uint16(c))
+			if len(seen) == 0 {
+				break
+			}
+		}
+		for _, e := range p.Events {
+			comma()
+			if e.Dur < 0 {
+				fmt.Fprintf(bw, `{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"name":%q,"cat":"patree","args":{"op":%q,"seq":%d,"arg":%d}}`,
+					pid, e.Code+1, usec(e.TS), t.codeName(e.Code), t.className(e.Class), e.Seq, e.Arg)
+			} else {
+				fmt.Fprintf(bw, `{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%q,"cat":"patree","args":{"op":%q,"seq":%d,"arg":%d}}`,
+					pid, e.Code+1, usec(e.TS), usec(e.Dur), t.codeName(e.Code), t.className(e.Class), e.Seq, e.Arg)
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
 // usec formats ns as a decimal microsecond literal ("12.345"), the unit
 // the trace-event format expects, without float formatting jitter.
 func usec(ns int64) string {

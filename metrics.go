@@ -2,6 +2,7 @@ package patree
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"time"
 
@@ -67,22 +68,134 @@ type Metrics struct {
 	TraceEvents uint64 // events emitted so far (0 unless Options.Trace)
 }
 
-// Metrics snapshots the full observability state.
-func (db *DB) Metrics() Metrics {
-	var out Metrics
-	db.onWorker(func() { out = db.metricsLocked() })
-	return out
+// shardMetricsSnap is one shard's contribution to Metrics, gathered on
+// that shard's working thread. Histogram state is deep-copied there:
+// the live histograms keep mutating on the worker after the snapshot
+// no-op completes, so cross-shard merging must never touch them.
+type shardMetricsSnap struct {
+	stats        Stats
+	buf          bufferCounts
+	stages       *metrics.StageSet
+	cpu          CPUBreakdown
+	probeMatched uint64
+	probeLate    uint64
+	probeEarly   uint64
+	probeDropped uint64
+	probeBias    time.Duration
+	probeAbsErr  *metrics.Histogram
+	traceEmitted uint64
 }
 
-// metricsLocked builds the Metrics snapshot; call only from onWorker.
-func (db *DB) metricsLocked() Metrics {
-	m := Metrics{Stats: db.statsLocked()}
+// snapMetrics builds the shard's snapshot; call only on its worker.
+func (s *shard) snapMetrics() shardMetricsSnap {
+	var snap shardMetricsSnap
+	snap.stats, snap.buf = s.statsSnapshot()
 
-	st := db.tree.StatsSnapshot()
+	st := s.tree.StatsSnapshot()
 	if set := st.Stages; set != nil {
+		snap.stages = metrics.NewStageSet(set.Classes())
+		snap.stages.Merge(set)
+	}
+
+	cpu := s.tree.CPUSnapshot()
+	snap.cpu = CPUBreakdown{
+		RealWork: cpu.Get(metrics.CatRealWork),
+		Sync:     cpu.Get(metrics.CatSync),
+		NVMe:     cpu.Get(metrics.CatNVMe),
+		Sched:    cpu.Get(metrics.CatSched),
+		Other:    cpu.Get(metrics.CatOther),
+		Total:    cpu.Total(),
+	}
+
+	if acc := s.policy.Accuracy(); acc != nil {
+		snap.probeMatched = acc.Matched()
+		snap.probeLate = acc.Late()
+		snap.probeEarly = acc.Early()
+		snap.probeDropped = acc.Dropped()
+		snap.probeBias = acc.Bias()
+		snap.probeAbsErr = metrics.NewHistogram()
+		snap.probeAbsErr.Merge(acc.AbsErr())
+	}
+
+	snap.traceEmitted = s.tracer.Emitted()
+	return snap
+}
+
+// Metrics snapshots the full observability state, merged across shards:
+// counters sum, stage and probe-error histograms merge, the probe bias
+// is weighted by each shard's matched completions.
+func (db *DB) Metrics() Metrics {
+	snaps := make([]shardMetricsSnap, len(db.shards))
+	for i, s := range db.shards {
+		s := s
+		i := i
+		db.onWorker(s, func() { snaps[i] = s.snapMetrics() })
+	}
+
+	var m Metrics
+	var hits, misses uint64
+	var classes int
+	var biasWeighted float64
+	absErr := metrics.NewHistogram()
+	for _, snap := range snaps {
+		m.Stats.Ops += snap.stats.Ops
+		m.Stats.NumKeys += snap.stats.NumKeys
+		if snap.stats.Height > m.Stats.Height {
+			m.Stats.Height = snap.stats.Height
+		}
+		m.Stats.Probes += snap.stats.Probes
+		m.Stats.ReadsIssued += snap.stats.ReadsIssued
+		m.Stats.WritesIssued += snap.stats.WritesIssued
+		m.Stats.AdmitWaits += snap.stats.AdmitWaits
+		m.Stats.IOErrors += snap.stats.IOErrors
+		m.Stats.IORetries += snap.stats.IORetries
+		m.Stats.JournalAppends += snap.stats.JournalAppends
+		m.Stats.Checkpoints += snap.stats.Checkpoints
+		hits += snap.buf.hits
+		misses += snap.buf.misses
+
+		if snap.stages != nil && snap.stages.Classes() > classes {
+			classes = snap.stages.Classes()
+		}
+
+		m.CPU.RealWork += snap.cpu.RealWork
+		m.CPU.Sync += snap.cpu.Sync
+		m.CPU.NVMe += snap.cpu.NVMe
+		m.CPU.Sched += snap.cpu.Sched
+		m.CPU.Other += snap.cpu.Other
+		m.CPU.Total += snap.cpu.Total
+
+		m.Probe.Matched += snap.probeMatched
+		m.Probe.Late += snap.probeLate
+		m.Probe.Early += snap.probeEarly
+		m.Probe.Dropped += snap.probeDropped
+		biasWeighted += float64(snap.probeBias) * float64(snap.probeMatched)
+		if snap.probeAbsErr != nil {
+			absErr.Merge(snap.probeAbsErr)
+		}
+
+		m.TraceEvents += snap.traceEmitted
+	}
+	if hits+misses > 0 {
+		m.Stats.BufferHit = float64(hits) / float64(hits+misses)
+	}
+	m.Stats.Shards = len(db.shards)
+	if m.Probe.Matched > 0 {
+		m.Probe.Bias = time.Duration(biasWeighted / float64(m.Probe.Matched))
+	}
+	m.Probe.AbsErrMean = absErr.Mean()
+	m.Probe.AbsErrP50 = absErr.Percentile(50)
+	m.Probe.AbsErrP95 = absErr.Percentile(95)
+	m.Probe.AbsErrP99 = absErr.Percentile(99)
+
+	if classes > 0 {
+		merged := metrics.NewStageSet(classes)
+		for _, snap := range snaps {
+			merged.Merge(snap.stages)
+		}
 		for _, stage := range metrics.Stages() {
-			for class := 0; class < set.Classes(); class++ {
-				h := set.Histogram(stage, class)
+			for class := 0; class < merged.Classes(); class++ {
+				h := merged.Histogram(stage, class)
 				if h == nil || h.Count() == 0 {
 					continue
 				}
@@ -99,33 +212,6 @@ func (db *DB) metricsLocked() Metrics {
 			}
 		}
 	}
-
-	cpu := db.tree.CPUSnapshot()
-	m.CPU = CPUBreakdown{
-		RealWork: cpu.Get(metrics.CatRealWork),
-		Sync:     cpu.Get(metrics.CatSync),
-		NVMe:     cpu.Get(metrics.CatNVMe),
-		Sched:    cpu.Get(metrics.CatSched),
-		Other:    cpu.Get(metrics.CatOther),
-		Total:    cpu.Total(),
-	}
-
-	if acc := db.policy.Accuracy(); acc != nil {
-		e := acc.AbsErr()
-		m.Probe = ProbeStats{
-			Matched:    acc.Matched(),
-			Late:       acc.Late(),
-			Early:      acc.Early(),
-			Dropped:    acc.Dropped(),
-			Bias:       acc.Bias(),
-			AbsErrMean: e.Mean(),
-			AbsErrP50:  e.Percentile(50),
-			AbsErrP95:  e.Percentile(95),
-			AbsErrP99:  e.Percentile(99),
-		}
-	}
-
-	m.TraceEvents = db.tracer.Emitted()
 	return m
 }
 
@@ -134,16 +220,34 @@ func (db *DB) metricsLocked() Metrics {
 func kindName(class int) string { return core.Kind(class).String() }
 
 // WriteTrace exports the tracer's captured window (the most recent
-// Options.TraceEvents events) as Chrome trace-event JSON, loadable in
-// Perfetto (ui.perfetto.dev) or chrome://tracing. The snapshot is taken
-// on the working thread, so it is consistent; identical workloads on
-// identical clocks export byte-identical JSON. Returns
+// Options.TraceEvents events per shard) as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Each
+// shard's snapshot is taken on its working thread, so it is consistent;
+// identical workloads on identical clocks export byte-identical JSON.
+// On a sharded DB each shard appears as its own process
+// ("patree-shard0", ...) with the shard's thread lanes underneath; a
+// single-worker DB keeps the original single-process output. Returns
 // ErrTracingDisabled when the DB was opened without Options.Trace.
 func (db *DB) WriteTrace(w io.Writer) error {
-	if db.tracer == nil {
+	if db.shards[0].tracer == nil {
 		return ErrTracingDisabled
 	}
-	var events []trace.Event
-	db.onWorker(func() { events = db.tracer.Events() })
-	return db.tracer.WriteChromeJSON(w, events)
+	if len(db.shards) == 1 {
+		s := db.shards[0]
+		var events []trace.Event
+		db.onWorker(s, func() { events = s.tracer.Events() })
+		return s.tracer.WriteChromeJSON(w, events)
+	}
+	procs := make([]trace.Process, len(db.shards))
+	for i, s := range db.shards {
+		s := s
+		i := i
+		db.onWorker(s, func() {
+			procs[i] = trace.Process{
+				Name:   fmt.Sprintf("patree-shard%d", i),
+				Events: s.tracer.Events(),
+			}
+		})
+	}
+	return db.shards[0].tracer.WriteChromeJSONProcs(w, procs)
 }

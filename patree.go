@@ -46,6 +46,19 @@
 // ErrBacklog without admitting anything. Context-aware variants
 // (GetContext, PutContext, ...) additionally unblock on cancellation;
 // see DESIGN.md for the detach semantics.
+//
+// # Sharding
+//
+// Options.Shards > 1 hash-partitions the keyspace across that many
+// independent PA-Tree workers, each with its own working thread, queue
+// pair, inbox ring, buffer pool and (optional) journal region, all over
+// disjoint partitions of one device. The public surface is unchanged:
+// point operations route by key, Scan scatter-gathers and merge-sorts
+// across shards under the global limit, Sync/Stats/Metrics/WriteTrace
+// aggregate, and Batch.Commit splits into per-shard sub-batches
+// (TryCommit reserves room on every shard before admitting anywhere, so
+// it stays all-or-nothing). Shards: 0 or 1 is the paper's single-worker
+// tree, byte-for-byte. See DESIGN.md §12.
 package patree
 
 import (
@@ -108,11 +121,12 @@ type Options struct {
 	DeviceBlocks uint64
 	// Persistence selects Strong (default) or Weak buffering.
 	Persistence Persistence
-	// BufferPages is the page-cache capacity (default 4096 pages = 2 MiB).
+	// BufferPages is the total page-cache capacity (default 4096 pages =
+	// 2 MiB), split evenly across shards when Shards > 1.
 	BufferPages int
-	// InboxDepth bounds the admission ring (rounded up to a power of two;
-	// default 4096). A full ring blocks Async calls and Commit, and makes
-	// TryCommit return ErrBacklog.
+	// InboxDepth bounds each worker's admission ring (rounded up to a
+	// power of two; default 4096). A full ring blocks Async calls and
+	// Commit, and makes TryCommit return ErrBacklog.
 	InboxDepth int
 	// Format forces re-initialization even if the device already holds a
 	// tree. Devices without a valid meta page are formatted only after
@@ -137,21 +151,27 @@ type Options struct {
 	// only a nil check. Stage histograms (Metrics) are always collected.
 	Trace bool
 	// TraceEvents sizes the trace ring — the window of most recent events
-	// retained (default 65536, ≈48 B each). Ignored unless Trace is set.
+	// retained per shard (default 65536, ≈48 B each). Ignored unless
+	// Trace is set.
 	TraceEvents int
+	// Shards hash-partitions the keyspace across this many independent
+	// workers over disjoint regions of the device (0 or 1 = the classic
+	// single-worker tree). A device formatted with one shard layout
+	// refuses to open under another: reformat or match the count.
+	Shards int
 }
 
-// Stats reports tree activity.
+// Stats reports tree activity, summed across shards.
 type Stats struct {
 	Ops          uint64
 	NumKeys      uint64
-	Height       int
+	Height       int // tallest shard
 	Probes       uint64
 	ReadsIssued  uint64
 	WritesIssued uint64
-	// AdmitWaits counts admissions that found the inbox ring full and had
+	// AdmitWaits counts admissions that found an inbox ring full and had
 	// to back off — a sustained non-zero rate means callers outpace the
-	// working thread and backpressure is engaging.
+	// working threads and backpressure is engaging.
 	AdmitWaits uint64
 	BufferHit  float64
 	// IOErrors counts device commands that completed with an error;
@@ -164,34 +184,44 @@ type Stats struct {
 	// Options.Journal).
 	JournalAppends uint64
 	Checkpoints    uint64
+	// Shards is the number of independent workers backing this DB (1 for
+	// the classic single-worker tree).
+	Shards int
+}
+
+// shard is one worker: a tree, its working goroutine, and the
+// per-worker observability state behind Metrics and WriteTrace.
+type shard struct {
+	tree   *core.Tree
+	policy *sched.Workload
+	tracer *trace.Tracer
+	done   chan struct{}
 }
 
 // DB is an open PA-Tree.
 type DB struct {
 	dev     nvme.Device
 	ownsDev bool
-	tree    *core.Tree
-	done    chan struct{}
-
-	// policy and tracer back the observability surface: the policy's
-	// accuracy tracker feeds ProbeStats, the tracer (nil unless
-	// Options.Trace) feeds WriteTrace.
-	policy *sched.Workload
-	tracer *trace.Tracer
+	shards  []*shard
 
 	// mu orders admissions against Close: admitting paths hold it shared
-	// while checking closed and handing the operation to the tree, Close
+	// while checking closed and handing operations to the trees, Close
 	// holds it exclusively while setting closed. An operation therefore
 	// either observes closed and fails with ErrClosed, or is fully
-	// admitted before the tree is told to stop — core.ErrStopped can never
+	// admitted before any tree is told to stop — core.ErrStopped can never
 	// leak out of a well-ordered shutdown (and is mapped to ErrClosed
-	// defensively anyway).
+	// defensively anyway). Holding it shared across a whole fan-out also
+	// makes multi-shard admissions atomic with respect to Close.
 	mu     sync.RWMutex
 	closed bool
 }
 
+// minShardBlocks is the smallest device partition a shard accepts: room
+// for the superblock, a root, and a useful WAL region.
+const minShardBlocks = 1024
+
 // Open creates or opens a PA-Tree per opts and starts its working
-// goroutine.
+// goroutine(s).
 func Open(opts Options) (*DB, error) {
 	dev := opts.Device
 	owns := false
@@ -205,10 +235,61 @@ func Open(opts Options) (*DB, error) {
 	if opts.BufferPages == 0 {
 		opts.BufferPages = 4096
 	}
+	n := opts.Shards
+	if n <= 1 {
+		n = 1
+	}
+	if n > 1<<16-1 {
+		return nil, fmt.Errorf("patree: %d shards exceeds the format limit", n)
+	}
+	db := &DB{dev: dev, ownsDev: owns}
+	if n == 1 {
+		// Single worker: the device is used directly, exactly the
+		// pre-sharding layout (shard identity 0/0 in the superblock).
+		s, err := openShard(dev, opts, opts.BufferPages, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		db.shards = []*shard{s}
+		return db, nil
+	}
+	per := dev.NumBlocks() / uint64(n)
+	if per < minShardBlocks {
+		return nil, fmt.Errorf("patree: device of %d blocks too small for %d shards (need %d blocks each)",
+			dev.NumBlocks(), n, minShardBlocks)
+	}
+	bufPer := opts.BufferPages / n
+	if bufPer < 64 {
+		bufPer = 64
+	}
+	shards := make([]*shard, n)
+	for i := 0; i < n; i++ {
+		part, err := nvme.NewPartition(dev, uint64(i)*per, per)
+		if err != nil {
+			return nil, err
+		}
+		s, err := openShard(part, opts, bufPer, uint16(i), uint16(n))
+		if err != nil {
+			// Unwind the workers already started so no goroutine leaks.
+			for _, prev := range shards[:i] {
+				prev.tree.Stop()
+				<-prev.done
+			}
+			return nil, fmt.Errorf("patree: shard %d/%d: %w", i, n, err)
+		}
+		shards[i] = s
+	}
+	db.shards = shards
+	return db, nil
+}
+
+// openShard formats/recovers one device (or partition) as shard id of
+// count, verifies its recorded shard identity, and starts its worker.
+func openShard(dev nvme.Device, opts Options, bufferPages int, id, count uint16) (*shard, error) {
 	meta, err := core.ReadMeta(dev)
 	switch {
 	case opts.Format:
-		if meta, err = core.Format(dev); err != nil {
+		if meta, err = core.FormatShard(dev, id, count); err != nil {
 			return nil, fmt.Errorf("patree: format: %w", err)
 		}
 	case err != nil:
@@ -217,7 +298,7 @@ func Open(opts Options) (*DB, error) {
 		// only a device with no recoverable tree at all is formatted.
 		if m, _, rerr := core.Recover(dev); rerr == nil {
 			meta = m
-		} else if meta, err = core.Format(dev); err != nil {
+		} else if meta, err = core.FormatShard(dev, id, count); err != nil {
 			return nil, fmt.Errorf("patree: format: %w", err)
 		}
 	case meta.WALBlocks != 0:
@@ -228,6 +309,10 @@ func Open(opts Options) (*DB, error) {
 			return nil, fmt.Errorf("patree: recover: %w", rerr)
 		}
 		meta = m
+	}
+	if meta.ShardID != id || meta.ShardCount != count {
+		return nil, fmt.Errorf("patree: device holds shard %d of %d, opened as %d of %d — set Options.Shards to the formatted count (or Format to repartition)",
+			meta.ShardID, meta.ShardCount, id, count)
 	}
 	env := core.NewRealEnv()
 	// Real-time polling: probes are cheap host work, so use a tight
@@ -254,7 +339,7 @@ func Open(opts Options) (*DB, error) {
 	}
 	tree, err := core.New(dev, core.Config{
 		Persistence:  opts.Persistence,
-		BufferPages:  opts.BufferPages,
+		BufferPages:  bufferPages,
 		InboxDepth:   opts.InboxDepth,
 		Journal:      opts.Journal,
 		MaxIORetries: opts.MaxIORetries,
@@ -264,8 +349,7 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{dev: dev, ownsDev: owns, tree: tree, done: make(chan struct{}),
-		policy: policy, tracer: tracer}
+	s := &shard{tree: tree, policy: policy, tracer: tracer, done: make(chan struct{})}
 	go func() {
 		// The polled-mode working thread wants a dedicated OS thread, as
 		// the paper's design assumes; everything else in the process can
@@ -273,9 +357,9 @@ func Open(opts Options) (*DB, error) {
 		runtime.LockOSThread()
 		defer runtime.UnlockOSThread()
 		tree.Run()
-		close(db.done)
+		close(s.done)
 	}()
-	return db, nil
+	return s, nil
 }
 
 // mapErr translates internal sentinel errors to their public forms.
@@ -286,28 +370,36 @@ func mapErr(err error) error {
 	return err
 }
 
-// admit checks closed and hands op (whose Done is already set) to the
+// shardFor routes a key to its owning shard (see core.ShardOf).
+func (db *DB) shardFor(key uint64) *shard {
+	if len(db.shards) == 1 {
+		return db.shards[0]
+	}
+	return db.shards[core.ShardOf(key, len(db.shards))]
+}
+
+// admit checks closed and hands op (whose Done is already set) to s's
 // working thread. It holds the admission lock shared across the whole
 // hand-off; see DB.mu.
-func (db *DB) admit(op *core.Op) error {
+func (db *DB) admit(s *shard, op *core.Op) error {
 	db.mu.RLock()
 	if db.closed {
 		db.mu.RUnlock()
 		op.Release()
 		return ErrClosed
 	}
-	db.tree.Admit(op)
+	s.tree.Admit(op)
 	db.mu.RUnlock()
 	return nil
 }
 
-// exec admits op and blocks until the working thread completes it. The
-// operation and its completion handle come from pools, so the steady
+// exec admits op on s and blocks until the working thread completes it.
+// The operation and its completion handle come from pools, so the steady
 // state adds no admission-side allocation.
-func (db *DB) exec(op *core.Op) (core.Result, error) {
+func (db *DB) exec(s *shard, op *core.Op) (core.Result, error) {
 	h := acquireHandle()
 	op.Done = h.doneFn
-	if err := db.admit(op); err != nil {
+	if err := db.admit(s, op); err != nil {
 		h.abandon()
 		return core.Result{}, err
 	}
@@ -319,46 +411,69 @@ func (db *DB) exec(op *core.Op) (core.Result, error) {
 
 // Put inserts or replaces key.
 func (db *DB) Put(key uint64, value []byte) error {
-	_, err := db.exec(core.AcquireOp().InitInsert(key, value))
+	_, err := db.exec(db.shardFor(key), core.AcquireOp().InitInsert(key, value))
 	return err
 }
 
 // Get returns the value stored under key.
 func (db *DB) Get(key uint64) ([]byte, bool, error) {
-	res, err := db.exec(core.AcquireOp().InitSearch(key))
+	res, err := db.exec(db.shardFor(key), core.AcquireOp().InitSearch(key))
 	return res.Value, res.Found, err
 }
 
 // Update replaces key only if present, reporting whether it was.
 func (db *DB) Update(key uint64, value []byte) (bool, error) {
-	res, err := db.exec(core.AcquireOp().InitUpdate(key, value))
+	res, err := db.exec(db.shardFor(key), core.AcquireOp().InitUpdate(key, value))
 	return res.Found, err
 }
 
 // Delete removes key, reporting whether it was present.
 func (db *DB) Delete(key uint64) (bool, error) {
-	res, err := db.exec(core.AcquireOp().InitDelete(key))
+	res, err := db.exec(db.shardFor(key), core.AcquireOp().InitDelete(key))
 	return res.Found, err
 }
 
 // Scan returns pairs with keys in [lo, hi], at most limit (0 = all).
+// Across shards the per-shard results are merge-sorted and the limit
+// applies to the merged stream, so the result is the same ascending
+// prefix a single tree would return.
 func (db *DB) Scan(lo, hi uint64, limit int) ([]KV, error) {
-	res, err := db.exec(core.AcquireOp().InitRange(lo, hi, limit))
-	return res.Pairs, err
+	if len(db.shards) == 1 {
+		res, err := db.exec(db.shards[0], core.AcquireOp().InitRange(lo, hi, limit))
+		return res.Pairs, err
+	}
+	h, err := db.ScanAsync(lo, hi, limit)
+	if err != nil {
+		return nil, err
+	}
+	err = h.Wait()
+	pairs := h.res.Pairs
+	h.recycle()
+	return pairs, err
 }
 
-// Sync flushes all buffered updates and the meta page to the device
-// (meaningful under Weak persistence; cheap under Strong).
+// Sync flushes all buffered updates and the meta pages to the device
+// (meaningful under Weak persistence; cheap under Strong). Across
+// shards it fans out and waits for every shard's flush.
 func (db *DB) Sync() error {
-	_, err := db.exec(core.AcquireOp().InitSync())
+	if len(db.shards) == 1 {
+		_, err := db.exec(db.shards[0], core.AcquireOp().InitSync())
+		return err
+	}
+	h, err := db.SyncAsync()
+	if err != nil {
+		return err
+	}
+	err = h.Wait()
+	h.recycle()
 	return err
 }
 
-// onWorker runs f on the working thread (via a pipeline no-op), giving
-// it a quiescent, consistent view of tree state with no racing
+// onWorker runs f on s's working thread (via a pipeline no-op), giving
+// it a quiescent, consistent view of that shard's state with no racing
 // mutations. On a closed DB it waits for the worker to exit and runs f
 // directly — the final state is then equally race-free.
-func (db *DB) onWorker(f func()) {
+func (db *DB) onWorker(s *shard, f func()) {
 	op := core.AcquireOp().InitNop()
 	ch := make(chan struct{})
 	op.Done = func(o *core.Op) {
@@ -366,46 +481,77 @@ func (db *DB) onWorker(f func()) {
 		o.Release()
 		close(ch)
 	}
-	if err := db.admit(op); err != nil {
-		<-db.done
+	if err := db.admit(s, op); err != nil {
+		<-s.done
 		f()
 		return
 	}
 	<-ch
 }
 
-// Stats snapshots activity counters; the snapshot is taken on the
-// working thread so it is a consistent view.
+// Stats snapshots activity counters, summed across shards; each shard's
+// contribution is taken on its working thread so it is a consistent
+// per-shard view.
 func (db *DB) Stats() Stats {
 	var out Stats
-	db.onWorker(func() { out = db.statsLocked() })
+	var hits, misses uint64
+	for _, s := range db.shards {
+		var part Stats
+		var bs bufferCounts
+		db.onWorker(s, func() { part, bs = s.statsSnapshot() })
+		out.Ops += part.Ops
+		out.NumKeys += part.NumKeys
+		if part.Height > out.Height {
+			out.Height = part.Height
+		}
+		out.Probes += part.Probes
+		out.ReadsIssued += part.ReadsIssued
+		out.WritesIssued += part.WritesIssued
+		out.AdmitWaits += part.AdmitWaits
+		out.IOErrors += part.IOErrors
+		out.IORetries += part.IORetries
+		out.JournalAppends += part.JournalAppends
+		out.Checkpoints += part.Checkpoints
+		hits += bs.hits
+		misses += bs.misses
+	}
+	if hits+misses > 0 {
+		out.BufferHit = float64(hits) / float64(hits+misses)
+	}
+	out.Shards = len(db.shards)
 	return out
 }
 
-// statsLocked builds the Stats snapshot; call only from onWorker.
-func (db *DB) statsLocked() Stats {
-	st := db.tree.StatsSnapshot()
+// bufferCounts carries raw hit/miss counters out of a shard snapshot so
+// the merged hit rate is weighted, not an average of averages.
+type bufferCounts struct{ hits, misses uint64 }
+
+// statsSnapshot builds one shard's Stats contribution; call only on the
+// shard's working thread (onWorker).
+func (s *shard) statsSnapshot() (Stats, bufferCounts) {
+	st := s.tree.StatsSnapshot()
+	bs := s.tree.BufferStats()
 	return Stats{
 		Ops:            st.TotalOps(),
-		NumKeys:        db.tree.NumKeys(),
-		Height:         db.tree.Height(),
+		NumKeys:        s.tree.NumKeys(),
+		Height:         s.tree.Height(),
 		Probes:         st.Probes,
 		ReadsIssued:    st.ReadsIssued,
 		WritesIssued:   st.WritesIssued,
 		AdmitWaits:     st.AdmitWaits,
-		BufferHit:      db.tree.BufferStats().HitRate(),
 		IOErrors:       st.IOErrors,
 		IORetries:      st.IORetries,
 		JournalAppends: st.JournalAppends,
 		Checkpoints:    st.Checkpoints,
-	}
+	}, bufferCounts{hits: bs.Hits, misses: bs.Misses}
 }
 
-// Close syncs (weak mode), stops the working thread and releases the
+// Close syncs (weak mode), stops the working threads and releases the
 // device if this DB created it. Safe to call twice, and safe against
 // concurrent operations: anything admitted before Close wins the
 // admission lock completes normally; anything after fails with
-// ErrClosed.
+// ErrClosed. Shards are flushed in parallel (each gets a final sync
+// before its Stop) and the first error is reported.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	if db.closed {
@@ -413,24 +559,34 @@ func (db *DB) Close() error {
 		return nil
 	}
 	// Mark closed before the final sync, not after it: new admissions are
-	// refused from this point, so nothing can slip into the inbox between
-	// the sync and Stop and then complete with a surprising error.
+	// refused from this point, so nothing can slip into the inboxes
+	// between the sync and Stop and then complete with a surprising error.
 	db.closed = true
 	db.mu.Unlock()
 	// Persist buffered state before shutdown. closed is already set, so
-	// this sync is admitted directly rather than through db.admit.
-	h := acquireHandle()
-	op := core.AcquireOp().InitSync()
-	op.Done = h.doneFn
-	db.tree.Admit(op)
-	syncErr := h.Wait()
-	h.recycle()
-	db.tree.Stop()
-	// Wake the worker in case it is idle-yielding with nothing admitted.
-	select {
-	case <-db.done:
-	case <-time.After(10 * time.Second):
-		return fmt.Errorf("patree: worker did not stop")
+	// these syncs are admitted directly rather than through db.admit.
+	handles := make([]*Handle, len(db.shards))
+	for i, s := range db.shards {
+		h := acquireHandle()
+		op := core.AcquireOp().InitSync()
+		op.Done = h.doneFn
+		s.tree.Admit(op)
+		handles[i] = h
+	}
+	var syncErr error
+	for i, s := range db.shards {
+		if err := handles[i].Wait(); err != nil && syncErr == nil {
+			syncErr = err
+		}
+		handles[i].recycle()
+		s.tree.Stop()
+	}
+	for _, s := range db.shards {
+		select {
+		case <-s.done:
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("patree: worker did not stop")
+		}
 	}
 	if db.ownsDev {
 		if err := db.dev.Close(); err != nil && syncErr == nil {

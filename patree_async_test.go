@@ -390,7 +390,7 @@ func TestAllocsPerOp(t *testing.T) {
 		t.Errorf("cached Get allocates %.2f per op, budget 2", got)
 	}
 	nop := testing.AllocsPerRun(2000, func() {
-		if _, err := db.exec(core.AcquireOp().InitNop()); err != nil {
+		if _, err := db.exec(db.shards[0], core.AcquireOp().InitNop()); err != nil {
 			t.Fatal(err)
 		}
 	})
