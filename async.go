@@ -38,6 +38,13 @@ const (
 	hPending uint32 = iota
 	hCompleted
 	hDetached
+	// hReleased marks a handle that is back in (or on its way to) the
+	// pool. It exists purely so misuse — touching a handle after Release
+	// or after a WaitContext detach — fails with a descriptive panic
+	// instead of a blocked Wait or a torn read of a recycled slot. The
+	// detection is best-effort: a pooled reacquisition can win the race
+	// with the misuser, but a correct program never observes this state.
+	hReleased
 )
 
 var handlePool = sync.Pool{
@@ -92,10 +99,24 @@ func (h *Handle) deliver(res core.Result) {
 // accessor) returns immediately.
 func (h *Handle) Wait() error {
 	if !h.waited {
+		h.checkLive("Wait")
 		<-h.ch
 		h.waited = true
 	}
 	return h.res.Err
+}
+
+// checkLive panics descriptively when a handle that cannot deliver a
+// result anymore — released, or detached by a cancelled WaitContext —
+// is about to be waited on. Without it the misuse would block forever
+// or tear a read against pool recycling.
+func (h *Handle) checkLive(what string) {
+	switch h.state.Load() {
+	case hDetached:
+		panic("patree: Handle." + what + " after WaitContext detach — a handle detached by cancellation is reclaimed by its completion and must not be touched")
+	case hReleased:
+		panic("patree: Handle." + what + " after Release")
+	}
 }
 
 // Err waits and returns the operation error (nil on success).
@@ -129,9 +150,15 @@ func (h *Handle) Release() {
 }
 
 // recycle returns h to the pool without waiting; the caller guarantees
-// no completion is outstanding.
+// no completion is outstanding. The hReleased marker makes a subsequent
+// touch by the former owner fail loudly (best-effort; see checkLive) —
+// clearing waited here is what routes that touch through checkLive
+// instead of the owner-local fast path, which would silently read the
+// zeroed result.
 func (h *Handle) recycle() {
 	h.res = core.Result{}
+	h.waited = false
+	h.state.Store(hReleased)
 	handlePool.Put(h)
 }
 

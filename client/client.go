@@ -1,0 +1,645 @@
+// Package client is the network client for the PA-Tree serving tier
+// (internal/server): a pipelined, connection-pooled implementation of
+// patree.Store over the internal/proto wire protocol, so code written
+// against the Store interface runs unchanged whether the tree is
+// embedded in-process or behind a server.
+//
+// A Conn multiplexes any number of goroutines over one TCP connection:
+// requests are pipelined, responses complete out of order keyed by
+// request id, and every operation returns the same pooled
+// patree.Handle future an embedded caller would get. A Pool stripes
+// operations over several Conns.
+//
+// Flow control: when the server's admission pipeline is full it
+// answers StatusBusy — the wire form of patree.ErrBacklog — without
+// admitting anything. The Conn backs off (exponential, jittered) and
+// retransmits the identical frame under the same request id, so
+// blocking and Async calls simply absorb the delay, exactly like an
+// embedded caller blocking on a full admission ring. Batch.TryCommit
+// is the exception: BUSY surfaces as ErrBacklog and the batch stays
+// staged, matching the embedded contract.
+package client
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	patree "github.com/patree/patree"
+	"github.com/patree/patree/internal/proto"
+)
+
+// Options tunes a Conn. The zero value selects sensible defaults.
+type Options struct {
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// BackoffBase/BackoffMax bound the jittered exponential backoff
+	// between BUSY retransmits (defaults 100µs and 10ms).
+	BackoffBase, BackoffMax time.Duration
+	// ReadBuf/WriteBuf size the buffered reader/writer (default 64 KiB).
+	ReadBuf, WriteBuf int
+	// SendQueue bounds requests queued for the writer (default 1024).
+	SendQueue int
+}
+
+func (o *Options) fill() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 100 * time.Microsecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 10 * time.Millisecond
+	}
+	if o.ReadBuf <= 0 {
+		o.ReadBuf = 64 << 10
+	}
+	if o.WriteBuf <= 0 {
+		o.WriteBuf = 64 << 10
+	}
+	if o.SendQueue <= 0 {
+		o.SendQueue = 1024
+	}
+}
+
+// Stats counts a connection's wire activity.
+type Stats struct {
+	Sent        uint64 // request frames written (including retransmits)
+	Received    uint64 // response frames read
+	BusyRetries uint64 // BUSY responses absorbed by backoff + retransmit
+}
+
+// pending is one in-flight request: its encoded frame (retained for
+// BUSY retransmission) and how to deliver its outcome. Only the reader
+// goroutine resolves or removes a registered pending, which is what
+// makes delivery exactly-once.
+type pending struct {
+	id       uint64
+	kind     uint8 // wire kind; proto.KindBatch for batches
+	frame    []byte
+	attempts int
+
+	resolve func(patree.Result) // single op
+
+	batchResolve []func(patree.Result) // wire batch
+	batchKinds   []uint8
+	try          bool
+	ack          chan error // try-batch admission outcome
+}
+
+// Conn is one pipelined protocol connection. It is safe for concurrent
+// use by any number of goroutines and implements patree.Store.
+type Conn struct {
+	c    net.Conn
+	opts Options
+
+	nextID atomic.Uint64
+	sendQ  chan *pending
+	dead   chan struct{}
+	shutOn sync.Once
+	user   atomic.Bool // Close() called locally
+
+	pmu      sync.Mutex
+	pend     map[uint64]*pending
+	terminal error // set once the connection failed; guarded by pmu
+
+	wg sync.WaitGroup
+
+	sent     atomic.Uint64
+	received atomic.Uint64
+	busy     atomic.Uint64
+}
+
+// Conn is a Store: embedded and remote callers are interchangeable.
+var _ patree.Store = (*Conn)(nil)
+
+// Dial connects to a PA-Tree server.
+func Dial(addr string, opts Options) (*Conn, error) {
+	opts.fill()
+	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &Conn{
+		c:     nc,
+		opts:  opts,
+		sendQ: make(chan *pending, opts.SendQueue),
+		dead:  make(chan struct{}),
+		pend:  make(map[uint64]*pending),
+	}
+	c.wg.Add(2)
+	go c.writeLoop()
+	go c.readLoop()
+	return c, nil
+}
+
+// shut closes the socket and the dead channel, unblocking both loops.
+func (c *Conn) shut() {
+	c.shutOn.Do(func() {
+		close(c.dead)
+		c.c.Close()
+	})
+}
+
+// Close tears the connection down. In-flight operations resolve with
+// ErrClosed; subsequent calls fail with ErrClosed immediately.
+func (c *Conn) Close() error {
+	c.user.Store(true)
+	c.shut()
+	c.wg.Wait()
+	return nil
+}
+
+// Stats snapshots the connection's wire counters.
+func (c *Conn) Stats() Stats {
+	return Stats{Sent: c.sent.Load(), Received: c.received.Load(), BusyRetries: c.busy.Load()}
+}
+
+// register files p under its id, or reports the terminal error if the
+// connection already failed (nothing is filed then).
+func (c *Conn) register(p *pending) error {
+	c.pmu.Lock()
+	if c.terminal != nil {
+		err := c.terminal
+		c.pmu.Unlock()
+		return err
+	}
+	c.pend[p.id] = p
+	c.pmu.Unlock()
+	return nil
+}
+
+// enqueue hands p to the writer. If the connection dies first the
+// registered entry is resolved by fail(), so a false return only means
+// "the failure path owns delivery now".
+func (c *Conn) enqueue(p *pending) {
+	select {
+	case c.sendQ <- p:
+	case <-c.dead:
+	}
+}
+
+// retransmit re-enqueues the pending registered under id, if it still
+// is. Only BUSY-refused requests are retransmitted, and the server
+// admitted nothing for them, so the resend can never double-apply.
+func (c *Conn) retransmit(id uint64) {
+	c.pmu.Lock()
+	p := c.pend[id]
+	c.pmu.Unlock()
+	if p != nil {
+		c.enqueue(p)
+	}
+}
+
+// backoff returns the jittered exponential delay before retransmit
+// attempt n.
+func (c *Conn) backoff(n int) time.Duration {
+	d := c.opts.BackoffBase << uint(n)
+	if d > c.opts.BackoffMax || d <= 0 {
+		d = c.opts.BackoffMax
+	}
+	// Full jitter: desynchronizes the retry storms of many clients
+	// hammering one saturated server.
+	return time.Duration(rand.Int63n(int64(d)) + int64(c.opts.BackoffBase))
+}
+
+// fail resolves every in-flight operation with the terminal error and
+// refuses all future ones. Called exactly once, by the reader on exit.
+func (c *Conn) fail(cause error) {
+	c.shut()
+	term := error(patree.ErrClosed)
+	if !c.user.Load() {
+		term = fmt.Errorf("%w: connection lost: %v", patree.ErrBatchAborted, cause)
+	}
+	c.pmu.Lock()
+	c.terminal = term
+	m := c.pend
+	c.pend = make(map[uint64]*pending)
+	c.pmu.Unlock()
+	for _, p := range m {
+		switch {
+		case p.ack != nil:
+			// A try-batch that never got its admission answer: report the
+			// error to CommitStaged; the handles stay staged/pending and
+			// Batch.Release reclaims them.
+			p.ack <- term
+		case p.batchResolve != nil:
+			for _, r := range p.batchResolve {
+				r(patree.Result{Err: term})
+			}
+		default:
+			p.resolve(patree.Result{Err: term})
+		}
+	}
+}
+
+// writeLoop streams request frames, coalescing everything queued before
+// each flush.
+func (c *Conn) writeLoop() {
+	defer c.wg.Done()
+	bw := bufio.NewWriterSize(c.c, c.opts.WriteBuf)
+	for {
+		select {
+		case p := <-c.sendQ:
+			for {
+				_, err := bw.Write(p.frame)
+				if err != nil {
+					c.shut()
+					return
+				}
+				c.sent.Add(1)
+				select {
+				case p = <-c.sendQ:
+					continue
+				default:
+				}
+				break
+			}
+			if err := bw.Flush(); err != nil {
+				c.shut()
+				return
+			}
+		case <-c.dead:
+			return
+		}
+	}
+}
+
+// readLoop decodes responses and delivers them; it owns all resolution
+// of registered pendings.
+func (c *Conn) readLoop() {
+	defer c.wg.Done()
+	br := bufio.NewReaderSize(c.c, c.opts.ReadBuf)
+	var rbuf []byte
+	for {
+		body, err := proto.ReadFrame(br, rbuf)
+		if err != nil {
+			if c.user.Load() || err == io.EOF || errors.Is(err, net.ErrClosed) {
+				c.fail(io.EOF)
+			} else {
+				c.fail(err)
+			}
+			return
+		}
+		rbuf = body[:0]
+		c.received.Add(1)
+		id := proto.FrameID(body)
+		status := proto.FrameKind(body)
+		payload := proto.FrameBody(body)
+
+		c.pmu.Lock()
+		p := c.pend[id]
+		if p != nil && status == proto.StatusBusy && !p.try {
+			// Flow control: leave the entry registered and retransmit the
+			// identical frame after a backoff. Nothing was admitted.
+			p.attempts++
+			c.pmu.Unlock()
+			c.busy.Add(1)
+			time.AfterFunc(c.backoff(p.attempts), func() { c.retransmit(id) })
+			continue
+		}
+		if p != nil {
+			delete(c.pend, id)
+		}
+		c.pmu.Unlock()
+		if p == nil {
+			// Response for an entry the failure path already resolved, or
+			// a duplicate: ignore.
+			continue
+		}
+		c.deliver(p, status, payload)
+	}
+}
+
+// deliver decodes a final response and resolves its pending.
+func (c *Conn) deliver(p *pending, status uint8, payload []byte) {
+	if p.kind == proto.KindBatch {
+		c.deliverBatch(p, status, payload)
+		return
+	}
+	if status != proto.StatusOK {
+		p.resolve(patree.Result{Err: proto.ErrFromStatus(status, statusMsg(payload))})
+		return
+	}
+	if len(payload) < 1 {
+		p.resolve(patree.Result{Err: proto.ErrMalformed()})
+		return
+	}
+	res := patree.Result{Found: payload[0]&proto.FoundFlag != 0}
+	body := payload[1:]
+	switch p.kind {
+	case proto.KindGet:
+		if len(body) > 0 {
+			// The frame buffer is recycled; results handed to the caller
+			// must own their bytes.
+			res.Value = append([]byte(nil), body...)
+		}
+	case proto.KindScan:
+		pairs, err := proto.DecodePairs(body)
+		if err != nil {
+			res.Err = err
+		} else {
+			res.Pairs = pairs
+		}
+	}
+	p.resolve(res)
+}
+
+// deliverBatch decodes a wire batch response: admission refusal for a
+// try-batch, or the per-op results.
+func (c *Conn) deliverBatch(p *pending, status uint8, payload []byte) {
+	if status == proto.StatusBusy && p.try {
+		p.ack <- patree.ErrBacklog
+		return
+	}
+	if status != proto.StatusOK {
+		err := proto.ErrFromStatus(status, statusMsg(payload))
+		if p.ack != nil {
+			p.ack <- err
+			return
+		}
+		for _, r := range p.batchResolve {
+			r(patree.Result{Err: err})
+		}
+		return
+	}
+	fail := func(err error) {
+		if p.ack != nil {
+			// Results are undecodable but the batch WAS admitted; the
+			// caller cannot retry it as staged, so resolve the handles
+			// with the decode error and ack success of admission.
+			p.ack <- nil
+			p.ack = nil
+		}
+		for _, r := range p.batchResolve {
+			r(patree.Result{Err: err})
+		}
+	}
+	if len(payload) < 4 {
+		fail(proto.ErrMalformed())
+		return
+	}
+	count := binary.LittleEndian.Uint32(payload)
+	payload = payload[4:]
+	if int(count) != len(p.batchResolve) {
+		fail(proto.ErrMalformed())
+		return
+	}
+	results := make([]patree.Result, count)
+	for i := uint32(0); i < count; i++ {
+		if len(payload) < 6 {
+			fail(proto.ErrMalformed())
+			return
+		}
+		st := payload[0]
+		flags := payload[1]
+		plen := binary.LittleEndian.Uint32(payload[2:])
+		payload = payload[6:]
+		if uint32(len(payload)) < plen {
+			fail(proto.ErrMalformed())
+			return
+		}
+		body := payload[:plen]
+		payload = payload[plen:]
+		res := &results[i]
+		if st != proto.StatusOK {
+			res.Err = proto.ErrFromStatus(st, "")
+			continue
+		}
+		res.Found = flags&proto.FoundFlag != 0
+		switch p.batchKinds[i] {
+		case proto.KindGet:
+			if len(body) > 0 {
+				res.Value = append([]byte(nil), body...)
+			}
+		case proto.KindScan:
+			pairs, err := proto.DecodePairs(body)
+			if err != nil {
+				res.Err = err
+			} else {
+				res.Pairs = pairs
+			}
+		}
+	}
+	if p.ack != nil {
+		p.ack <- nil
+	}
+	for i, r := range p.batchResolve {
+		r(results[i])
+	}
+}
+
+func statusMsg(payload []byte) string { return string(payload) }
+
+// issue registers, encodes and sends one single-op request, returning
+// its future.
+func (c *Conn) issue(kind uint8, key, end uint64, limit int64, value []byte) (*patree.Handle, error) {
+	h, resolve := patree.NewRemoteHandle()
+	p := &pending{id: c.nextID.Add(1), kind: kind, resolve: resolve}
+	p.frame = appendSingle(nil, p.id, kind, key, end, limit, value)
+	if err := c.register(p); err != nil {
+		// Never admitted: reclaim the handle like a refused embedded
+		// admission would.
+		resolve(patree.Result{Err: err})
+		h.Release()
+		return nil, err
+	}
+	c.enqueue(p)
+	return h, nil
+}
+
+// appendSingle encodes a single-op request frame.
+func appendSingle(dst []byte, id uint64, kind uint8, key, end uint64, limit int64, value []byte) []byte {
+	var at int
+	dst, at = proto.BeginFrame(dst, id, kind)
+	switch kind {
+	case proto.KindPut, proto.KindUpdate:
+		dst = binary.LittleEndian.AppendUint64(dst, key)
+		dst = append(dst, value...)
+	case proto.KindGet, proto.KindDelete:
+		dst = binary.LittleEndian.AppendUint64(dst, key)
+	case proto.KindScan:
+		dst = binary.LittleEndian.AppendUint64(dst, key)
+		dst = binary.LittleEndian.AppendUint64(dst, end)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(limit))
+	case proto.KindSync:
+	}
+	return proto.FinishFrame(dst, at)
+}
+
+// PutAsync admits an insert-or-replace and returns its future.
+func (c *Conn) PutAsync(key uint64, value []byte) (*patree.Handle, error) {
+	return c.issue(proto.KindPut, key, 0, 0, value)
+}
+
+// GetAsync admits a point lookup and returns its future.
+func (c *Conn) GetAsync(key uint64) (*patree.Handle, error) {
+	return c.issue(proto.KindGet, key, 0, 0, nil)
+}
+
+// UpdateAsync admits a replace-if-present and returns its future.
+func (c *Conn) UpdateAsync(key uint64, value []byte) (*patree.Handle, error) {
+	return c.issue(proto.KindUpdate, key, 0, 0, value)
+}
+
+// DeleteAsync admits a delete and returns its future.
+func (c *Conn) DeleteAsync(key uint64) (*patree.Handle, error) {
+	return c.issue(proto.KindDelete, key, 0, 0, nil)
+}
+
+// ScanAsync admits a range scan and returns its future.
+func (c *Conn) ScanAsync(lo, hi uint64, limit int) (*patree.Handle, error) {
+	return c.issue(proto.KindScan, lo, hi, int64(limit), nil)
+}
+
+// SyncAsync admits a sync and returns its future.
+func (c *Conn) SyncAsync() (*patree.Handle, error) {
+	return c.issue(proto.KindSync, 0, 0, 0, nil)
+}
+
+// Put inserts or replaces key.
+func (c *Conn) Put(key uint64, value []byte) error {
+	h, err := c.PutAsync(key, value)
+	if err != nil {
+		return err
+	}
+	err = h.Err()
+	h.Release()
+	return err
+}
+
+// Get returns the value stored under key.
+func (c *Conn) Get(key uint64) ([]byte, bool, error) {
+	h, err := c.GetAsync(key)
+	if err != nil {
+		return nil, false, err
+	}
+	v, found, err := h.Value(), h.Found(), h.Err()
+	h.Release()
+	return v, found, err
+}
+
+// Update replaces key only if present, reporting whether it was.
+func (c *Conn) Update(key uint64, value []byte) (bool, error) {
+	h, err := c.UpdateAsync(key, value)
+	if err != nil {
+		return false, err
+	}
+	found, werr := h.Found(), h.Err()
+	h.Release()
+	return found, werr
+}
+
+// Delete removes key, reporting whether it was present.
+func (c *Conn) Delete(key uint64) (bool, error) {
+	h, err := c.DeleteAsync(key)
+	if err != nil {
+		return false, err
+	}
+	found, werr := h.Found(), h.Err()
+	h.Release()
+	return found, werr
+}
+
+// Scan returns pairs with keys in [lo, hi] ascending, at most limit
+// (<= 0 = all).
+func (c *Conn) Scan(lo, hi uint64, limit int) ([]patree.KV, error) {
+	h, err := c.ScanAsync(lo, hi, limit)
+	if err != nil {
+		return nil, err
+	}
+	pairs, werr := h.Pairs(), h.Err()
+	h.Release()
+	return pairs, werr
+}
+
+// Sync makes all acknowledged updates durable on the server.
+func (c *Conn) Sync() error {
+	h, err := c.SyncAsync()
+	if err != nil {
+		return err
+	}
+	err = h.Err()
+	h.Release()
+	return err
+}
+
+// NewBatch returns a batch whose commit travels as one wire frame and
+// is admitted server-side as one atomic transaction — cross-shard
+// TryCommit all-or-nothing semantics hold end to end.
+func (c *Conn) NewBatch() *patree.Batch {
+	return patree.NewRemoteBatch(committer{c})
+}
+
+// committer adapts a Conn to patree.BatchCommitter without widening the
+// Conn API.
+type committer struct{ c *Conn }
+
+// CommitStaged encodes the staged batch as one frame. try waits for the
+// admission answer (BUSY → ErrBacklog, batch stays staged); non-try
+// returns once queued, with BUSY absorbed by backoff + retransmit like
+// any other request.
+func (cm committer) CommitStaged(ops []patree.BatchOp, resolve []func(patree.Result), try bool) error {
+	c := cm.c
+	// CommitStaged's slices are only valid until it returns; the
+	// response arrives later, so keep a copy.
+	res := make([]func(patree.Result), len(resolve))
+	copy(res, resolve)
+	p := &pending{
+		id:           c.nextID.Add(1),
+		kind:         proto.KindBatch,
+		try:          try,
+		batchResolve: res,
+		batchKinds:   make([]uint8, len(ops)),
+	}
+	frame, at := proto.BeginFrame(nil, p.id, proto.KindBatch)
+	var flags uint8
+	if try {
+		flags = 1
+	}
+	frame = append(frame, flags)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(ops)))
+	for i, op := range ops {
+		wk := proto.WireKind(op.Kind)
+		p.batchKinds[i] = wk
+		frame = append(frame, wk)
+		switch wk {
+		case proto.KindPut, proto.KindUpdate:
+			frame = binary.LittleEndian.AppendUint64(frame, op.Key)
+			frame = binary.LittleEndian.AppendUint32(frame, uint32(len(op.Value)))
+			frame = append(frame, op.Value...)
+		case proto.KindGet, proto.KindDelete:
+			frame = binary.LittleEndian.AppendUint64(frame, op.Key)
+		case proto.KindScan:
+			frame = binary.LittleEndian.AppendUint64(frame, op.Key)
+			frame = binary.LittleEndian.AppendUint64(frame, op.End)
+			frame = binary.LittleEndian.AppendUint64(frame, uint64(op.Limit))
+		case proto.KindSync:
+		default:
+			return fmt.Errorf("client: invalid batch op kind %v", op.Kind)
+		}
+	}
+	p.frame = proto.FinishFrame(frame, at)
+	if try {
+		p.ack = make(chan error, 1)
+	}
+	if err := c.register(p); err != nil {
+		return err
+	}
+	c.enqueue(p)
+	if try {
+		return <-p.ack
+	}
+	return nil
+}

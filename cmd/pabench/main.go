@@ -1,0 +1,148 @@
+// pabench drives a PA-Tree server with closed- or open-loop load and
+// emits a machine-readable benchmark trajectory.
+//
+//	go run ./cmd/pabench -loopback -mode open -clients 1000 -rate 120000
+//	go run ./cmd/pabench -addr host:7070 -mode closed -clients 64
+//
+// -loopback spins up an in-process server over an in-memory sharded DB
+// and benchmarks through real TCP sockets — the full wire path without
+// needing a separate process. Latencies in open-loop mode are
+// coordinated-omission-safe: each sample is measured from the
+// operation's intended Poisson arrival time, so server stalls surface
+// in the tail instead of silently suppressing load (see
+// internal/loadgen).
+//
+// With -out the results are written in github-action-benchmark custom
+// JSON; with -baseline the run compares against a committed trajectory
+// and exits non-zero on >-max-regress regressions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"runtime/pprof"
+	"time"
+
+	patree "github.com/patree/patree"
+	"github.com/patree/patree/client"
+	"github.com/patree/patree/internal/loadgen"
+	"github.com/patree/patree/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "server address (empty with -loopback)")
+		loopback = flag.Bool("loopback", false, "spin up an in-process server over loopback TCP")
+		mode     = flag.String("mode", "closed", "driver: closed or open")
+		clients  = flag.Int("clients", 64, "workers (closed) / simulated clients (open)")
+		conns    = flag.Int("conns", 4, "pooled TCP connections")
+		rate     = flag.Float64("rate", 0, "total intended ops/s (open loop)")
+		duration = flag.Duration("duration", 5*time.Second, "measured duration")
+		keys     = flag.Uint64("keys", 100_000, "keyspace size")
+		preload  = flag.Int64("preload", 0, "keys to preload (0 = keyspace, negative = none)")
+		theta    = flag.Float64("theta", 0.99, "zipf skew (0 = uniform)")
+		valueSz  = flag.Int("value", 100, "value bytes")
+		getPct   = flag.Int("get", 90, "percent gets")
+		putPct   = flag.Int("put", 10, "percent puts")
+		scanPct  = flag.Int("scan", 0, "percent scans")
+		pipeline = flag.Int("pipeline", 1, "closed-loop batch depth per worker")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		shards   = flag.Int("shards", 4, "loopback DB shards")
+		name     = flag.String("name", "serving", "bench entry name prefix")
+		out      = flag.String("out", "", "write BENCH JSON here")
+		baseline = flag.String("baseline", "", "compare against this BENCH JSON")
+		maxReg   = flag.Float64("max-regress", 0.15, "regression tolerance vs baseline")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile here")
+	)
+	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatalf("pabench: cpuprofile: %v", err)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
+
+	target := *addr
+	var cleanup func()
+	if *loopback {
+		db, err := patree.Open(patree.Options{Shards: *shards})
+		if err != nil {
+			log.Fatalf("pabench: open: %v", err)
+		}
+		srv := server.New(db, server.Options{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("pabench: listen: %v", err)
+		}
+		go srv.Serve(ln)
+		target = ln.Addr().String()
+		cleanup = func() { srv.Close(); db.Close() }
+		log.Printf("pabench: loopback server on %s (shards=%d)", target, *shards)
+	} else if target == "" {
+		log.Fatal("pabench: need -addr or -loopback")
+	}
+
+	pool, err := client.DialPool(target, *conns, client.Options{})
+	if err != nil {
+		log.Fatalf("pabench: dial: %v", err)
+	}
+
+	rep, err := loadgen.Run(loadgen.Config{
+		Store:     pool,
+		Mode:      loadgen.Mode(*mode),
+		Clients:   *clients,
+		Rate:      *rate,
+		Duration:  *duration,
+		Keys:      *keys,
+		Preload:   *preload,
+		Theta:     *theta,
+		ValueSize: *valueSz,
+		GetPct:    *getPct,
+		PutPct:    *putPct,
+		ScanPct:   *scanPct,
+		Pipeline:  *pipeline,
+		Seed:      *seed,
+	})
+	if err != nil {
+		log.Fatalf("pabench: run: %v", err)
+	}
+	st := pool.Stats()
+	log.Printf("pabench: %s", rep)
+	log.Printf("pabench: wire: %d sent, %d received, %d busy retries", st.Sent, st.Received, st.BusyRetries)
+
+	pool.Close()
+	if cleanup != nil {
+		cleanup()
+	}
+
+	prefix := fmt.Sprintf("%s/%s", *name, *mode)
+	entries := rep.BenchEntries(prefix)
+	for _, e := range entries {
+		log.Printf("pabench:   %-28s %12.1f %s", e.Name, e.Value, e.Unit)
+	}
+	if *out != "" {
+		if err := loadgen.WriteBench(*out, entries); err != nil {
+			log.Fatalf("pabench: write %s: %v", *out, err)
+		}
+		log.Printf("pabench: wrote %s", *out)
+	}
+	if *baseline != "" {
+		base, err := loadgen.ReadBench(*baseline)
+		if err != nil {
+			log.Fatalf("pabench: baseline: %v", err)
+		}
+		if regs := loadgen.Compare(entries, base, *maxReg); len(regs) > 0 {
+			for _, r := range regs {
+				log.Printf("pabench: REGRESSION: %s", r)
+			}
+			os.Exit(1)
+		}
+		log.Printf("pabench: within %.0f%% of %s", *maxReg*100, *baseline)
+	}
+}

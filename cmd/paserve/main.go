@@ -1,0 +1,89 @@
+// paserve serves a PA-Tree over the wire protocol.
+//
+//	go run ./cmd/paserve -addr :7070 -shards 4
+//
+// The store is the embedded sharded DB (in-memory device by default);
+// clients connect with package client or cmd/pabench. A metrics
+// endpoint (Prometheus text format) is optionally exposed with
+// -metrics.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	patree "github.com/patree/patree"
+	"github.com/patree/patree/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7070", "listen address")
+		metrics = flag.String("metrics", "", "metrics HTTP address (empty = disabled)")
+		shards  = flag.Int("shards", 1, "worker shards")
+		inbox   = flag.Int("inbox", 0, "admission ring depth per shard (0 = default)")
+		journal = flag.Bool("journal", false, "enable the redo journal")
+		weak    = flag.Bool("weak", false, "weak persistence (buffered writes)")
+		blocks  = flag.Uint64("blocks", 0, "in-memory device size in 512B blocks (0 = default)")
+		burst   = flag.Int("burst", 0, "max pipelined ops per admission burst (0 = default)")
+	)
+	flag.Parse()
+
+	opts := patree.Options{
+		Shards:       *shards,
+		InboxDepth:   *inbox,
+		Journal:      *journal,
+		DeviceBlocks: *blocks,
+	}
+	if *weak {
+		opts.Persistence = patree.Weak
+	}
+	db, err := patree.Open(opts)
+	if err != nil {
+		log.Fatalf("paserve: open: %v", err)
+	}
+	defer db.Close()
+
+	srv := server.New(db, server.Options{
+		BurstOps: *burst,
+		Logf:     log.Printf,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("paserve: listen: %v", err)
+	}
+	log.Printf("paserve: serving on %s (shards=%d journal=%v)", ln.Addr(), *shards, *journal)
+
+	if *metrics != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", db.MetricsHandler())
+			log.Printf("paserve: metrics on http://%s/metrics", *metrics)
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				log.Printf("paserve: metrics: %v", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case s := <-sig:
+		log.Printf("paserve: %v: draining", s)
+		srv.Close()
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("paserve: serve: %v", err)
+		}
+	}
+	st := srv.Stats()
+	log.Printf("paserve: done: %d conns, %d ops, %d batch ops (%d wire batches), %d busy",
+		st.Accepted, st.Ops, st.BatchOps, st.WireBatches, st.Busy)
+}

@@ -21,6 +21,7 @@ func (h *Handle) WaitContext(ctx context.Context) error {
 	if h.waited {
 		return h.res.Err
 	}
+	h.checkLive("WaitContext")
 	select {
 	case <-h.ch:
 		h.waited = true

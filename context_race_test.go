@@ -1,0 +1,104 @@
+package patree_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	patree "github.com/patree/patree"
+)
+
+// TestWaitContextRacingDelivery drives WaitContext into the window where
+// cancellation and completion land simultaneously: each iteration arms a
+// context whose deadline is drawn from a spread around the operation's
+// actual latency, so over many iterations both CAS outcomes — detach
+// wins, completion wins — are exercised. The invariants under -race:
+// a context error means the handle was detached (completion reclaims
+// it, the caller walks away); any other return means the caller still
+// owns the handle and the result must be coherent.
+func TestWaitContextRacingDelivery(t *testing.T) {
+	db, err := patree.Open(patree.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const goroutines = 4
+	const iters = 400
+	var detached, owned int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g+1) * 10000
+			for i := 0; i < iters; i++ {
+				k := base + uint64(i%64)
+				h, err := db.PutAsync(k, []byte(fmt.Sprintf("v%d", i)))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				// Sweep the deadline through the completion window, including
+				// an already-expired context (detach before the first wait).
+				d := time.Duration(i%40) * 25 * time.Microsecond
+				ctx, cancel := context.WithTimeout(context.Background(), d)
+				werr := h.WaitContext(ctx)
+				cancel()
+				switch {
+				case werr == nil:
+					// Caller still owns the handle: full accessor use then
+					// Release must be safe.
+					if h.Err() != nil {
+						errCh <- fmt.Errorf("Err() = %v after nil WaitContext", h.Err())
+						return
+					}
+					h.Release()
+					mu.Lock()
+					owned++
+					mu.Unlock()
+				case errors.Is(werr, context.DeadlineExceeded):
+					// Detached: the completion reclaims the handle; touching it
+					// again is the misuse the guards catch. Verify the write
+					// still lands (cancellation never cancels an admitted op).
+					mu.Lock()
+					detached++
+					mu.Unlock()
+				default:
+					errCh <- fmt.Errorf("WaitContext = %v", werr)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	// The sweep must have exercised both CAS outcomes, or the race window
+	// was never reached and the test proved nothing.
+	if detached == 0 || owned == 0 {
+		t.Fatalf("race window not exercised: detached=%d owned=%d", detached, owned)
+	}
+	t.Logf("detached=%d owned=%d", detached, owned)
+
+	// Every write completed on the working thread regardless of
+	// detachment: all keys must be present.
+	for g := 0; g < goroutines; g++ {
+		base := uint64(g+1) * 10000
+		pairs, err := db.Scan(base, base+63, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs) != 64 {
+			t.Fatalf("goroutine %d: %d keys present, want 64 (a detached op was lost)", g, len(pairs))
+		}
+	}
+}

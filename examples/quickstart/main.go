@@ -1,5 +1,11 @@
 // Quickstart: open a PA-Tree, write, read, scan, inspect stats.
 //
+// The workload half is written against patree.Store — the operation
+// surface shared by the embedded engine (*patree.DB) and the network
+// client (client.Conn) — so the same code runs in-process here and
+// unchanged against a paserve server (see README "Serving over the
+// network": swap patree.Open for client.Dial).
+//
 //	go run ./examples/quickstart
 package main
 
@@ -10,6 +16,55 @@ import (
 	patree "github.com/patree/patree"
 )
 
+// demo exercises the full point/range surface of any Store. It neither
+// knows nor cares whether s is an embedded tree or a network
+// connection.
+func demo(s patree.Store) error {
+	// Point writes and reads.
+	for i := uint64(1); i <= 1000; i++ {
+		if err := s.Put(i, []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			return err
+		}
+	}
+	v, ok, err := s.Get(500)
+	if err != nil || !ok {
+		return fmt.Errorf("get: %v %v", ok, err)
+	}
+	fmt.Printf("key 500 -> %s\n", v)
+
+	// Replace-if-present and delete.
+	if ok, err := s.Update(500, []byte("replaced")); err != nil || !ok {
+		return fmt.Errorf("update missed: %v", err)
+	}
+	if ok, err := s.Delete(666); err != nil || !ok {
+		return fmt.Errorf("delete missed: %v", err)
+	}
+
+	// A batch: one admission transaction, results by staged index.
+	b := s.NewBatch()
+	b.Put(2000, []byte("batched"))
+	gi := b.Get(2000)
+	if err := b.Commit(); err != nil {
+		return err
+	}
+	if err := b.Wait(); err != nil {
+		return err
+	}
+	fmt.Printf("batch read-own-write: %s\n", b.Value(gi))
+	b.Release()
+
+	// Range scan.
+	pairs, err := s.Scan(495, 505, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("scan [495, 505]:")
+	for _, kv := range pairs {
+		fmt.Printf("  %d -> %s\n", kv.Key, kv.Value)
+	}
+	return s.Sync()
+}
+
 func main() {
 	// An in-memory device with strong persistence: every Put is on the
 	// "device" before it returns.
@@ -19,34 +74,8 @@ func main() {
 	}
 	defer db.Close()
 
-	// Point writes and reads.
-	for i := uint64(1); i <= 1000; i++ {
-		if err := db.Put(i, []byte(fmt.Sprintf("value-%d", i))); err != nil {
-			log.Fatal(err)
-		}
-	}
-	v, ok, err := db.Get(500)
-	if err != nil || !ok {
-		log.Fatalf("get: %v %v", ok, err)
-	}
-	fmt.Printf("key 500 -> %s\n", v)
-
-	// Replace-if-present and delete.
-	if ok, _ := db.Update(500, []byte("replaced")); !ok {
-		log.Fatal("update missed")
-	}
-	if ok, _ := db.Delete(666); !ok {
-		log.Fatal("delete missed")
-	}
-
-	// Range scan.
-	pairs, err := db.Scan(495, 505, 0)
-	if err != nil {
+	if err := demo(db); err != nil {
 		log.Fatal(err)
-	}
-	fmt.Println("scan [495, 505]:")
-	for _, kv := range pairs {
-		fmt.Printf("  %d -> %s\n", kv.Key, kv.Value)
 	}
 
 	st := db.Stats()

@@ -239,6 +239,13 @@ type Op struct {
 	// [3]); if the leaf turns out to need a split, the operation restarts
 	// with exclusive coupling the whole way down.
 	pessimistic bool
+
+	// Per-key dependency chain (see Tree.keyDeps): keyGated marks a point
+	// operation registered in its key's chain; keyNext is the next point
+	// operation on the same key, parked until this one completes. Both are
+	// worker-only.
+	keyGated bool
+	keyNext  *Op
 }
 
 // Kind returns the operation type.
@@ -371,6 +378,8 @@ func (o *Op) reset() {
 	o.latchWait = 0
 	o.ioWait = 0
 	o.pessimistic = false
+	o.keyGated = false
+	o.keyNext = nil
 }
 
 // InitSearch configures o as a point search and returns it.

@@ -71,9 +71,9 @@ type Stats struct {
 	// Figure 9 / Table II attribution can exclude it (perf-style cycle
 	// attribution does not see a wait loop as scheduling work).
 	IdleSpinTime time.Duration
-	ReadsIssued     uint64
-	WritesIssued    uint64
-	Splits          uint64
+	ReadsIssued  uint64
+	WritesIssued uint64
+	Splits       uint64
 	// IOErrors counts device commands that completed with an error status;
 	// IORetries counts the retries issued in response (bounded per op by
 	// Config.MaxIORetries). JournalAppends counts redo records appended to
@@ -210,10 +210,20 @@ type Tree struct {
 	// Op and are emitted retroactively at drain time.
 	tr *trace.Tracer
 
-	seq        uint64
-	dbgPush    uint64
-	dbgPop     uint64
-	liveSet    map[uint64]*Op
+	seq     uint64
+	dbgPush uint64
+	dbgPop  uint64
+	liveSet map[uint64]*Op
+	// keyDeps serializes in-flight point operations per exact key: the
+	// map holds the TAIL of each key's chain, and a newly drained op on a
+	// chained key parks behind the tail instead of entering the ready set.
+	// Admission order is FIFO (the ring), but execution is pipelined —
+	// without the chain a restarted insert (optimistic split retry) or an
+	// I/O-suspended write can be overtaken by a later operation on the
+	// same key, so a batch's Get could miss its own batch's earlier Put.
+	// Range scans and syncs do not participate: they are documented as
+	// unordered with respect to concurrent point writes.
+	keyDeps    map[uint64]*Op
 	liveOps    int
 	ioBlocked  int
 	charges    [5]time.Duration
@@ -762,11 +772,35 @@ func (t *Tree) drainInbox() {
 			}
 			t.tr.Emit(tcInbox, uint16(o.kind), o.seq, 0, int64(o.enqueuedAt), int64(drainNow.Sub(o.enqueuedAt)))
 		}
+		if pointKind(o.kind) {
+			o.keyGated = true
+			if tail, ok := t.keyDeps[o.key]; ok {
+				// A point op on this key is still in flight: park behind it
+				// (released by opTeardown) to preserve admission order.
+				tail.keyNext = o
+				t.keyDeps[o.key] = o
+				continue
+			}
+			if t.keyDeps == nil {
+				t.keyDeps = make(map[uint64]*Op)
+			}
+			t.keyDeps[o.key] = o
+		}
 		t.pushReady(o, drainNow)
 	}
 	if drained > 0 {
 		t.policy.OnAdmit(drained, drainNow)
 	}
+}
+
+// pointKind reports whether a kind addresses exactly one key and thus
+// participates in the per-key dependency chain.
+func pointKind(k Kind) bool {
+	switch k {
+	case KindSearch, KindInsert, KindUpdate, KindDelete:
+		return true
+	}
+	return false
 }
 
 func (t *Tree) inboxEmpty() bool { return t.inbox.Empty() }
@@ -2594,6 +2628,18 @@ func (t *Tree) failOp(o *Op, err error) {
 // idempotent: finishOp falls through to failOp when pendingErr is set,
 // and both call it.
 func (t *Tree) opTeardown(o *Op) {
+	if o.keyGated {
+		o.keyGated = false
+		if next := o.keyNext; next != nil {
+			// Hand the key to the next parked op in admission order. The
+			// successor pointer must be severed before completeOp recycles
+			// this op into the pool.
+			o.keyNext = nil
+			t.pushReady(next, t.now())
+		} else if t.keyDeps[o.key] == o {
+			delete(t.keyDeps, o.key)
+		}
+	}
 	if o.jLiveMark {
 		o.jLiveMark = false
 		t.jLive--

@@ -1,0 +1,473 @@
+// Package loadgen drives a patree.Store — embedded or over the wire —
+// with closed- and open-loop workloads and records
+// coordinated-omission-safe latency.
+//
+// The closed-loop driver is the classic benchmark shape: N workers
+// issuing back-to-back operations, each latency measured from issue to
+// completion. It measures the store's capacity but, like every closed
+// loop, coordinates with the system under test: when the store stalls,
+// the workers stop offering load, so the stall barely shows in the
+// percentiles.
+//
+// The open-loop driver avoids that trap. Each simulated client has its
+// own arrival process (Poisson, at rate/clients per second) whose
+// intended arrival times march forward independently of how the store
+// is doing, and every latency is measured from the *intended* arrival
+// time — not from when the stalled client finally got to issue the
+// operation. A one-second server stall therefore shows up as what it
+// is: a pile of operations with near-one-second latencies, exactly as
+// HdrHistogram's coordinated-omission correction would reconstruct.
+// Thousands of simulated clients are multiplexed over however many
+// connections the Store implementation pools underneath.
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	patree "github.com/patree/patree"
+	"github.com/patree/patree/internal/metrics"
+	"github.com/patree/patree/internal/sim"
+	"github.com/patree/patree/internal/workload"
+)
+
+// Mode selects the driver shape.
+type Mode string
+
+const (
+	// Closed runs Clients workers back-to-back (capacity probe).
+	Closed Mode = "closed"
+	// Open runs Clients independent arrival processes at Rate total
+	// ops/sec with CO-safe latency recording.
+	Open Mode = "open"
+)
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// Store is the system under test. Not closed by the run.
+	Store patree.Store
+	// Mode selects closed- or open-loop driving (default Closed).
+	Mode Mode
+	// Clients is the number of workers (closed) or simulated arrival
+	// processes (open). Default 64.
+	Clients int
+	// Rate is the total intended throughput in ops/sec, split evenly
+	// across clients. Open loop only; required there.
+	Rate float64
+	// Duration bounds the measured phase (default 5s).
+	Duration time.Duration
+	// Keys is the keyspace size (default 100_000). Keys are 1-based so
+	// key 0 never appears.
+	Keys uint64
+	// Preload inserts keys [1, Preload] before measuring (default Keys).
+	// Set negative to skip preloading entirely.
+	Preload int64
+	// Theta is the Zipf skew over the keyspace (default 0.99, the YCSB
+	// default; 0 = uniform).
+	Theta float64
+	// ValueSize is the payload size for writes (default 100 bytes).
+	ValueSize int
+	// GetPct/PutPct/ScanPct is the operation mix in percent; the
+	// remainder after Get+Put+Scan goes to Update. Defaults 90/10/0.
+	GetPct, PutPct, ScanPct int
+	// ScanLimit bounds staged scans (default 16).
+	ScanLimit int
+	// Pipeline is the closed-loop batch depth: each worker stages this
+	// many operations per Batch commit (default 1 = plain blocking ops).
+	Pipeline int
+	// Issuers is the number of goroutines the open loop multiplexes its
+	// simulated clients over (default 4). Thousands of sleeping
+	// goroutines would cost a scheduler wakeup per operation; a few
+	// issuers draining every due arrival as one pipelined burst of async
+	// operations keeps the arrival processes and the latency accounting
+	// identical at a fraction of the coordination cost.
+	Issuers int
+	// Seed makes key and arrival sequences reproducible (default 1).
+	Seed uint64
+}
+
+func (c *Config) fill() error {
+	if c.Store == nil {
+		return fmt.Errorf("loadgen: Config.Store is required")
+	}
+	if c.Mode == "" {
+		c.Mode = Closed
+	}
+	if c.Mode != Closed && c.Mode != Open {
+		return fmt.Errorf("loadgen: unknown mode %q", c.Mode)
+	}
+	if c.Clients <= 0 {
+		c.Clients = 64
+	}
+	if c.Mode == Open && c.Rate <= 0 {
+		return fmt.Errorf("loadgen: open loop requires Rate > 0")
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Keys == 0 {
+		c.Keys = 100_000
+	}
+	if c.Preload == 0 {
+		c.Preload = int64(c.Keys)
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.99
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 100
+	}
+	if c.GetPct == 0 && c.PutPct == 0 && c.ScanPct == 0 {
+		c.GetPct, c.PutPct = 90, 10
+	}
+	if c.GetPct+c.PutPct+c.ScanPct > 100 {
+		return fmt.Errorf("loadgen: operation mix exceeds 100%%")
+	}
+	if c.ScanLimit <= 0 {
+		c.ScanLimit = 16
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 1
+	}
+	if c.Issuers <= 0 {
+		c.Issuers = 4
+	}
+	if c.Issuers > c.Clients {
+		c.Issuers = c.Clients
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	Mode     Mode
+	Clients  int
+	Ops      uint64 // completed operations (including failed ones)
+	Errors   uint64 // operations that returned an error
+	Duration time.Duration
+
+	// Throughput is completed ops per second of wall time.
+	Throughput float64
+	// Latency percentiles. Open loop: measured from intended arrival
+	// (coordinated-omission-safe). Closed loop: from issue.
+	P50, P90, P95, P99, Max, Mean time.Duration
+
+	// Hist is the merged latency histogram, for custom percentiles.
+	Hist *metrics.Histogram
+}
+
+// String renders the report for logs.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s loop, %d clients: %.0f ops/s (%d ops, %d errors) p50=%v p95=%v p99=%v max=%v",
+		r.Mode, r.Clients, r.Throughput, r.Ops, r.Errors, r.P50, r.P95, r.P99, r.Max)
+}
+
+// worker is one driver goroutine's private state. In closed mode it is
+// one client; in open mode it multiplexes nclients simulated clients.
+type worker struct {
+	cfg      *Config
+	rng      *sim.RNG
+	zipf     *workload.Zipf
+	val      []byte
+	hist     *metrics.Histogram
+	nclients int
+	ops      uint64
+	errs     uint64
+}
+
+func newWorker(cfg *Config, id int, zipf *workload.Zipf) *worker {
+	rng := sim.NewRNG(cfg.Seed + uint64(id)*0x9e3779b97f4a7c15)
+	w := &worker{
+		cfg:      cfg,
+		rng:      rng,
+		zipf:     zipf.Clone(rng.Split()),
+		val:      make([]byte, cfg.ValueSize),
+		hist:     metrics.NewHistogram(),
+		nclients: 1,
+	}
+	rng.FillBytes(w.val)
+	return w
+}
+
+// key draws the next Zipf-popular key (1-based).
+func (w *worker) key() uint64 { return w.zipf.Next() + 1 }
+
+// op issues one operation from the configured mix and returns its error.
+func (w *worker) op(s patree.Store) error {
+	w.ops++
+	p := w.rng.Intn(100)
+	var err error
+	switch {
+	case p < w.cfg.GetPct:
+		_, _, err = s.Get(w.key())
+	case p < w.cfg.GetPct+w.cfg.PutPct:
+		err = s.Put(w.key(), w.val)
+	case p < w.cfg.GetPct+w.cfg.PutPct+w.cfg.ScanPct:
+		lo := w.key()
+		_, err = s.Scan(lo, lo+uint64(w.cfg.ScanLimit), w.cfg.ScanLimit)
+	default:
+		_, err = s.Update(w.key(), w.val)
+	}
+	if err != nil {
+		w.errs++
+	}
+	return err
+}
+
+// stageOp stages one mixed operation on a batch.
+func (w *worker) stageOp(b *patree.Batch) {
+	w.ops++
+	p := w.rng.Intn(100)
+	switch {
+	case p < w.cfg.GetPct:
+		b.Get(w.key())
+	case p < w.cfg.GetPct+w.cfg.PutPct:
+		b.Put(w.key(), w.val)
+	case p < w.cfg.GetPct+w.cfg.PutPct+w.cfg.ScanPct:
+		lo := w.key()
+		b.Scan(lo, lo+uint64(w.cfg.ScanLimit), w.cfg.ScanLimit)
+	default:
+		b.Update(w.key(), w.val)
+	}
+}
+
+// Preload bulk-inserts keys [1, n] through store in batches. Exposed so
+// benchmark commands can preload once and measure many times.
+func Preload(store patree.Store, n int64, valueSize int, seed uint64) error {
+	if n <= 0 {
+		return nil
+	}
+	rng := sim.NewRNG(seed)
+	val := make([]byte, valueSize)
+	rng.FillBytes(val)
+	const chunk = 256
+	for lo := int64(1); lo <= n; lo += chunk {
+		b := store.NewBatch()
+		for k := lo; k < lo+chunk && k <= n; k++ {
+			b.Put(uint64(k), val)
+		}
+		if err := b.Commit(); err != nil {
+			b.Release()
+			return fmt.Errorf("loadgen: preload commit: %w", err)
+		}
+		err := b.Wait()
+		b.Release()
+		if err != nil {
+			return fmt.Errorf("loadgen: preload: %w", err)
+		}
+	}
+	return nil
+}
+
+// Run executes the configured workload and returns its report.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if cfg.Preload > 0 {
+		if err := Preload(cfg.Store, cfg.Preload, cfg.ValueSize, cfg.Seed); err != nil {
+			return nil, err
+		}
+	}
+	// One Zipf constant set for the whole run: zetaStatic is O(Keys) and
+	// thousands of workers would otherwise each recompute it.
+	zipf := workload.NewZipf(sim.NewRNG(cfg.Seed), cfg.Keys, cfg.Theta)
+	nworkers := cfg.Clients
+	if cfg.Mode == Open {
+		nworkers = cfg.Issuers
+	}
+	workers := make([]*worker, nworkers)
+	for i := range workers {
+		workers[i] = newWorker(&cfg, i, zipf)
+	}
+	if cfg.Mode == Open {
+		// Spread the simulated clients across the issuers.
+		for i := range workers {
+			w := workers[i]
+			w.nclients = cfg.Clients / nworkers
+			if i < cfg.Clients%nworkers {
+				w.nclients++
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			if cfg.Mode == Open {
+				w.runOpen(start, deadline)
+			} else {
+				w.runClosed(deadline)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{Mode: cfg.Mode, Clients: cfg.Clients, Duration: elapsed, Hist: metrics.NewHistogram()}
+	for _, w := range workers {
+		rep.Ops += w.ops
+		rep.Errors += w.errs
+		rep.Hist.Merge(w.hist)
+	}
+	rep.Throughput = float64(rep.Ops) / elapsed.Seconds()
+	rep.P50 = rep.Hist.Percentile(50)
+	rep.P90 = rep.Hist.Percentile(90)
+	rep.P95 = rep.Hist.Percentile(95)
+	rep.P99 = rep.Hist.Percentile(99)
+	rep.Max = rep.Hist.Max()
+	rep.Mean = rep.Hist.Mean()
+	return rep, nil
+}
+
+// runClosed issues operations back-to-back until the deadline. With
+// Pipeline > 1 each iteration commits one batch of that depth and
+// records the per-batch latency once per operation (every operation in
+// the batch experienced it).
+func (w *worker) runClosed(deadline time.Time) {
+	s := w.cfg.Store
+	for time.Now().Before(deadline) {
+		if w.cfg.Pipeline == 1 {
+			t0 := time.Now()
+			w.op(s)
+			w.hist.Record(time.Since(t0))
+			continue
+		}
+		b := s.NewBatch()
+		for i := 0; i < w.cfg.Pipeline; i++ {
+			w.stageOp(b)
+		}
+		t0 := time.Now()
+		if err := b.Commit(); err != nil {
+			w.errs += uint64(w.cfg.Pipeline)
+			b.Release()
+			continue
+		}
+		if err := b.Wait(); err != nil {
+			// Count every failed member, not just the first.
+			for i := 0; i < w.cfg.Pipeline; i++ {
+				if b.Err(i) != nil {
+					w.errs++
+				}
+			}
+		}
+		lat := time.Since(t0)
+		b.Release()
+		for i := 0; i < w.cfg.Pipeline; i++ {
+			w.hist.Record(lat)
+		}
+	}
+}
+
+// issueAsync admits one mixed operation asynchronously.
+func (w *worker) issueAsync(s patree.Store) (*patree.Handle, error) {
+	w.ops++
+	p := w.rng.Intn(100)
+	switch {
+	case p < w.cfg.GetPct:
+		return s.GetAsync(w.key())
+	case p < w.cfg.GetPct+w.cfg.PutPct:
+		return s.PutAsync(w.key(), w.val)
+	case p < w.cfg.GetPct+w.cfg.PutPct+w.cfg.ScanPct:
+		lo := w.key()
+		return s.ScanAsync(lo, lo+uint64(w.cfg.ScanLimit), w.cfg.ScanLimit)
+	default:
+		return s.UpdateAsync(w.key(), w.val)
+	}
+}
+
+// inflight is one issued open-loop operation awaiting harvest.
+type inflight struct {
+	h        *patree.Handle
+	intended time.Time
+	client   int
+}
+
+// runOpen drives w.nclients simulated clients, each with its own
+// Poisson arrival process at rate/clients per second. The intended
+// arrival clocks advance by exponential inter-arrival gaps regardless
+// of how the store is doing, and every latency is completion minus
+// *intended* arrival — so an operation that could only be issued late,
+// because its client's previous one was stuck behind a server stall,
+// is charged the full queueing delay it actually suffered. That is the
+// coordinated-omission-safe measurement.
+//
+// The clients are multiplexed, not one goroutine each: every loop
+// iteration issues an async operation for every idle client whose
+// arrival is due (one pipelined burst on the wire) and then harvests
+// all of them. A client is never given a second in-flight operation;
+// overdue arrivals issue back-to-back, exactly as a dedicated
+// goroutine would, but a burst of N operations costs a handful of
+// scheduler wakeups instead of 2N.
+func (w *worker) runOpen(start, deadline time.Time) {
+	s := w.cfg.Store
+	mean := time.Duration(float64(time.Second) * float64(w.cfg.Clients) / w.cfg.Rate)
+	next := make([]time.Time, w.nclients)
+	for i := range next {
+		// Desynchronize the first arrivals across clients.
+		next[i] = start.Add(time.Duration(w.rng.Float64() * float64(mean)))
+	}
+	fl := make([]inflight, 0, w.nclients)
+	done := 0 // clients whose arrival process passed the deadline
+	for done < w.nclients {
+		now := time.Now()
+		for i := range next {
+			if next[i].IsZero() {
+				continue
+			}
+			if next[i].After(deadline) {
+				next[i] = time.Time{}
+				done++
+				continue
+			}
+			if next[i].After(now) {
+				continue
+			}
+			h, err := w.issueAsync(s)
+			if err != nil {
+				w.errs++
+				next[i] = next[i].Add(w.rng.Exp(mean))
+				continue
+			}
+			fl = append(fl, inflight{h: h, intended: next[i], client: i})
+			next[i] = time.Time{} // busy until harvested
+		}
+		if len(fl) > 0 {
+			// Harvest the whole burst. The first wait may park; by the
+			// time it returns the pipelined rest have usually completed
+			// too and their waits are token reads.
+			for _, f := range fl {
+				if f.h.Err() != nil {
+					w.errs++
+				}
+				f.h.Release()
+				w.hist.Record(time.Since(f.intended))
+				next[f.client] = f.intended.Add(w.rng.Exp(mean))
+			}
+			fl = fl[:0]
+			continue
+		}
+		// Nothing in flight and nothing due: sleep to the earliest
+		// arrival.
+		wake := time.Time{}
+		for _, t := range next {
+			if !t.IsZero() && (wake.IsZero() || t.Before(wake)) {
+				wake = t
+			}
+		}
+		if wake.IsZero() {
+			return
+		}
+		if d := wake.Sub(now); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}

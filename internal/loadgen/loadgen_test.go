@@ -1,0 +1,255 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	patree "github.com/patree/patree"
+)
+
+// stallStore is a Store whose every operation completes after a fixed
+// service delay, simulating a saturated server. It resolves handles
+// from timer goroutines like a real network client would.
+type stallStore struct {
+	delay time.Duration
+}
+
+func (s *stallStore) resolveLater(res patree.Result) *patree.Handle {
+	h, resolve := patree.NewRemoteHandle()
+	time.AfterFunc(s.delay, func() { resolve(res) })
+	return h
+}
+
+func (s *stallStore) Put(key uint64, value []byte) error {
+	h := s.resolveLater(patree.Result{})
+	defer h.Release()
+	return h.Err()
+}
+
+func (s *stallStore) Get(key uint64) ([]byte, bool, error) {
+	h := s.resolveLater(patree.Result{Found: true, Value: []byte("v")})
+	defer h.Release()
+	return h.Value(), h.Found(), h.Err()
+}
+
+func (s *stallStore) Update(key uint64, value []byte) (bool, error) {
+	h := s.resolveLater(patree.Result{Found: true})
+	defer h.Release()
+	return h.Found(), h.Err()
+}
+
+func (s *stallStore) Delete(key uint64) (bool, error) {
+	h := s.resolveLater(patree.Result{})
+	defer h.Release()
+	return h.Found(), h.Err()
+}
+
+func (s *stallStore) Scan(lo, hi uint64, limit int) ([]patree.KV, error) {
+	h := s.resolveLater(patree.Result{})
+	defer h.Release()
+	return h.Pairs(), h.Err()
+}
+
+func (s *stallStore) Sync() error {
+	h := s.resolveLater(patree.Result{})
+	defer h.Release()
+	return h.Err()
+}
+
+func (s *stallStore) PutAsync(key uint64, value []byte) (*patree.Handle, error) {
+	return s.resolveLater(patree.Result{}), nil
+}
+
+func (s *stallStore) GetAsync(key uint64) (*patree.Handle, error) {
+	return s.resolveLater(patree.Result{Found: true, Value: []byte("v")}), nil
+}
+
+func (s *stallStore) UpdateAsync(key uint64, value []byte) (*patree.Handle, error) {
+	return s.resolveLater(patree.Result{Found: true}), nil
+}
+
+func (s *stallStore) DeleteAsync(key uint64) (*patree.Handle, error) {
+	return s.resolveLater(patree.Result{}), nil
+}
+
+func (s *stallStore) ScanAsync(lo, hi uint64, limit int) (*patree.Handle, error) {
+	return s.resolveLater(patree.Result{}), nil
+}
+
+func (s *stallStore) SyncAsync() (*patree.Handle, error) {
+	return s.resolveLater(patree.Result{}), nil
+}
+
+type stallCommitter struct{ s *stallStore }
+
+func (c stallCommitter) CommitStaged(ops []patree.BatchOp, resolve []func(patree.Result), try bool) error {
+	res := make([]func(patree.Result), len(resolve))
+	copy(res, resolve)
+	time.AfterFunc(c.s.delay, func() {
+		for _, r := range res {
+			r(patree.Result{Found: true})
+		}
+	})
+	return nil
+}
+
+func (s *stallStore) NewBatch() *patree.Batch { return patree.NewRemoteBatch(stallCommitter{s}) }
+func (s *stallStore) Close() error            { return nil }
+
+var _ patree.Store = (*stallStore)(nil)
+
+// TestOpenLoopCoordinatedOmissionSafe pins the property the open-loop
+// driver exists for: latency is measured from the INTENDED arrival, not
+// from issue. The store serves every op in a fixed 5ms; each simulated
+// client wants an op every ~2ms, so backlog grows and intended arrivals
+// fall ever further behind. A coordinated-omission-blind harness would
+// report ~5ms at every percentile; the safe one must show queueing
+// delay far above the service time in the tail.
+func TestOpenLoopCoordinatedOmissionSafe(t *testing.T) {
+	store := &stallStore{delay: 5 * time.Millisecond}
+	rep, err := Run(Config{
+		Store:    store,
+		Mode:     Open,
+		Clients:  20,
+		Rate:     10_000, // 0.5ms mean gap per client: far beyond capacity
+		Duration: 1 * time.Second,
+		Keys:     1000,
+		Preload:  -1,
+		GetPct:   100,
+		Issuers:  2,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("no ops completed")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors", rep.Errors)
+	}
+	// Service time is 5ms. With one outstanding op per client, each
+	// client completes ~200 ops/s against a 500 ops/s intention: by the
+	// end of the second the intended arrivals trail by hundreds of ms.
+	if rep.P99 < 50*time.Millisecond {
+		t.Fatalf("p99 = %v, want >> 5ms service time: the driver is hiding queueing delay (coordinated omission)", rep.P99)
+	}
+	if rep.P50 < 2*rep.Mean/10 {
+		t.Logf("p50=%v mean=%v", rep.P50, rep.Mean)
+	}
+	t.Logf("%s", rep.String())
+}
+
+// TestClosedLoopRuns smoke-tests the closed-loop driver against the
+// fake store, including pipelined batches.
+func TestClosedLoopRuns(t *testing.T) {
+	store := &stallStore{delay: 100 * time.Microsecond}
+	rep, err := Run(Config{
+		Store:    store,
+		Mode:     Closed,
+		Clients:  4,
+		Duration: 300 * time.Millisecond,
+		Keys:     100,
+		Preload:  -1,
+		Pipeline: 8,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 || rep.Errors != 0 {
+		t.Fatalf("ops=%d errors=%d", rep.Ops, rep.Errors)
+	}
+}
+
+// TestBenchRoundTrip pins the github-action-benchmark JSON shape and
+// the Write/Read round trip.
+func TestBenchRoundTrip(t *testing.T) {
+	rep := &Report{
+		Mode: Open, Clients: 10, Ops: 1000, Errors: 2,
+		Duration: time.Second, Throughput: 1000,
+		P50: time.Millisecond, P95: 2 * time.Millisecond,
+		P99: 3 * time.Millisecond, Max: 4 * time.Millisecond,
+	}
+	entries := rep.BenchEntries("serving")
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name] = true
+		if e.Name == "serving/throughput" {
+			if e.Unit != "ops/s" || e.Value != 1000 {
+				t.Fatalf("throughput entry = %+v", e)
+			}
+			if !strings.Contains(e.Extra, "10 clients") {
+				t.Fatalf("throughput Extra = %q", e.Extra)
+			}
+		}
+	}
+	for _, want := range []string{"serving/throughput", "serving/p50", "serving/p95", "serving/p99", "serving/max"} {
+		if !names[want] {
+			t.Fatalf("missing entry %q in %v", want, entries)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteBench(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	// The file must be plain github-action-benchmark customSmallerIsBetter
+	// style JSON: a top-level array of {name, unit, value}.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var generic []map[string]any
+	if err := json.Unmarshal(raw, &generic); err != nil {
+		t.Fatalf("not a JSON array of objects: %v", err)
+	}
+	back, err := ReadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(entries) {
+		t.Fatalf("round trip lost entries: %d != %d", len(back), len(entries))
+	}
+	for i := range back {
+		if back[i].Name != entries[i].Name || back[i].Value != entries[i].Value {
+			t.Fatalf("entry %d mismatch: %+v != %+v", i, back[i], entries[i])
+		}
+	}
+}
+
+// TestCompareDirections pins the regression directions: lower
+// throughput is a regression, higher latency is a regression, both
+// within tolerance pass, and metrics missing from the baseline are
+// skipped rather than failed.
+func TestCompareDirections(t *testing.T) {
+	base := []BenchEntry{
+		{Name: "serving/throughput", Unit: "ops/s", Value: 100_000},
+		{Name: "serving/p99", Unit: "us", Value: 10_000},
+		{Name: "serving/max", Unit: "us", Value: 50_000},
+	}
+	cases := []struct {
+		name    string
+		current []BenchEntry
+		regress bool
+	}{
+		{"throughput drop beyond tolerance", []BenchEntry{{Name: "serving/throughput", Unit: "ops/s", Value: 80_000}}, true},
+		{"throughput drop within tolerance", []BenchEntry{{Name: "serving/throughput", Unit: "ops/s", Value: 90_000}}, false},
+		{"throughput gain", []BenchEntry{{Name: "serving/throughput", Unit: "ops/s", Value: 140_000}}, false},
+		{"p99 inflation beyond tolerance", []BenchEntry{{Name: "serving/p99", Unit: "us", Value: 12_000}}, true},
+		{"p99 inflation within tolerance", []BenchEntry{{Name: "serving/p99", Unit: "us", Value: 11_000}}, false},
+		{"p99 improvement", []BenchEntry{{Name: "serving/p99", Unit: "us", Value: 2_000}}, false},
+		{"metric not in baseline", []BenchEntry{{Name: "serving/p50", Unit: "us", Value: 1}}, false},
+		{"max is charted but never gated", []BenchEntry{{Name: "serving/max", Unit: "us", Value: 900_000}}, false},
+	}
+	for _, tc := range cases {
+		regressions := Compare(tc.current, base, 0.15)
+		if got := len(regressions) > 0; got != tc.regress {
+			t.Errorf("%s: regressions = %v, want regress=%v", tc.name, regressions, tc.regress)
+		}
+	}
+}

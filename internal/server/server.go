@@ -1,0 +1,735 @@
+// Package server is the PA-Tree network serving tier: it speaks the
+// internal/proto framing over any net.Listener and feeds every
+// connection's operations straight into a patree.Store's admission
+// pipeline.
+//
+// The design extends the paper's polled-mode admission path across the
+// network boundary:
+//
+//   - Each connection's reader goroutine decodes pipelined request
+//     frames and stages them on a patree.Batch — one admission-ring
+//     transaction per network read burst, so a burst of N pipelined
+//     requests costs one ring hand-off, exactly like an embedded
+//     caller using the batch API.
+//   - Admission is always non-blocking (Batch.TryCommit). When a
+//     shard's MPSC ring is full, ErrBacklog surfaces to the client as
+//     one StatusBusy response per refused request — wire-level flow
+//     control the client backs off on, never a dropped ack and never a
+//     reader goroutine wedged against a saturated worker.
+//   - A bounded pool of completion dispatchers waits on the admitted
+//     batches' handles and streams responses back through a writer
+//     goroutine that coalesces frames per flush. Responses complete
+//     out of order across bursts, keyed by request id.
+//   - A wire batch frame (proto.KindBatch) is admitted as one
+//     patree.Batch TryCommit, so its atomicity — including cross-shard
+//     all-or-nothing — holds end to end.
+//
+// The server programs only against patree.Store, so it can front an
+// embedded *DB or, in principle, another remote store.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	patree "github.com/patree/patree"
+	"github.com/patree/patree/internal/proto"
+)
+
+// Options tunes a Server. The zero value selects sensible defaults.
+type Options struct {
+	// BurstOps caps how many pipelined single-op requests are staged
+	// into one admission transaction (default 256). It must not exceed
+	// the store's admission ring depth or bursts could never admit.
+	BurstOps int
+	// Dispatchers bounds the per-connection completion dispatchers, and
+	// with them the admitted-but-unanswered bursts in flight (default
+	// 8). When all are busy the reader stalls, pushing backpressure
+	// into the TCP window.
+	Dispatchers int
+	// ReadBuf/WriteBuf size the per-connection buffered reader/writer
+	// (default 64 KiB).
+	ReadBuf, WriteBuf int
+	// Logf, when set, receives connection-level error logs.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if o.BurstOps <= 0 {
+		o.BurstOps = 256
+	}
+	if o.Dispatchers <= 0 {
+		o.Dispatchers = 8
+	}
+	if o.ReadBuf <= 0 {
+		o.ReadBuf = 64 << 10
+	}
+	if o.WriteBuf <= 0 {
+		o.WriteBuf = 64 << 10
+	}
+}
+
+// Stats is a snapshot of server activity counters.
+type Stats struct {
+	Accepted    uint64 // connections accepted over the server's lifetime
+	Active      uint64 // connections currently open
+	Ops         uint64 // single operations admitted
+	BatchOps    uint64 // operations admitted inside wire batches
+	WireBatches uint64 // wire batch frames admitted
+	Busy        uint64 // requests refused with StatusBusy (flow control)
+	BadFrames   uint64 // malformed requests answered with StatusBadRequest
+}
+
+// Server serves the PA-Tree wire protocol over a Store.
+type Server struct {
+	store patree.Store
+	opts  Options
+
+	mu     sync.Mutex
+	lns    map[net.Listener]struct{}
+	conns  map[*srvConn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	accepted    atomic.Uint64
+	active      atomic.Uint64
+	ops         atomic.Uint64
+	batchOps    atomic.Uint64
+	wireBatches atomic.Uint64
+	busy        atomic.Uint64
+	badFrames   atomic.Uint64
+}
+
+// New returns a Server fronting store.
+func New(store patree.Store, opts Options) *Server {
+	opts.fill()
+	return &Server{
+		store: store,
+		opts:  opts,
+		lns:   make(map[net.Listener]struct{}),
+		conns: make(map[*srvConn]struct{}),
+	}
+}
+
+// Stats snapshots the activity counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:    s.accepted.Load(),
+		Active:      s.active.Load(),
+		Ops:         s.ops.Load(),
+		BatchOps:    s.batchOps.Load(),
+		WireBatches: s.wireBatches.Load(),
+		Busy:        s.busy.Load(),
+		BadFrames:   s.badFrames.Load(),
+	}
+}
+
+// Serve accepts connections on ln until Close (or a listener error) and
+// blocks meanwhile. Multiple Serve calls on different listeners are
+// allowed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return patree.ErrClosed
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.lns, ln)
+		s.mu.Unlock()
+	}()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		sc := newSrvConn(s, c)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[sc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.accepted.Add(1)
+		s.active.Add(1)
+		go sc.run()
+	}
+}
+
+// Close stops accepting, tears down every connection and waits for all
+// connection goroutines to drain. Operations already admitted to the
+// store complete there; their responses are dropped with the
+// connections. The store itself is not closed — it belongs to the
+// caller.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.shut()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// respBufPool recycles response frame buffers between dispatchers and
+// the writer.
+var respBufPool = sync.Pool{New: func() any { return make([]byte, 0, 512) }}
+
+// burstState accumulates one read burst of pipelined single-op
+// requests in neutral form. Ops are kept decoded (not staged on a
+// Batch) until flush so that a backlogged admission can retry smaller
+// prefixes without re-decoding.
+type burstState struct {
+	ids   []uint64
+	kinds []uint8
+	ops   []patree.BatchOp
+}
+
+func (b *burstState) len() int { return len(b.ops) }
+
+var burstPool = sync.Pool{New: func() any { return new(burstState) }}
+
+// srvConn is one client connection.
+type srvConn struct {
+	s    *Server
+	c    net.Conn
+	br   *bufio.Reader
+	resp chan []byte
+	dead chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup // writer + dispatchers
+	sem  chan struct{}  // dispatcher slots
+}
+
+func newSrvConn(s *Server, c net.Conn) *srvConn {
+	return &srvConn{
+		s:    s,
+		c:    c,
+		br:   bufio.NewReaderSize(c, s.opts.ReadBuf),
+		resp: make(chan []byte, 4*s.opts.Dispatchers),
+		dead: make(chan struct{}),
+		sem:  make(chan struct{}, s.opts.Dispatchers),
+	}
+}
+
+// shut tears the connection down: it unblocks the reader and writer by
+// closing the socket and signals the dispatchers to stop enqueueing.
+// Idempotent and safe from any goroutine.
+func (c *srvConn) shut() {
+	c.once.Do(func() {
+		close(c.dead)
+		c.c.Close()
+	})
+}
+
+// run is the connection's reader loop; it owns teardown.
+func (c *srvConn) run() {
+	defer func() {
+		c.shut()
+		c.wg.Wait() // writer + dispatchers (they drain their batches first)
+		c.s.mu.Lock()
+		delete(c.s.conns, c)
+		c.s.mu.Unlock()
+		c.s.active.Add(^uint64(0))
+		c.s.wg.Done()
+	}()
+	c.wg.Add(1)
+	go c.writeLoop()
+
+	var (
+		rbuf  []byte
+		burst *burstState
+	)
+	for {
+		body, err := proto.ReadFrame(c.br, rbuf)
+		if err != nil {
+			if burst != nil {
+				c.flushBurst(burst)
+			}
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				c.s.logf("patree/server: %s: read: %v", c.c.RemoteAddr(), err)
+			}
+			return
+		}
+		rbuf = body[:0]
+		id := proto.FrameID(body)
+		kind := proto.FrameKind(body)
+		payload := proto.FrameBody(body)
+
+		if kind == proto.KindBatch {
+			// A wire batch is its own atomicity unit; admit the pending
+			// burst first so per-connection admission order is preserved.
+			if burst != nil {
+				burst = c.flushBurst(burst)
+			}
+			c.handleWireBatch(id, payload)
+			continue
+		}
+		if burst == nil {
+			burst = burstPool.Get().(*burstState)
+		}
+		if !c.stageSingle(burst, id, kind, payload) {
+			// Malformed op: answered with BadRequest, nothing staged.
+			c.s.badFrames.Add(1)
+		}
+		// Admit when the burst is full or the next complete frame is not
+		// already buffered — blocking on the socket with staged-but-
+		// unadmitted work would stall the pipeline.
+		if burst.len() >= c.s.opts.BurstOps || !c.frameBuffered() {
+			burst = c.flushBurst(burst)
+		}
+	}
+}
+
+// frameBuffered reports whether a complete frame is already waiting in
+// the read buffer.
+func (c *srvConn) frameBuffered() bool {
+	if c.br.Buffered() < 4 {
+		return false
+	}
+	hdr, err := c.br.Peek(4)
+	if err != nil {
+		return false
+	}
+	return c.br.Buffered() >= 4+int(binary.LittleEndian.Uint32(hdr))
+}
+
+// stageSingle decodes one single-op request into the burst, returning
+// false (after answering BadRequest) when malformed.
+func (c *srvConn) stageSingle(burst *burstState, id uint64, kind uint8, p []byte) bool {
+	bad := func(msg string) bool {
+		c.sendStatus(id, proto.StatusBadRequest, msg)
+		return false
+	}
+	var op patree.BatchOp
+	switch kind {
+	case proto.KindPut, proto.KindUpdate:
+		if len(p) < 8 {
+			return bad("short put/update")
+		}
+		// The frame buffer is recycled for the next read, but the value
+		// travels into the tree: copy it.
+		v := make([]byte, len(p)-8)
+		copy(v, p[8:])
+		op = patree.BatchOp{Kind: patree.OpPut, Key: binary.LittleEndian.Uint64(p), Value: v}
+		if kind == proto.KindUpdate {
+			op.Kind = patree.OpUpdate
+		}
+	case proto.KindGet:
+		if len(p) != 8 {
+			return bad("short get")
+		}
+		op = patree.BatchOp{Kind: patree.OpGet, Key: binary.LittleEndian.Uint64(p)}
+	case proto.KindDelete:
+		if len(p) != 8 {
+			return bad("short delete")
+		}
+		op = patree.BatchOp{Kind: patree.OpDelete, Key: binary.LittleEndian.Uint64(p)}
+	case proto.KindScan:
+		if len(p) != 24 {
+			return bad("short scan")
+		}
+		op = patree.BatchOp{
+			Kind:  patree.OpScan,
+			Key:   binary.LittleEndian.Uint64(p),
+			End:   binary.LittleEndian.Uint64(p[8:]),
+			Limit: int(int64(binary.LittleEndian.Uint64(p[16:]))),
+		}
+	case proto.KindSync:
+		if len(p) != 0 {
+			return bad("malformed sync")
+		}
+		op = patree.BatchOp{Kind: patree.OpSync}
+	default:
+		return bad(fmt.Sprintf("unknown op kind %d", kind))
+	}
+	burst.ids = append(burst.ids, id)
+	burst.kinds = append(burst.kinds, kind)
+	burst.ops = append(burst.ops, op)
+	return true
+}
+
+// stageOn replays a decoded op onto a batch.
+func stageOn(b *patree.Batch, op patree.BatchOp) {
+	switch op.Kind {
+	case patree.OpPut:
+		b.Put(op.Key, op.Value)
+	case patree.OpGet:
+		b.Get(op.Key)
+	case patree.OpUpdate:
+		b.Update(op.Key, op.Value)
+	case patree.OpDelete:
+		b.Delete(op.Key)
+	case patree.OpScan:
+		b.Scan(op.Key, op.End, op.Limit)
+	case patree.OpSync:
+		b.Sync()
+	}
+}
+
+// flushBurst admits the pending burst as one ring transaction when it
+// fits. When the rings are backlogged it degrades gracefully instead of
+// livelocking: progressively smaller prefixes are tried (the ops are
+// independent pipelined singles, so splitting them is semantically
+// free), and ops that cannot be admitted even alone are refused with
+// StatusBusy — wire flow control the client backs off and retransmits
+// on. This also removes any coupling between BurstOps and the store's
+// ring depth: a burst larger than the ring admits in chunks. Any
+// non-backlog admission error maps through the taxonomy. Always returns
+// nil, for `burst = c.flushBurst(burst)` call sites.
+func (c *srvConn) flushBurst(burst *burstState) *burstState {
+	i := 0
+	for i < len(burst.ops) {
+		n := len(burst.ops) - i
+		for {
+			b := c.s.store.NewBatch()
+			for _, op := range burst.ops[i : i+n] {
+				stageOn(b, op)
+			}
+			err := b.TryCommit()
+			if err == nil {
+				c.s.ops.Add(uint64(n))
+				if n == len(burst.ops) && i == 0 {
+					// Common case: the whole burst admitted at once; the
+					// dispatcher takes ownership of the state's slices.
+					c.dispatch(b, burst.ids, burst.kinds, func() { releaseBurst(burst) })
+					return nil
+				}
+				// Split admission: copy the chunk's ids/kinds, the state
+				// is reused for the rest of the loop.
+				ids := append([]uint64(nil), burst.ids[i:i+n]...)
+				kinds := append([]uint8(nil), burst.kinds[i:i+n]...)
+				c.dispatch(b, ids, kinds, nil)
+				i += n
+				break
+			}
+			b.Release()
+			if status := proto.StatusOf(err); status != proto.StatusBusy {
+				// Terminal (closed, device failed): refuse everything left.
+				for _, id := range burst.ids[i:] {
+					c.sendStatus(id, status, "")
+				}
+				releaseBurst(burst)
+				return nil
+			}
+			if n == 1 {
+				c.s.busy.Add(1)
+				c.sendStatus(burst.ids[i], proto.StatusBusy, "")
+				i++
+				break
+			}
+			n /= 2
+		}
+	}
+	releaseBurst(burst)
+	return nil
+}
+
+func releaseBurst(b *burstState) {
+	b.ids = b.ids[:0]
+	b.kinds = b.kinds[:0]
+	for i := range b.ops {
+		b.ops[i] = patree.BatchOp{} // drop value references
+	}
+	b.ops = b.ops[:0]
+	burstPool.Put(b)
+}
+
+// dispatch claims a dispatcher slot — blocking the reader when all are
+// busy, which pushes backpressure into the TCP window — and hands the
+// committed batch to a goroutine that streams its responses. cleanup,
+// if set, runs after the batch is released.
+func (c *srvConn) dispatch(b *patree.Batch, ids []uint64, kinds []uint8, cleanup func()) {
+	c.sem <- struct{}{}
+	c.wg.Add(1)
+	go c.dispatchBurst(b, ids, kinds, cleanup)
+}
+
+// dispatchBurst waits for each operation of an admitted burst in
+// staging order and streams its responses. Waiting in order is cheap —
+// the batch completes as a group — while responses across concurrently
+// dispatched bursts interleave freely (out-of-order completion, keyed
+// by request id).
+func (c *srvConn) dispatchBurst(b *patree.Batch, ids []uint64, kinds []uint8, cleanup func()) {
+	defer func() {
+		b.Release() // waits for any completions not yet consumed
+		if cleanup != nil {
+			cleanup()
+		}
+		<-c.sem
+		c.wg.Done()
+	}()
+	// All of a burst's response frames ride in one buffer: one channel
+	// hand-off and (usually) one writer syscall per burst instead of per
+	// operation — the response-side mirror of burst admission.
+	buf := respBufPool.Get().([]byte)[:0]
+	for i, id := range ids {
+		buf = appendOpResponse(buf, b, i, id, kinds[i])
+		if len(buf) >= 32<<10 {
+			if !c.send(buf) {
+				// Connection gone: stop encoding, but fall through to
+				// Release, which waits out the remaining completions so no
+				// handle or op leaks.
+				return
+			}
+			buf = respBufPool.Get().([]byte)[:0]
+		}
+	}
+	if len(buf) > 0 {
+		c.send(buf)
+	} else {
+		respBufPool.Put(buf[:0]) //nolint:staticcheck
+	}
+}
+
+// appendOpResponse encodes operation i's result as a single-op response
+// frame.
+func appendOpResponse(buf []byte, b *patree.Batch, i int, id uint64, kind uint8) []byte {
+	err := b.Err(i)
+	if err != nil {
+		return proto.AppendFrame(buf, id, proto.StatusOf(err), nil)
+	}
+	var at int
+	buf, at = proto.BeginFrame(buf, id, proto.StatusOK)
+	var flags uint8
+	if b.Found(i) {
+		flags = proto.FoundFlag
+	}
+	buf = append(buf, flags)
+	switch kind {
+	case proto.KindGet:
+		buf = append(buf, b.Value(i)...)
+	case proto.KindScan:
+		buf = proto.AppendPairs(buf, b.Pairs(i))
+	}
+	return proto.FinishFrame(buf, at)
+}
+
+// handleWireBatch decodes and admits one wire batch frame as a single
+// patree.Batch TryCommit — the protocol's atomic unit.
+func (c *srvConn) handleWireBatch(id uint64, p []byte) {
+	if len(p) < 5 {
+		c.s.badFrames.Add(1)
+		c.sendStatus(id, proto.StatusBadRequest, "short batch")
+		return
+	}
+	count := binary.LittleEndian.Uint32(p[1:])
+	p = p[5:]
+	b := c.s.store.NewBatch()
+	kinds := make([]uint8, 0, count)
+	for n := uint32(0); n < count; n++ {
+		var ok bool
+		var kind uint8
+		kind, p, ok = stageSub(b, p)
+		if !ok {
+			b.Release()
+			c.s.badFrames.Add(1)
+			c.sendStatus(id, proto.StatusBadRequest, "malformed batch op")
+			return
+		}
+		kinds = append(kinds, kind)
+	}
+	if len(p) != 0 {
+		b.Release()
+		c.s.badFrames.Add(1)
+		c.sendStatus(id, proto.StatusBadRequest, "trailing batch bytes")
+		return
+	}
+	if err := b.TryCommit(); err != nil {
+		status := proto.StatusOf(err)
+		if status == proto.StatusBusy {
+			c.s.busy.Add(1)
+		}
+		b.Release()
+		c.sendStatus(id, status, "")
+		return
+	}
+	c.s.wireBatches.Add(1)
+	c.s.batchOps.Add(uint64(len(kinds)))
+	c.sem <- struct{}{}
+	c.wg.Add(1)
+	go c.dispatchWireBatch(b, id, kinds)
+}
+
+// stageSub decodes one batch sub-op and stages it, returning its kind
+// and the remaining bytes.
+func stageSub(b *patree.Batch, p []byte) (uint8, []byte, bool) {
+	if len(p) < 1 {
+		return 0, nil, false
+	}
+	kind := p[0]
+	p = p[1:]
+	switch kind {
+	case proto.KindPut, proto.KindUpdate:
+		if len(p) < 12 {
+			return 0, nil, false
+		}
+		key := binary.LittleEndian.Uint64(p)
+		vlen := binary.LittleEndian.Uint32(p[8:])
+		p = p[12:]
+		if uint32(len(p)) < vlen {
+			return 0, nil, false
+		}
+		v := make([]byte, vlen)
+		copy(v, p[:vlen])
+		p = p[vlen:]
+		if kind == proto.KindPut {
+			b.Put(key, v)
+		} else {
+			b.Update(key, v)
+		}
+	case proto.KindGet:
+		if len(p) < 8 {
+			return 0, nil, false
+		}
+		b.Get(binary.LittleEndian.Uint64(p))
+		p = p[8:]
+	case proto.KindDelete:
+		if len(p) < 8 {
+			return 0, nil, false
+		}
+		b.Delete(binary.LittleEndian.Uint64(p))
+		p = p[8:]
+	case proto.KindScan:
+		if len(p) < 24 {
+			return 0, nil, false
+		}
+		lo := binary.LittleEndian.Uint64(p)
+		hi := binary.LittleEndian.Uint64(p[8:])
+		limit := int(int64(binary.LittleEndian.Uint64(p[16:])))
+		b.Scan(lo, hi, limit)
+		p = p[24:]
+	case proto.KindSync:
+		b.Sync()
+	default:
+		return 0, nil, false
+	}
+	return kind, p, true
+}
+
+// dispatchWireBatch waits out an admitted wire batch and sends its one
+// aggregated response: per-op status, flags and payload.
+func (c *srvConn) dispatchWireBatch(b *patree.Batch, id uint64, kinds []uint8) {
+	defer func() {
+		b.Release()
+		<-c.sem
+		c.wg.Done()
+	}()
+	buf := respBufPool.Get().([]byte)[:0]
+	var at int
+	buf, at = proto.BeginFrame(buf, id, proto.StatusOK)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(kinds)))
+	for i, kind := range kinds {
+		err := b.Err(i)
+		buf = append(buf, proto.StatusOf(err))
+		var flags uint8
+		if err == nil && b.Found(i) {
+			flags = proto.FoundFlag
+		}
+		buf = append(buf, flags)
+		lenAt := len(buf)
+		buf = append(buf, 0, 0, 0, 0)
+		if err == nil {
+			switch kind {
+			case proto.KindGet:
+				buf = append(buf, b.Value(i)...)
+			case proto.KindScan:
+				buf = proto.AppendPairs(buf, b.Pairs(i))
+			}
+		}
+		binary.LittleEndian.PutUint32(buf[lenAt:], uint32(len(buf)-lenAt-4))
+	}
+	buf = proto.FinishFrame(buf, at)
+	c.send(buf)
+}
+
+// sendStatus enqueues a bare status response.
+func (c *srvConn) sendStatus(id uint64, status uint8, msg string) {
+	buf := respBufPool.Get().([]byte)[:0]
+	buf = proto.AppendFrame(buf, id, status, []byte(msg))
+	c.send(buf)
+}
+
+// send enqueues one encoded response frame for the writer, reporting
+// false when the connection died instead of blocking forever.
+func (c *srvConn) send(buf []byte) bool {
+	select {
+	case c.resp <- buf:
+		return true
+	case <-c.dead:
+		respBufPool.Put(buf[:0]) //nolint:staticcheck // slice header reuse is intended
+		return false
+	}
+}
+
+// writeLoop streams response frames, coalescing every frame available
+// before each flush.
+func (c *srvConn) writeLoop() {
+	defer c.wg.Done()
+	bw := bufio.NewWriterSize(c.c, c.s.opts.WriteBuf)
+	for {
+		select {
+		case buf := <-c.resp:
+			for {
+				_, err := bw.Write(buf)
+				respBufPool.Put(buf[:0]) //nolint:staticcheck
+				if err != nil {
+					c.shut()
+					return
+				}
+				select {
+				case buf = <-c.resp:
+					continue
+				default:
+				}
+				break
+			}
+			if err := bw.Flush(); err != nil {
+				c.shut()
+				return
+			}
+		case <-c.dead:
+			return
+		}
+	}
+}

@@ -1,0 +1,591 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	patree "github.com/patree/patree"
+	"github.com/patree/patree/client"
+	"github.com/patree/patree/internal/fault"
+	"github.com/patree/patree/internal/nvme"
+	"github.com/patree/patree/internal/proto"
+	"github.com/patree/patree/internal/server"
+	"github.com/patree/patree/internal/sim"
+)
+
+// startServer spins up a DB + server on loopback and returns the
+// address plus a shutdown func.
+func startServer(t *testing.T, dbOpts patree.Options, srvOpts server.Options) (string, *server.Server, func()) {
+	t.Helper()
+	db, err := patree.Open(dbOpts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	srv := server.New(db, srvOpts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		db.Close()
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv, func() {
+		srv.Close()
+		db.Close()
+	}
+}
+
+// TestWireOracle drives the full wire path — client, protocol, server,
+// sharded DB — with a deterministic mixed workload and checks every
+// result against a flat-map oracle.
+func TestWireOracle(t *testing.T) {
+	addr, _, stop := startServer(t, patree.Options{Shards: 4}, server.Options{})
+	defer stop()
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	oracle := map[uint64][]byte{}
+	rng := sim.NewRNG(7)
+	val := func(k uint64) []byte { return []byte(fmt.Sprintf("v%d-%d", k, rng.Uint64n(1000))) }
+
+	const keys = 512
+	for i := 0; i < 4000; i++ {
+		k := rng.Uint64n(keys) + 1
+		switch rng.Intn(6) {
+		case 0, 1: // put
+			v := val(k)
+			if err := c.Put(k, v); err != nil {
+				t.Fatalf("op %d: put(%d): %v", i, k, err)
+			}
+			oracle[k] = v
+		case 2: // get
+			v, found, err := c.Get(k)
+			if err != nil {
+				t.Fatalf("op %d: get(%d): %v", i, k, err)
+			}
+			want, ok := oracle[k]
+			if found != ok || (ok && !bytes.Equal(v, want)) {
+				t.Fatalf("op %d: get(%d) = %q/%v, want %q/%v", i, k, v, found, want, ok)
+			}
+		case 3: // update
+			v := val(k)
+			found, err := c.Update(k, v)
+			if err != nil {
+				t.Fatalf("op %d: update(%d): %v", i, k, err)
+			}
+			if _, ok := oracle[k]; found != ok {
+				t.Fatalf("op %d: update(%d) found=%v, oracle %v", i, k, found, ok)
+			}
+			if found {
+				oracle[k] = v
+			}
+		case 4: // delete
+			found, err := c.Delete(k)
+			if err != nil {
+				t.Fatalf("op %d: delete(%d): %v", i, k, err)
+			}
+			if _, ok := oracle[k]; found != ok {
+				t.Fatalf("op %d: delete(%d) found=%v, oracle %v", i, k, found, ok)
+			}
+			delete(oracle, k)
+		case 5: // scan a window
+			lo := rng.Uint64n(keys) + 1
+			hi := lo + 16
+			pairs, err := c.Scan(lo, hi, 0)
+			if err != nil {
+				t.Fatalf("op %d: scan: %v", i, err)
+			}
+			want := map[uint64][]byte{}
+			for k, v := range oracle {
+				if k >= lo && k <= hi {
+					want[k] = v
+				}
+			}
+			if len(pairs) != len(want) {
+				t.Fatalf("op %d: scan[%d,%d] = %d pairs, want %d", i, lo, hi, len(pairs), len(want))
+			}
+			var prev uint64
+			for j, kv := range pairs {
+				if j > 0 && kv.Key <= prev {
+					t.Fatalf("op %d: scan out of order", i)
+				}
+				prev = kv.Key
+				if !bytes.Equal(kv.Value, want[kv.Key]) {
+					t.Fatalf("op %d: scan key %d = %q, want %q", i, kv.Key, kv.Value, want[kv.Key])
+				}
+			}
+		}
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+}
+
+// TestWireBatchOracle exercises wire batches — the protocol's atomicity
+// unit — including Commit and cross-shard TryCommit, against the
+// oracle.
+func TestWireBatchOracle(t *testing.T) {
+	addr, srv, stop := startServer(t, patree.Options{Shards: 4}, server.Options{})
+	defer stop()
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	oracle := map[uint64][]byte{}
+	rng := sim.NewRNG(11)
+	for round := 0; round < 200; round++ {
+		b := c.NewBatch()
+		type staged struct {
+			idx  int
+			kind patree.OpKind
+			key  uint64
+			val  []byte
+		}
+		var ops []staged
+		n := rng.Intn(12) + 1
+		for j := 0; j < n; j++ {
+			// Keys spread over the whole space so batches regularly cross
+			// shards.
+			k := rng.Uint64n(4096) + 1
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := []byte(fmt.Sprintf("b%d-%d", round, j))
+				ops = append(ops, staged{b.Put(k, v), patree.OpPut, k, v})
+			case 2:
+				ops = append(ops, staged{b.Get(k), patree.OpGet, k, nil})
+			case 3:
+				ops = append(ops, staged{b.Delete(k), patree.OpDelete, k, nil})
+			}
+		}
+		// Alternate blocking Commit and TryCommit; both must hold the
+		// all-or-nothing contract (TryCommit may refuse, in which case the
+		// batch stays staged and is retried).
+		if round%2 == 0 {
+			if err := b.Commit(); err != nil {
+				t.Fatalf("round %d: commit: %v", round, err)
+			}
+		} else {
+			for {
+				err := b.TryCommit()
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, patree.ErrBacklog) {
+					t.Fatalf("round %d: trycommit: %v", round, err)
+				}
+			}
+		}
+		// Check results in staging order against the oracle, applying
+		// mutations as the worker would have seen them.
+		for _, op := range ops {
+			if err := b.Err(op.idx); err != nil {
+				t.Fatalf("round %d: op %d: %v", round, op.idx, err)
+			}
+			_, existed := oracle[op.key]
+			switch op.kind {
+			case patree.OpPut:
+				oracle[op.key] = op.val
+			case patree.OpGet:
+				want := oracle[op.key]
+				if b.Found(op.idx) != existed || !bytes.Equal(b.Value(op.idx), want) {
+					t.Fatalf("round %d: batch get(%d) = %q/%v, want %q/%v",
+						round, op.key, b.Value(op.idx), b.Found(op.idx), want, existed)
+				}
+			case patree.OpDelete:
+				if b.Found(op.idx) != existed {
+					t.Fatalf("round %d: batch delete(%d) found=%v, want %v", round, op.key, b.Found(op.idx), existed)
+				}
+				delete(oracle, op.key)
+			}
+		}
+		b.Release()
+	}
+	if srv.Stats().WireBatches == 0 {
+		t.Fatal("no wire batches admitted — the batch path was not exercised")
+	}
+	// Final sweep: the whole tree must equal the oracle.
+	pairs, err := c.Scan(0, ^uint64(0), 0)
+	if err != nil {
+		t.Fatalf("final scan: %v", err)
+	}
+	if len(pairs) != len(oracle) {
+		t.Fatalf("final scan = %d keys, oracle %d", len(pairs), len(oracle))
+	}
+	for _, kv := range pairs {
+		if !bytes.Equal(kv.Value, oracle[kv.Key]) {
+			t.Fatalf("final scan key %d = %q, want %q", kv.Key, kv.Value, oracle[kv.Key])
+		}
+	}
+}
+
+// TestWireConcurrent hammers the server from many goroutines over a
+// connection pool under -race: each goroutine owns a disjoint key
+// stripe so the final state is deterministic per stripe and verifiable
+// against a local oracle.
+func TestWireConcurrent(t *testing.T) {
+	addr, _, stop := startServer(t, patree.Options{Shards: 4}, server.Options{})
+	defer stop()
+	pool, err := client.DialPool(addr, 3, client.Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer pool.Close()
+
+	const goroutines = 8
+	const stripe = 1 << 16
+	var wg sync.WaitGroup
+	oracles := make([]map[uint64][]byte, goroutines)
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := sim.NewRNG(uint64(100 + g))
+			oracle := map[uint64][]byte{}
+			oracles[g] = oracle
+			base := uint64(g+1) * stripe
+			fail := func(format string, args ...any) {
+				select {
+				case errCh <- fmt.Errorf(format, args...):
+				default:
+				}
+			}
+			for i := 0; i < 600; i++ {
+				k := base + rng.Uint64n(128)
+				switch rng.Intn(5) {
+				case 0, 1:
+					v := []byte(fmt.Sprintf("g%d-%d", g, i))
+					if err := pool.Put(k, v); err != nil {
+						fail("put: %w", err)
+						return
+					}
+					oracle[k] = v
+				case 2:
+					v, found, err := pool.Get(k)
+					if err != nil {
+						fail("get: %w", err)
+						return
+					}
+					want, ok := oracle[k]
+					if found != ok || (ok && !bytes.Equal(v, want)) {
+						fail("get(%d) = %q/%v, want %q/%v", k, v, found, want, ok)
+						return
+					}
+				case 3:
+					if _, err := pool.Delete(k); err != nil {
+						fail("delete: %w", err)
+						return
+					}
+					delete(oracle, k)
+				case 4:
+					b := pool.NewBatch()
+					v := []byte(fmt.Sprintf("gb%d-%d", g, i))
+					b.Put(k, v)
+					gi := b.Get(k)
+					if err := b.Commit(); err != nil {
+						fail("batch: %w", err)
+						return
+					}
+					if err := b.Wait(); err != nil {
+						fail("batch wait: %w", err)
+						return
+					}
+					if !bytes.Equal(b.Value(gi), v) {
+						fail("batch read-own-write (g=%d i=%d k=%d): found=%v err=%v %q != %q",
+							g, i, k, b.Found(gi), b.Err(gi), b.Value(gi), v)
+						return
+					}
+					b.Release()
+					oracle[k] = v
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	// Verify every stripe against its oracle with scans.
+	for g := 0; g < goroutines; g++ {
+		base := uint64(g+1) * stripe
+		pairs, err := pool.Scan(base, base+stripe-1, 0)
+		if err != nil {
+			t.Fatalf("stripe %d scan: %v", g, err)
+		}
+		if len(pairs) != len(oracles[g]) {
+			t.Fatalf("stripe %d = %d keys, oracle %d", g, len(pairs), len(oracles[g]))
+		}
+		for _, kv := range pairs {
+			if !bytes.Equal(kv.Value, oracles[g][kv.Key]) {
+				t.Fatalf("stripe %d key %d = %q, want %q", g, kv.Key, kv.Value, oracles[g][kv.Key])
+			}
+		}
+	}
+}
+
+// TestBusyBackoff saturates a tiny admission ring behind a deliberately
+// slow device and checks that wire flow control engages: the client
+// absorbs StatusBusy with backoff + retransmission, no operation is
+// dropped, and every acknowledged write is really there.
+func TestBusyBackoff(t *testing.T) {
+	slow := fault.New(
+		nvme.NewRAMDevice(nvme.RAMConfig{NumBlocks: 1 << 16}),
+		fault.Config{Seed: 3, Probs: fault.Probs{LatencySpike: 1}},
+	)
+	addr, srv, stop := startServer(t,
+		patree.Options{Device: slow, InboxDepth: 8},
+		// Bursts far larger than the ring: the split-admission path must
+		// keep making progress anyway.
+		server.Options{BurstOps: 64},
+	)
+	defer stop()
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	// Pipeline far more writes than the ring holds.
+	const n = 512
+	handles := make([]*patree.Handle, n)
+	for i := range handles {
+		h, err := c.PutAsync(uint64(i+1), []byte{byte(i)})
+		if err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		handles[i] = h
+	}
+	for i, h := range handles {
+		if err := h.Err(); err != nil {
+			t.Fatalf("put %d failed: %v", i, err)
+		}
+		h.Release()
+	}
+	if busy := srv.Stats().Busy; busy == 0 {
+		t.Fatal("server never refused with StatusBusy — the ring was never saturated")
+	}
+	if retries := c.Stats().BusyRetries; retries == 0 {
+		t.Fatal("client never saw StatusBusy")
+	}
+	// Every acknowledged write must be present despite the refusals.
+	pairs, err := c.Scan(1, n, 0)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(pairs) != n {
+		t.Fatalf("scan = %d keys, want %d (BUSY dropped writes)", len(pairs), n)
+	}
+	t.Logf("busy refusals: server=%d client retries=%d", srv.Stats().Busy, c.Stats().BusyRetries)
+}
+
+// rawFrame builds a single-op request frame byte-for-byte.
+func rawFrame(id uint64, kind uint8, body []byte) []byte {
+	return proto.AppendFrame(nil, id, kind, body)
+}
+
+// TestConnDropMidBatch severs a connection that has pipelined singles
+// and a wire batch in flight and checks the server abandons the work
+// cleanly: no goroutine leaks, and the server keeps serving.
+func TestConnDropMidBatch(t *testing.T) {
+	addr, srv, stop := startServer(t, patree.Options{Shards: 2}, server.Options{})
+	defer stop()
+
+	base := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		var buf []byte
+		// A spray of pipelined singles...
+		for i := 0; i < 64; i++ {
+			key := binary.LittleEndian.AppendUint64(nil, uint64(i+1))
+			buf = append(buf, rawFrame(uint64(i+1), proto.KindPut, append(key, 'x'))...)
+		}
+		// ...and a wire batch (flags=0, 32 puts).
+		batch, at := proto.BeginFrame(nil, 1000, proto.KindBatch)
+		batch = append(batch, 0)
+		batch = binary.LittleEndian.AppendUint32(batch, 32)
+		for i := 0; i < 32; i++ {
+			batch = append(batch, proto.KindPut)
+			batch = binary.LittleEndian.AppendUint64(batch, uint64(1000+i))
+			batch = binary.LittleEndian.AppendUint32(batch, 1)
+			batch = append(batch, 'y')
+		}
+		buf = append(buf, proto.FinishFrame(batch, at)...)
+		if _, err := nc.Write(buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		// Sever without reading a single response.
+		nc.Close()
+	}
+
+	// The dropped connections' dispatchers must drain and exit. Poll
+	// rather than sleep: the deadline only bites on failure.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= base+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after conn drops: %d -> %d", base, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The server must still be fully functional.
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatalf("dial after drops: %v", err)
+	}
+	defer c.Close()
+	if err := c.Put(1, []byte("alive")); err != nil {
+		t.Fatalf("put after drops: %v", err)
+	}
+	v, found, err := c.Get(1)
+	if err != nil || !found || string(v) != "alive" {
+		t.Fatalf("get after drops = %q/%v/%v", v, found, err)
+	}
+	if a := srv.Stats().Active; a != 1 {
+		t.Fatalf("active connections = %d, want 1", a)
+	}
+}
+
+// TestClientCloseResolvesInflight closes the client with operations in
+// flight: every handle must resolve (with ErrClosed or success), no
+// waiter may block forever, and later calls fail fast with ErrClosed.
+func TestClientCloseResolvesInflight(t *testing.T) {
+	addr, _, stop := startServer(t, patree.Options{}, server.Options{})
+	defer stop()
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	var handles []*patree.Handle
+	for i := 0; i < 256; i++ {
+		h, err := c.PutAsync(uint64(i+1), []byte("v"))
+		if err != nil {
+			break
+		}
+		handles = append(handles, h)
+	}
+	c.Close()
+	for _, h := range handles {
+		// Must return promptly: either the op completed before the close
+		// or it was failed with the taxonomy's close error.
+		if err := h.Err(); err != nil && !errors.Is(err, patree.ErrClosed) {
+			t.Fatalf("in-flight op after Close: %v", err)
+		}
+		h.Release()
+	}
+	if err := c.Put(1, []byte("late")); !errors.Is(err, patree.ErrClosed) {
+		t.Fatalf("Put after Close = %v, want ErrClosed", err)
+	}
+	if _, _, err := c.Get(1); !errors.Is(err, patree.ErrClosed) {
+		t.Fatalf("Get after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestServerCloseFailsClients stops the server under live clients: all
+// in-flight and subsequent client operations must resolve with a
+// taxonomy error (never hang), and handles must not leak.
+func TestServerCloseFailsClients(t *testing.T) {
+	addr, srv, stop := startServer(t, patree.Options{}, server.Options{})
+	defer stop()
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	var handles []*patree.Handle
+	for i := 0; i < 128; i++ {
+		h, err := c.PutAsync(uint64(i+1), []byte("v"))
+		if err != nil {
+			break
+		}
+		handles = append(handles, h)
+	}
+	srv.Close()
+	for _, h := range handles {
+		if err := h.Err(); err != nil &&
+			!errors.Is(err, patree.ErrBatchAborted) && !errors.Is(err, patree.ErrClosed) {
+			t.Fatalf("in-flight op after server close: %v", err)
+		}
+		h.Release()
+	}
+	// The connection is dead now; new ops must fail with the transport
+	// sentinel, not hang.
+	err = c.Put(999, []byte("x"))
+	if err == nil {
+		// The write may have been buffered before the reader noticed; the
+		// next one must fail.
+		err = c.Put(999, []byte("x"))
+	}
+	if err != nil && !errors.Is(err, patree.ErrBatchAborted) && !errors.Is(err, patree.ErrClosed) {
+		t.Fatalf("op after server close = %v, want taxonomy error", err)
+	}
+}
+
+// TestMalformedFrames sends structurally broken requests and checks the
+// server answers BadRequest (or drops the connection for unframeable
+// garbage) without harming other connections.
+func TestMalformedFrames(t *testing.T) {
+	addr, srv, stop := startServer(t, patree.Options{}, server.Options{})
+	defer stop()
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	var buf []byte
+	buf = append(buf, rawFrame(1, proto.KindGet, []byte{1, 2, 3})...)                           // short get
+	buf = append(buf, rawFrame(2, proto.KindScan, make([]byte, 7))...)                          // short scan
+	buf = append(buf, rawFrame(3, 99, nil)...)                                                  // unknown kind
+	buf = append(buf, rawFrame(4, proto.KindBatch, []byte{0, 1, 0, 0, 0})...)                   // batch with truncated sub-op
+	buf = append(buf, rawFrame(5, proto.KindGet, binary.LittleEndian.AppendUint64(nil, 42))...) // valid
+	if _, err := nc.Write(buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// Collect the five responses.
+	statuses := map[uint64]uint8{}
+	rd := make([]byte, 0, 256)
+	for len(statuses) < 5 {
+		nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		body, err := proto.ReadFrame(nc, rd)
+		if err != nil {
+			t.Fatalf("read (%d responses in): %v", len(statuses), err)
+		}
+		rd = body[:0]
+		statuses[proto.FrameID(body)] = proto.FrameKind(body)
+	}
+	for id := uint64(1); id <= 4; id++ {
+		if statuses[id] != proto.StatusBadRequest {
+			t.Errorf("frame %d: status %d, want BadRequest", id, statuses[id])
+		}
+	}
+	if statuses[5] != proto.StatusOK {
+		t.Errorf("valid frame after garbage: status %d, want OK", statuses[5])
+	}
+	if srv.Stats().BadFrames != 4 {
+		t.Errorf("BadFrames = %d, want 4", srv.Stats().BadFrames)
+	}
+}
+
+var _ io.Reader = (*net.TCPConn)(nil) // keep io imported alongside net

@@ -55,13 +55,14 @@ type Generator interface {
 // Zipf samples ranks in [0, n) with P(i) ∝ 1/(i+1)^theta, using the
 // Gray et al. method YCSB popularized. theta = 0 degenerates to uniform.
 type Zipf struct {
-	rng   *sim.RNG
-	n     uint64
-	theta float64
-	alpha float64
-	zetan float64
-	eta   float64
-	zeta2 float64
+	rng     *sim.RNG
+	n       uint64
+	theta   float64
+	alpha   float64
+	zetan   float64
+	eta     float64
+	zeta2   float64
+	powHalf float64 // cached 0.5^theta: Next is called per operation
 }
 
 // NewZipf builds a sampler over [0, n) with skew theta (the paper's α).
@@ -81,7 +82,17 @@ func NewZipf(rng *sim.RNG, n uint64, theta float64) *Zipf {
 	z.zeta2 = zetaStatic(2, z.theta)
 	z.alpha = 1 / (1 - z.theta)
 	z.eta = (1 - math.Pow(2/float64(n), 1-z.theta)) / (1 - z.zeta2/z.zetan)
+	z.powHalf = math.Pow(0.5, z.theta)
 	return z
+}
+
+// Clone returns a sampler drawing from rng but sharing z's precomputed
+// constants. zetaStatic is O(n); a load generator spinning up thousands
+// of workers over the same (n, theta) builds one Zipf and clones it.
+func (z *Zipf) Clone(rng *sim.RNG) *Zipf {
+	c := *z
+	c.rng = rng
+	return &c
 }
 
 func zetaStatic(n uint64, theta float64) float64 {
@@ -102,7 +113,7 @@ func (z *Zipf) Next() uint64 {
 	if uz < 1 {
 		return 0
 	}
-	if uz < 1+math.Pow(0.5, z.theta) {
+	if uz < 1+z.powHalf {
 		return 1
 	}
 	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))

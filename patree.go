@@ -80,22 +80,6 @@ import (
 // one 512-byte node; see internal/storage).
 const MaxValueSize = storage.MaxValueSize
 
-// ErrClosed is returned by operations on a closed DB.
-var ErrClosed = errors.New("patree: closed")
-
-// ErrBacklog is returned by TryCommit when the admission ring cannot
-// accept the whole batch atomically — the device-side pipeline is full
-// and the caller should apply backpressure (wait, or shed load).
-var ErrBacklog = core.ErrBacklog
-
-// ErrDeviceFailed is returned by every operation once the device has
-// failed unrecoverably (an I/O error that survived MaxIORetries
-// retries). The DB is then in a terminal degraded state: in-flight and
-// future operations drain with this error, and Close still shuts the
-// working thread down cleanly. Reopening the device runs journal
-// recovery, which restores every acknowledged write the device kept.
-var ErrDeviceFailed = core.ErrDeviceFailed
-
 // KV is a key/value pair returned by Scan.
 type KV = core.KV
 

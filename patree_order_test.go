@@ -1,0 +1,89 @@
+package patree_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	patree "github.com/patree/patree"
+	"github.com/patree/patree/internal/sim"
+)
+
+// TestBatchReadOwnWriteUnderConcurrency pins per-key program order for
+// in-flight point operations. The shard worker pipelines execution, and
+// an insert that restarts (optimistic split retry) or suspends on I/O
+// used to be overtaken by a later operation on the same key — so a
+// batch's Get could miss the Put staged just before it in the same
+// batch. The overtake needs concurrent load: foreign latch holders are
+// what block the restarted insert long enough for its follower to slip
+// past, which is why a sequential test never catches it.
+func TestBatchReadOwnWriteUnderConcurrency(t *testing.T) {
+	db, err := patree.Open(patree.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var wg sync.WaitGroup
+	errCh := make(chan string, 8)
+	fail := func(format string, args ...any) {
+		select {
+		case errCh <- fmt.Sprintf(format, args...):
+		default:
+		}
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := sim.NewRNG(uint64(100 + g))
+			base := uint64(g+1) * 65536
+			for i := 0; i < 600; i++ {
+				// Narrow per-goroutine key range: plenty of same-key traffic
+				// and early leaf splits while the tree is still small.
+				k := base + rng.Uint64n(128)
+				switch rng.Intn(5) {
+				case 0, 1:
+					if err := db.Put(k, []byte(fmt.Sprintf("g%d-%d", g, i))); err != nil {
+						fail("put: %v", err)
+						return
+					}
+				case 2:
+					if _, _, err := db.Get(k); err != nil {
+						fail("get: %v", err)
+						return
+					}
+				case 3:
+					if _, err := db.Delete(k); err != nil {
+						fail("delete: %v", err)
+						return
+					}
+				case 4:
+					b := db.NewBatch()
+					v := []byte(fmt.Sprintf("gb%d-%d", g, i))
+					b.Put(k, v)
+					gi := b.Get(k)
+					if err := b.Commit(); err != nil {
+						fail("commit: %v", err)
+						return
+					}
+					if err := b.Wait(); err != nil {
+						fail("wait: %v", err)
+						return
+					}
+					if !b.Found(gi) || string(b.Value(gi)) != string(v) {
+						fail("read-own-write violated: g=%d i=%d k=%d found=%v val=%q want %q",
+							g, i, k, b.Found(gi), b.Value(gi), v)
+						return
+					}
+					b.Release()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case e := <-errCh:
+		t.Fatal(e)
+	default:
+	}
+}
