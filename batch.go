@@ -106,6 +106,21 @@ func (b *Batch) Sync() int {
 // Len returns the number of staged (logical) operations.
 func (b *Batch) Len() int { return len(b.handles) }
 
+// SetSpan attaches a trace span id to staged operation i (0 clears it).
+// The backend propagates it to the engine, which emits a link event
+// tying its own operation record to the span — the hook a serving tier
+// uses to stitch client, server and per-shard traces into one timeline.
+// Must be called between staging and Commit.
+func (b *Batch) SetSpan(i int, span uint64) {
+	if b.committed {
+		panic("patree: Batch.SetSpan after Commit")
+	}
+	if i < 0 || i >= len(b.staged) {
+		panic(fmt.Sprintf("patree: Batch.SetSpan(%d) out of range [0,%d)", i, len(b.staged)))
+	}
+	b.staged[i].Span = span
+}
+
 // materialize builds the physical core operations for the embedded
 // backend: one op per point operation, one op per shard behind a fanAgg
 // for scans and syncs when sharded. The results land in b.ops and
@@ -114,6 +129,7 @@ func (b *Batch) materialize() {
 	shards := len(b.db.shards)
 	for i, so := range b.staged {
 		h := b.handles[i]
+		start := len(b.ops)
 		switch so.Kind {
 		case OpPut:
 			b.addOp(core.AcquireOp().InitInsert(so.Key, so.Value), h, so.Key, shards)
@@ -129,25 +145,32 @@ func (b *Batch) materialize() {
 				op.Done = h.doneFn
 				b.ops = append(b.ops, op)
 				b.shardIdx = append(b.shardIdx, 0)
-				continue
+			} else {
+				lo, hi, limit := so.Key, so.End, so.Limit
+				b.addFanned(h, shards,
+					func() *core.Op { return core.AcquireOp().InitRange(lo, hi, limit) },
+					func(rs []core.Result) core.Result { return mergeScan(rs, limit) })
 			}
-			lo, hi, limit := so.Key, so.End, so.Limit
-			b.addFanned(h, shards,
-				func() *core.Op { return core.AcquireOp().InitRange(lo, hi, limit) },
-				func(rs []core.Result) core.Result { return mergeScan(rs, limit) })
 		case OpSync:
 			if shards == 1 {
 				op := core.AcquireOp().InitSync()
 				op.Done = h.doneFn
 				b.ops = append(b.ops, op)
 				b.shardIdx = append(b.shardIdx, 0)
-				continue
+			} else {
+				b.addFanned(h, shards,
+					func() *core.Op { return core.AcquireOp().InitSync() },
+					mergeFirstErr)
 			}
-			b.addFanned(h, shards,
-				func() *core.Op { return core.AcquireOp().InitSync() },
-				mergeFirstErr)
 		default:
 			panic(fmt.Sprintf("patree: Batch staged invalid op kind %d", so.Kind))
+		}
+		if so.Span != 0 {
+			// Every physical op materialized for this staged entry (one, or
+			// one per shard for fanned scans/syncs) carries its span.
+			for _, op := range b.ops[start:] {
+				op.Span = so.Span
+			}
 		}
 	}
 }

@@ -34,6 +34,7 @@ import (
 
 	patree "github.com/patree/patree"
 	"github.com/patree/patree/internal/proto"
+	"github.com/patree/patree/internal/trace"
 )
 
 // Options tunes a Conn. The zero value selects sensible defaults.
@@ -47,6 +48,23 @@ type Options struct {
 	ReadBuf, WriteBuf int
 	// SendQueue bounds requests queued for the writer (default 1024).
 	SendQueue int
+
+	// Trace enables client-side span tracing: the connection offers the
+	// protocol handshake at dial and, once the server negotiates trace
+	// propagation, samples requests into spans whose ids travel on the
+	// wire (see internal/proto). Off by default; when off the connection
+	// never sends a hello and behaves exactly like a v0 client.
+	Trace bool
+	// TraceEvents sizes the client trace ring (default 65536).
+	TraceEvents int
+	// SampleEvery samples 1 of every N requests when tracing (default
+	// 64; 1 traces every request).
+	SampleEvery int
+	// TraceNow overrides the trace clock (nanoseconds). Point it at the
+	// server engine's clock (patree.DB.TraceNow) in loopback benches so
+	// the merged export shares one time axis; nil uses a process-local
+	// monotonic clock.
+	TraceNow func() int64
 }
 
 func (o *Options) fill() {
@@ -68,6 +86,15 @@ func (o *Options) fill() {
 	if o.SendQueue <= 0 {
 		o.SendQueue = 1024
 	}
+	if o.TraceEvents <= 0 {
+		o.TraceEvents = 65536
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 64
+	}
+	if o.TraceNow == nil {
+		o.TraceNow = defaultTraceNow
+	}
 }
 
 // Stats counts a connection's wire activity.
@@ -83,9 +110,11 @@ type Stats struct {
 // makes delivery exactly-once.
 type pending struct {
 	id       uint64
-	kind     uint8 // wire kind; proto.KindBatch for batches
+	kind     uint8 // bare wire kind; proto.KindBatch for batches
 	frame    []byte
 	attempts int
+	span     uint64 // trace span id (0 = unsampled)
+	issuedAt int64  // trace clock at issue; valid when span != 0
 
 	resolve func(patree.Result) // single op
 
@@ -116,6 +145,11 @@ type Conn struct {
 	sent     atomic.Uint64
 	received atomic.Uint64
 	busy     atomic.Uint64
+
+	// tracing (nil/false when Options.Trace is off)
+	tr      *trace.Locked
+	traceOK atomic.Bool // server negotiated HelloFlagTrace
+	sampleN atomic.Uint64
 }
 
 // Conn is a Store: embedded and remote callers are interchangeable.
@@ -137,6 +171,21 @@ func Dial(addr string, opts Options) (*Conn, error) {
 		sendQ: make(chan *pending, opts.SendQueue),
 		dead:  make(chan struct{}),
 		pend:  make(map[uint64]*pending),
+	}
+	if opts.Trace {
+		c.tr = trace.NewLocked(opts.TraceEvents, clientCodeNames, clientClassNames, opts.TraceNow)
+		// Offer the handshake as the connection's first frame, pipelined —
+		// never blocking the dial. A v0 server answers StatusBadRequest,
+		// which finishHello treats as "version 0": the connection simply
+		// keeps sending plain frames and no request is ever sampled.
+		hello := &pending{
+			id:      c.nextID.Add(1),
+			kind:    proto.KindHello,
+			resolve: func(patree.Result) {}, // fail() may resolve it; nothing to do
+		}
+		hello.frame = proto.AppendHello(nil, hello.id, proto.KindHello, proto.Version, proto.HelloFlagTrace)
+		c.pend[hello.id] = hello
+		c.sendQ <- hello
 	}
 	c.wg.Add(2)
 	go c.writeLoop()
@@ -198,6 +247,9 @@ func (c *Conn) retransmit(id uint64) {
 	p := c.pend[id]
 	c.pmu.Unlock()
 	if p != nil {
+		if p.span != 0 {
+			c.tr.Emit(ctRetransmit, uint16(p.kind), p.span, uint64(p.attempts), c.tr.NowNanos(), trace.Instant)
+		}
 		c.enqueue(p)
 	}
 }
@@ -259,6 +311,9 @@ func (c *Conn) writeLoop() {
 					return
 				}
 				c.sent.Add(1)
+				if p.span != 0 {
+					c.tr.Emit(ctWrite, uint16(p.kind), p.span, uint64(len(p.frame)), c.tr.NowNanos(), trace.Instant)
+				}
 				select {
 				case p = <-c.sendQ:
 					continue
@@ -306,7 +361,11 @@ func (c *Conn) readLoop() {
 			p.attempts++
 			c.pmu.Unlock()
 			c.busy.Add(1)
-			time.AfterFunc(c.backoff(p.attempts), func() { c.retransmit(id) })
+			d := c.backoff(p.attempts)
+			if p.span != 0 {
+				c.tr.Emit(ctBackoff, uint16(p.kind), p.span, uint64(p.attempts), c.tr.NowNanos(), int64(d))
+			}
+			time.AfterFunc(d, func() { c.retransmit(id) })
 			continue
 		}
 		if p != nil {
@@ -318,7 +377,38 @@ func (c *Conn) readLoop() {
 			// a duplicate: ignore.
 			continue
 		}
+		if p.kind == proto.KindHello {
+			c.finishHello(status, payload)
+			continue
+		}
+		if p.span == 0 {
+			c.deliver(p, status, payload)
+			continue
+		}
+		t0 := c.tr.NowNanos()
 		c.deliver(p, status, payload)
+		t1 := c.tr.NowNanos()
+		c.tr.Emit(ctDecode, uint16(p.kind), p.span, 0, t0, t1-t0)
+		// The span anchor: one "request" slice covering the whole
+		// client-observed lifetime, Seq = span id for the stitcher.
+		c.tr.Emit(ctRequest, uint16(p.kind), p.span, uint64(p.attempts), p.issuedAt, t1-p.issuedAt)
+	}
+}
+
+// finishHello resolves the handshake: StatusOK carries the negotiated
+// (version, flags); anything else — most importantly a v0 server's
+// StatusBadRequest for the unknown kind — leaves the connection at
+// version 0 with tracing off. Never an error either way.
+func (c *Conn) finishHello(status uint8, payload []byte) {
+	if status != proto.StatusOK {
+		return
+	}
+	v, f, err := proto.ParseHello(payload)
+	if err != nil {
+		return
+	}
+	if v >= 1 && f&proto.HelloFlagTrace != 0 {
+		c.traceOK.Store(true)
 	}
 }
 
@@ -446,8 +536,11 @@ func statusMsg(payload []byte) string { return string(payload) }
 // its future.
 func (c *Conn) issue(kind uint8, key, end uint64, limit int64, value []byte) (*patree.Handle, error) {
 	h, resolve := patree.NewRemoteHandle()
-	p := &pending{id: c.nextID.Add(1), kind: kind, resolve: resolve}
-	p.frame = appendSingle(nil, p.id, kind, key, end, limit, value)
+	p := &pending{id: c.nextID.Add(1), kind: kind, resolve: resolve, span: c.sample()}
+	p.frame = appendSingle(nil, p.id, kind, p.span, key, end, limit, value)
+	if p.span != 0 {
+		p.issuedAt = c.tr.NowNanos()
+	}
 	if err := c.register(p); err != nil {
 		// Never admitted: reclaim the handle like a refused embedded
 		// admission would.
@@ -456,13 +549,24 @@ func (c *Conn) issue(kind uint8, key, end uint64, limit int64, value []byte) (*p
 		return nil, err
 	}
 	c.enqueue(p)
+	if p.span != 0 {
+		c.tr.Emit(ctEnqueue, uint16(kind), p.span, 0, c.tr.NowNanos(), trace.Instant)
+	}
 	return h, nil
 }
 
-// appendSingle encodes a single-op request frame.
-func appendSingle(dst []byte, id uint64, kind uint8, key, end uint64, limit int64, value []byte) []byte {
+// appendSingle encodes a single-op request frame; a nonzero span
+// prefixes the body with the trace context (proto.FlagSpan).
+func appendSingle(dst []byte, id uint64, kind uint8, span, key, end uint64, limit int64, value []byte) []byte {
 	var at int
-	dst, at = proto.BeginFrame(dst, id, kind)
+	wire := kind
+	if span != 0 {
+		wire |= proto.FlagSpan
+	}
+	dst, at = proto.BeginFrame(dst, id, wire)
+	if span != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, span)
+	}
 	switch kind {
 	case proto.KindPut, proto.KindUpdate:
 		dst = binary.LittleEndian.AppendUint64(dst, key)
@@ -602,8 +706,16 @@ func (cm committer) CommitStaged(ops []patree.BatchOp, resolve []func(patree.Res
 		try:          try,
 		batchResolve: res,
 		batchKinds:   make([]uint8, len(ops)),
+		span:         c.sample(),
 	}
-	frame, at := proto.BeginFrame(nil, p.id, proto.KindBatch)
+	wire := proto.KindBatch
+	if p.span != 0 {
+		wire |= proto.FlagSpan
+	}
+	frame, at := proto.BeginFrame(nil, p.id, wire)
+	if p.span != 0 {
+		frame = binary.LittleEndian.AppendUint64(frame, p.span)
+	}
 	var flags uint8
 	if try {
 		flags = 1
@@ -634,10 +746,16 @@ func (cm committer) CommitStaged(ops []patree.BatchOp, resolve []func(patree.Res
 	if try {
 		p.ack = make(chan error, 1)
 	}
+	if p.span != 0 {
+		p.issuedAt = c.tr.NowNanos()
+	}
 	if err := c.register(p); err != nil {
 		return err
 	}
 	c.enqueue(p)
+	if p.span != 0 {
+		c.tr.Emit(ctEnqueue, uint16(proto.KindBatch), p.span, uint64(len(ops)), c.tr.NowNanos(), trace.Instant)
+	}
 	if try {
 		return <-p.ack
 	}

@@ -30,6 +30,7 @@ import (
 	"github.com/patree/patree/client"
 	"github.com/patree/patree/internal/loadgen"
 	"github.com/patree/patree/internal/server"
+	"github.com/patree/patree/internal/trace"
 )
 
 func main() {
@@ -56,6 +57,8 @@ func main() {
 		baseline = flag.String("baseline", "", "compare against this BENCH JSON")
 		maxReg   = flag.Float64("max-regress", 0.15, "regression tolerance vs baseline")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile here")
+		traceOut = flag.String("trace", "", "write a merged Chrome trace here (client+server+engine with -loopback)")
+		sample   = flag.Int("sample", 0, "trace 1 in N requests (0 = client default)")
 	)
 	flag.Parse()
 
@@ -68,14 +71,21 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	tracing := *traceOut != ""
 	target := *addr
 	var cleanup func()
+	var db *patree.DB
+	var srv *server.Server
 	if *loopback {
-		db, err := patree.Open(patree.Options{Shards: *shards})
+		var err error
+		db, err = patree.Open(patree.Options{Shards: *shards, Trace: tracing})
 		if err != nil {
 			log.Fatalf("pabench: open: %v", err)
 		}
-		srv := server.New(db, server.Options{})
+		srv = server.New(db, server.Options{
+			Trace:    tracing,
+			TraceNow: db.TraceNow, // engine, server and client share one time axis
+		})
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatalf("pabench: listen: %v", err)
@@ -83,12 +93,16 @@ func main() {
 		go srv.Serve(ln)
 		target = ln.Addr().String()
 		cleanup = func() { srv.Close(); db.Close() }
-		log.Printf("pabench: loopback server on %s (shards=%d)", target, *shards)
+		log.Printf("pabench: loopback server on %s (shards=%d trace=%v)", target, *shards, tracing)
 	} else if target == "" {
 		log.Fatal("pabench: need -addr or -loopback")
 	}
 
-	pool, err := client.DialPool(target, *conns, client.Options{})
+	copts := client.Options{Trace: tracing, SampleEvery: *sample}
+	if db != nil {
+		copts.TraceNow = db.TraceNow
+	}
+	pool, err := client.DialPool(target, *conns, copts)
 	if err != nil {
 		log.Fatalf("pabench: dial: %v", err)
 	}
@@ -116,6 +130,13 @@ func main() {
 	log.Printf("pabench: %s", rep)
 	log.Printf("pabench: wire: %d sent, %d received, %d busy retries", st.Sent, st.Received, st.BusyRetries)
 
+	if tracing {
+		if err := writeMergedTrace(*traceOut, pool, srv, db); err != nil {
+			log.Fatalf("pabench: trace: %v", err)
+		}
+		log.Printf("pabench: wrote %s (merged client/server/engine trace)", *traceOut)
+	}
+
 	pool.Close()
 	if cleanup != nil {
 		cleanup()
@@ -123,6 +144,7 @@ func main() {
 
 	prefix := fmt.Sprintf("%s/%s", *name, *mode)
 	entries := rep.BenchEntries(prefix)
+	entries = append(entries, loadgen.BusyRetryEntry(prefix, st.BusyRetries, st.Received))
 	for _, e := range entries {
 		log.Printf("pabench:   %-28s %12.1f %s", e.Name, e.Value, e.Unit)
 	}
@@ -145,4 +167,30 @@ func main() {
 		}
 		log.Printf("pabench: within %.0f%% of %s", *maxReg*100, *baseline)
 	}
+}
+
+// writeMergedTrace snapshots every emitter's trace window — pooled
+// client connections, the wire server, the engine shards — stitches the
+// sampled spans into flow arrows and writes one Chrome trace JSON file.
+// Server and engine processes exist only with -loopback; against a
+// remote server the export degrades to the client's side of each span.
+func writeMergedTrace(path string, pool *client.Pool, srv *server.Server, db *patree.DB) error {
+	procs := pool.TraceProcesses()
+	if srv != nil {
+		if tp := srv.TraceProcess(""); tp != nil {
+			procs = append(procs, *tp)
+		}
+	}
+	if db != nil {
+		procs = append(procs, db.TraceProcesses()...)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeJSONFlows(f, procs, trace.Stitch(procs)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -21,6 +21,9 @@
 //	                                metrics snapshot (stage latency
 //	                                breakdown, CPU categories, probe
 //	                                model accuracy)
+//	pacli stats -remote host:7071   instead of a local workload, fetch
+//	                                and print /statsz from a running
+//	                                paserve admin endpoint
 //	pacli trace [-n ops] [-o file]  same workload with the lifecycle
 //	                                tracer on; exports Chrome trace-event
 //	                                JSON for Perfetto / chrome://tracing
@@ -30,9 +33,12 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	patree "github.com/patree/patree"
 )
@@ -93,7 +99,11 @@ func demoWorkload(db *patree.DB, n int) error {
 func runStats(args []string) int {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	n := fs.Int("n", 1<<16, "operations to run before snapshotting")
+	remote := fs.String("remote", "", "paserve admin address or URL to read /statsz from")
 	fs.Parse(args)
+	if *remote != "" {
+		return remoteStats(*remote)
+	}
 	db, err := patree.Open(patree.Options{Persistence: patree.Weak})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)
@@ -105,6 +115,40 @@ func runStats(args []string) int {
 		return 1
 	}
 	fmt.Print(patree.FormatMetrics(db.Metrics()))
+	return 0
+}
+
+// remoteStats fetches /statsz from a running paserve admin endpoint and
+// prints the JSON document. addr may be host:port or a full URL; a bare
+// address or URL without a path gets /statsz appended.
+func remoteStats(addr string) int {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.Contains(strings.TrimPrefix(url, "http://"), "/") {
+		url += "/statsz"
+	}
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fetch:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "read:", err)
+		return 1
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "%s: %s\n%s", url, resp.Status, body)
+		return 1
+	}
+	os.Stdout.Write(body)
+	if len(body) > 0 && body[len(body)-1] != '\n' {
+		fmt.Println()
+	}
 	return 0
 }
 

@@ -1,11 +1,20 @@
 // paserve serves a PA-Tree over the wire protocol.
 //
-//	go run ./cmd/paserve -addr :7070 -shards 4
+//	go run ./cmd/paserve -addr :7070 -shards 4 -admin :7071
 //
 // The store is the embedded sharded DB (in-memory device by default);
-// clients connect with package client or cmd/pabench. A metrics
-// endpoint (Prometheus text format) is optionally exposed with
-// -metrics.
+// clients connect with package client or cmd/pabench. The -admin HTTP
+// endpoint exposes the full observability surface:
+//
+//	/metrics     Prometheus text (engine patree_* + wire patree_server_*)
+//	/debug/vars  expvar JSON (engine + server snapshots)
+//	/statsz      one JSON document, read by `pacli stats -remote`
+//	/trace       merged Chrome trace JSON (with -trace)
+//
+// -trace turns on sampled request-scoped spans (negotiated with v1
+// clients), -slowop logs any request slower than the threshold with its
+// server-side stage breakdown. -metrics is kept as a legacy alias for
+// -admin.
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	patree "github.com/patree/patree"
 	"github.com/patree/patree/internal/server"
@@ -24,21 +34,28 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", ":7070", "listen address")
-		metrics = flag.String("metrics", "", "metrics HTTP address (empty = disabled)")
+		admin   = flag.String("admin", "", "admin HTTP address (empty = disabled)")
+		metrics = flag.String("metrics", "", "legacy alias for -admin")
 		shards  = flag.Int("shards", 1, "worker shards")
 		inbox   = flag.Int("inbox", 0, "admission ring depth per shard (0 = default)")
 		journal = flag.Bool("journal", false, "enable the redo journal")
 		weak    = flag.Bool("weak", false, "weak persistence (buffered writes)")
 		blocks  = flag.Uint64("blocks", 0, "in-memory device size in 512B blocks (0 = default)")
 		burst   = flag.Int("burst", 0, "max pipelined ops per admission burst (0 = default)")
+		doTrace = flag.Bool("trace", false, "sample request-scoped spans (engine + wire)")
+		slowOp  = flag.Duration("slowop", 0, "log requests slower than this (0 = disabled)")
 	)
 	flag.Parse()
+	if *admin == "" {
+		*admin = *metrics
+	}
 
 	opts := patree.Options{
 		Shards:       *shards,
 		InboxDepth:   *inbox,
 		Journal:      *journal,
 		DeviceBlocks: *blocks,
+		Trace:        *doTrace,
 	}
 	if *weak {
 		opts.Persistence = patree.Weak
@@ -52,20 +69,29 @@ func main() {
 	srv := server.New(db, server.Options{
 		BurstOps: *burst,
 		Logf:     log.Printf,
+		Trace:    *doTrace,
+		TraceNow: db.TraceNow, // one time axis with the engine's spans
+		SlowOp:   *slowOp,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("paserve: listen: %v", err)
 	}
-	log.Printf("paserve: serving on %s (shards=%d journal=%v)", ln.Addr(), *shards, *journal)
+	log.Printf("paserve: serving on %s (shards=%d journal=%v trace=%v)", ln.Addr(), *shards, *journal, *doTrace)
 
-	if *metrics != "" {
+	if *admin != "" {
+		db.PublishExpvar("patree")
+		srv.PublishExpvar("patree_server")
+		h := srv.AdminHandler(server.AdminConfig{
+			EngineMetrics: db.MetricsHandler(),
+			EngineStats:   func() any { return db.Metrics() },
+			EngineProcs:   db.TraceProcesses,
+		})
 		go func() {
-			mux := http.NewServeMux()
-			mux.Handle("/metrics", db.MetricsHandler())
-			log.Printf("paserve: metrics on http://%s/metrics", *metrics)
-			if err := http.ListenAndServe(*metrics, mux); err != nil {
-				log.Printf("paserve: metrics: %v", err)
+			log.Printf("paserve: admin on http://%s/{metrics,statsz,trace,debug/vars}", *admin)
+			s := &http.Server{Addr: *admin, Handler: h, ReadHeaderTimeout: 5 * time.Second}
+			if err := s.ListenAndServe(); err != nil {
+				log.Printf("paserve: admin: %v", err)
 			}
 		}()
 	}

@@ -142,6 +142,13 @@ type Op struct {
 	// Tag is an embedder-owned correlation value (e.g. a batch index).
 	// The tree never reads it; it is zeroed on Release.
 	Tag uint64
+	// Span is the distributed trace span id this op belongs to (0 = not
+	// sampled). When nonzero and tracing is on, completion emits a link
+	// instant tying the engine's op sequence number to the span, so a
+	// merged serving trace can stitch client → server → shard. Zeroed on
+	// Release; never read on any other path, so unsampled runs pay only a
+	// zero-compare.
+	Span uint64
 
 	seq      uint64
 	state    opState
@@ -324,6 +331,7 @@ func (o *Op) reset() {
 	o.Done = nil
 	o.Res = Result{}
 	o.Tag = 0
+	o.Span = 0
 	o.seq = 0
 	o.state = stEntry
 	o.mode = 0

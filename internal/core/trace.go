@@ -16,11 +16,13 @@ const (
 	tcOp               // slice: whole operation (admitted → completed)
 	tcProbe            // instant: probe that reaped completions (arg: count)
 	tcYield            // slice: scheduler yield
+	tcSpan             // instant: serving-span link (seq = op seq, arg = span id)
 )
 
 var traceCodeNames = []string{
 	"admit-wait", "inbox", "queue-wait", "latch-wait",
 	"io-read", "io-write", "deliver", "op", "probe", "yield",
+	trace.SpanCodeLink,
 }
 
 // classNone labels events not attributable to a single operation
@@ -38,3 +40,8 @@ var traceClassNames = []string{
 func NewTracer(capacity int) *trace.Tracer {
 	return trace.New(capacity, traceCodeNames, traceClassNames)
 }
+
+// TraceNames returns the engine's trace code and class name tables, for
+// labelling a trace.Process holding this tree's events in a merged
+// multi-emitter export (trace.WriteChromeJSONFlows).
+func TraceNames() (codes, classes []string) { return traceCodeNames, traceClassNames }

@@ -682,6 +682,13 @@ func (t *Tree) Stop() {
 	}
 }
 
+// NowNanos reads the tree's clock: the same timebase its trace events
+// carry. Serving-tier tracers (client, server) sample this clock so a
+// merged export lines all three processes up on one axis. Safe from any
+// goroutine under RealEnv (a monotonic time.Since); simulation harnesses
+// call it from the scheduler thread only.
+func (t *Tree) NowNanos() int64 { return int64(t.env.Now()) }
+
 // StatsSnapshot returns a copy of the tree statistics (histograms are
 // shared references; treat as read-only).
 func (t *Tree) StatsSnapshot() Stats {
@@ -2674,6 +2681,12 @@ func (t *Tree) completeOp(o *Op) {
 	t.recordStages(o)
 	if t.tr != nil {
 		t.tr.Emit(tcOp, uint16(o.kind), o.seq, uint64(o.key), int64(o.Res.Admitted), int64(o.Res.Latency()))
+		if o.Span != 0 {
+			// Cross-process link: lets trace.Stitch tie this op back to the
+			// serving span that produced it. Never fires in simulation runs
+			// (nothing sets Span there), keeping sim traces byte-identical.
+			t.tr.Emit(tcSpan, uint16(o.kind), o.seq, o.Span, int64(o.Res.Completed), trace.Instant)
+		}
 	}
 	kind, seq, done := o.kind, o.seq, o.Res.Completed
 	if o.Done != nil {

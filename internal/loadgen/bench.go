@@ -34,6 +34,23 @@ func (r *Report) BenchEntries(prefix string) []BenchEntry {
 	}
 }
 
+// BusyRetryEntry builds the wire-level flow-control entry: BUSY-driven
+// retransmits per delivered response. It charts the serving tier's
+// backpressure trajectory next to throughput and tails — a rising rate
+// means clients are burning round-trips re-offering refused work.
+func BusyRetryEntry(prefix string, busyRetries, received uint64) BenchEntry {
+	var rate float64
+	if received > 0 {
+		rate = float64(busyRetries) / float64(received)
+	}
+	return BenchEntry{
+		Name:  prefix + "/busy_retry_rate",
+		Unit:  "retries/op",
+		Value: rate,
+		Extra: fmt.Sprintf("%d retransmits / %d responses", busyRetries, received),
+	}
+}
+
 // WriteBench writes entries as a BENCH_*.json file.
 func WriteBench(path string, entries []BenchEntry) error {
 	data, err := json.MarshalIndent(entries, "", "  ")
@@ -67,12 +84,19 @@ func biggerIsBetter(name string) bool {
 	return strings.Contains(name, "throughput") || strings.Contains(name, "ops")
 }
 
+// minGatedBusyRate is the baseline busy_retry_rate below which the
+// series is charted but not gated: a relative tolerance against a
+// near-zero rate turns scheduler noise into spurious failures.
+const minGatedBusyRate = 0.05
+
 // Compare checks current against baseline and returns one human-readable
 // line per regression beyond tolerance (e.g. 0.15 = 15%). Metrics
 // missing from either side are skipped — the trajectory may legitimately
 // gain or lose series across commits. "max" series are charted but
 // never gated: the single worst sample is an extreme-value statistic
-// with run-to-run variance far beyond any useful tolerance.
+// with run-to-run variance far beyond any useful tolerance. The
+// busy_retry_rate series (lower is better) gates only when the baseline
+// itself shows a meaningful rate.
 func Compare(current, baseline []BenchEntry, tolerance float64) []string {
 	base := make(map[string]BenchEntry, len(baseline))
 	for _, e := range baseline {
@@ -82,6 +106,9 @@ func Compare(current, baseline []BenchEntry, tolerance float64) []string {
 	for _, cur := range current {
 		b, ok := base[cur.Name]
 		if !ok || b.Value == 0 || strings.HasSuffix(cur.Name, "/max") {
+			continue
+		}
+		if strings.HasSuffix(cur.Name, "/busy_retry_rate") && b.Value < minGatedBusyRate {
 			continue
 		}
 		if biggerIsBetter(cur.Name) {

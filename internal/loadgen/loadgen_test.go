@@ -253,3 +253,41 @@ func TestCompareDirections(t *testing.T) {
 		}
 	}
 }
+
+// TestBusyRetryEntry pins the wire flow-control series: rate =
+// retransmits per delivered response, zero-safe, lower is better, and
+// gated only against a baseline with a meaningful rate.
+func TestBusyRetryEntry(t *testing.T) {
+	e := BusyRetryEntry("serving/open", 150, 1000)
+	if e.Name != "serving/open/busy_retry_rate" {
+		t.Fatalf("name = %q", e.Name)
+	}
+	if e.Value != 0.15 {
+		t.Fatalf("rate = %v, want 0.15", e.Value)
+	}
+	if z := BusyRetryEntry("serving/open", 0, 0); z.Value != 0 {
+		t.Fatalf("zero-op rate = %v, want 0", z.Value)
+	}
+
+	name := e.Name
+	cases := []struct {
+		name    string
+		base    float64
+		cur     float64
+		regress bool
+	}{
+		{"meaningful baseline, rate doubles", 0.10, 0.20, true},
+		{"meaningful baseline, rate within tolerance", 0.10, 0.11, false},
+		{"meaningful baseline, rate drops", 0.10, 0.01, false},
+		{"near-zero baseline is charted but not gated", 0.001, 0.40, false},
+		{"zero baseline skipped", 0, 0.40, false},
+	}
+	for _, tc := range cases {
+		base := []BenchEntry{{Name: name, Unit: "retries/op", Value: tc.base}}
+		cur := []BenchEntry{{Name: name, Unit: "retries/op", Value: tc.cur}}
+		regressions := Compare(cur, base, 0.15)
+		if got := len(regressions) > 0; got != tc.regress {
+			t.Errorf("%s: regressions = %v, want regress=%v", tc.name, regressions, tc.regress)
+		}
+	}
+}

@@ -38,6 +38,33 @@
 // the whole frame with nothing admitted. StatusBusy is the wire form of
 // ErrBacklog — flow control, never a dropped ack: the client backs off
 // and retransmits the identical frame under the same request id.
+//
+// # Protocol versions and trace propagation
+//
+// The frames above are protocol version 0 and remain valid forever: a
+// client that sends nothing else talks to every server, old or new.
+// Version 1 adds an optional handshake and request-scoped trace
+// propagation on top, negotiated so that neither side ever sends a
+// frame its peer cannot parse:
+//
+//   - A Hello request (KindHello, body: version u8 | flags u8) offered
+//     by the client right after dialing. A v1 server answers StatusOK
+//     with the same body shape carrying the negotiated (minimum)
+//     version and the intersection of the offered flags. A v0 server
+//     answers StatusBadRequest ("unknown op kind"), which the client
+//     treats as "version 0 negotiated" — the conversation continues in
+//     plain v0 frames.
+//   - After a handshake that negotiated HelloFlagTrace, a request's
+//     kind byte may carry FlagSpan (bit 7). The body is then prefixed
+//     with the request's span id (u64, nonzero) before the v0 payload:
+//     the client's trace context, propagated so the server and engine
+//     can attribute their side of the request to the same span.
+//     A span id's presence is the sampled flag; unsampled requests stay
+//     plain v0 frames even on a v1 connection, so trace propagation
+//     costs nothing when sampling is off.
+//
+// Response frames never carry FlagSpan: the client already knows the
+// span, so echoing it would be 8 wasted bytes per response.
 package proto
 
 import (
@@ -58,6 +85,26 @@ const (
 	KindScan
 	KindSync
 	KindBatch
+	KindHello
+)
+
+// Version is the highest protocol version this build speaks. Version 0
+// is the implicit pre-handshake protocol; version 1 adds the Hello
+// handshake and span propagation.
+const Version = 1
+
+// Hello flag bits (offered by the client, intersected by the server).
+const (
+	// HelloFlagTrace: the connection may carry FlagSpan trace contexts.
+	HelloFlagTrace uint8 = 1 << 0
+)
+
+// FlagSpan is bit 7 of a request's kind byte: the body is prefixed with
+// a u64 span id. Only valid after a handshake negotiating
+// HelloFlagTrace. KindMask strips it.
+const (
+	FlagSpan uint8 = 0x80
+	KindMask uint8 = 0x7f
 )
 
 // Response status codes. The numeric values are wire-stable: changing
@@ -266,3 +313,44 @@ var errMalformed = errors.New("proto: malformed frame")
 
 // ErrMalformed reports a structurally invalid frame body.
 func ErrMalformed() error { return errMalformed }
+
+// AppendHello appends a Hello request (or its StatusOK response — the
+// body shape is shared) offering version and flags.
+func AppendHello(dst []byte, id uint64, kindOrStatus uint8, version, flags uint8) []byte {
+	return AppendFrame(dst, id, kindOrStatus, []byte{version, flags})
+}
+
+// ParseHello decodes a Hello body (request or response).
+func ParseHello(body []byte) (version, flags uint8, err error) {
+	if len(body) != 2 {
+		return 0, 0, errMalformed
+	}
+	return body[0], body[1], nil
+}
+
+// Negotiate resolves an offered (version, flags) pair against this
+// build: the lower version wins and only mutually understood flags
+// survive.
+func Negotiate(version, flags uint8) (uint8, uint8) {
+	if version > Version {
+		version = Version
+	}
+	if version < 1 {
+		return version, 0
+	}
+	return version, flags & HelloFlagTrace
+}
+
+// SplitSpan strips a request frame's trace context: given the raw kind
+// byte and payload it returns the bare kind, the span id (0 when the
+// frame carries none) and the payload with the span prefix removed.
+// A FlagSpan frame too short to hold the span id reports ok=false.
+func SplitSpan(kind uint8, p []byte) (bare uint8, span uint64, rest []byte, ok bool) {
+	if kind&FlagSpan == 0 {
+		return kind, 0, p, true
+	}
+	if len(p) < 8 {
+		return kind & KindMask, 0, p, false
+	}
+	return kind & KindMask, binary.LittleEndian.Uint64(p), p[8:], true
+}

@@ -1,0 +1,114 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWireStability pins the exact bytes of version-0 frames and the
+// numeric values of every constant version 1 adds. A v0 frame encoded
+// by this build must be bit-identical to one encoded before the
+// handshake existed — old clients and servers parse by these offsets —
+// and the new kind/flag bytes must never collide with or renumber the
+// old ones.
+func TestWireStability(t *testing.T) {
+	// v0 Put frame: len=0x12 | id=0x0102030405060708 | kind=1 | key | value.
+	frame := AppendFrame(nil, 0x0102030405060708, KindPut,
+		append([]byte{0xEF, 0xBE, 0, 0, 0, 0, 0, 0}, []byte("v")...))
+	want := []byte{
+		0x12, 0x00, 0x00, 0x00, // length: 9 header + 8 key + 1 value
+		0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // id, little-endian
+		0x01,                                           // KindPut
+		0xEF, 0xBE, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // key
+		'v',
+	}
+	if !bytes.Equal(frame, want) {
+		t.Fatalf("v0 put frame drifted:\n got %x\nwant %x", frame, want)
+	}
+
+	// Kind values are wire-stable; KindHello extends, never renumbers.
+	kinds := map[string]uint8{
+		"Put": 1, "Get": 2, "Update": 3, "Delete": 4,
+		"Scan": 5, "Sync": 6, "Batch": 7, "Hello": 8,
+	}
+	got := map[string]uint8{
+		"Put": KindPut, "Get": KindGet, "Update": KindUpdate, "Delete": KindDelete,
+		"Scan": KindScan, "Sync": KindSync, "Batch": KindBatch, "Hello": KindHello,
+	}
+	for name, w := range kinds {
+		if got[name] != w {
+			t.Errorf("Kind%s = %d, want %d (wire-stable)", name, got[name], w)
+		}
+	}
+
+	// The span flag lives in bit 7, above every kind value, so a flagged
+	// kind byte can never be mistaken for a different bare kind.
+	if FlagSpan != 0x80 || KindMask != 0x7f {
+		t.Fatalf("FlagSpan/KindMask = %#x/%#x, want 0x80/0x7f", FlagSpan, KindMask)
+	}
+	for name, k := range got {
+		if k&FlagSpan != 0 {
+			t.Errorf("Kind%s = %d collides with FlagSpan", name, k)
+		}
+		if (k|FlagSpan)&KindMask != k {
+			t.Errorf("KindMask does not recover Kind%s from a flagged byte", name)
+		}
+	}
+	if Version != 1 || HelloFlagTrace != 1 {
+		t.Fatalf("Version/HelloFlagTrace = %d/%d, want 1/1", Version, HelloFlagTrace)
+	}
+}
+
+// TestHelloRoundTrip pins the handshake frame layout and negotiation.
+func TestHelloRoundTrip(t *testing.T) {
+	frame := AppendHello(nil, 9, KindHello, Version, HelloFlagTrace)
+	want := []byte{
+		0x0b, 0x00, 0x00, 0x00, // length: 9 header + 2 body
+		0x09, 0, 0, 0, 0, 0, 0, 0, // id
+		0x08,       // KindHello
+		0x01, 0x01, // version 1, HelloFlagTrace
+	}
+	if !bytes.Equal(frame, want) {
+		t.Fatalf("hello frame drifted:\n got %x\nwant %x", frame, want)
+	}
+	body, err := ReadFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, f, err := ParseHello(FrameBody(body))
+	if err != nil || v != Version || f != HelloFlagTrace {
+		t.Fatalf("ParseHello = (%d, %d, %v), want (1, 1, nil)", v, f, err)
+	}
+	if _, _, err := ParseHello([]byte{1}); err == nil {
+		t.Fatal("short hello body must not parse")
+	}
+
+	// Negotiation: minimum version wins, unknown flags are dropped.
+	if v, f := Negotiate(Version, HelloFlagTrace); v != 1 || f != HelloFlagTrace {
+		t.Fatalf("Negotiate(1,trace) = (%d,%d), want (1,1)", v, f)
+	}
+	if v, f := Negotiate(99, 0xff); v != Version || f != HelloFlagTrace {
+		t.Fatalf("Negotiate(99,0xff) = (%d,%d): future offers must clamp", v, f)
+	}
+	if v, f := Negotiate(0, HelloFlagTrace); v != 0 || f != 0 {
+		t.Fatalf("Negotiate(0,trace) = (%d,%d): v0 carries no flags", v, f)
+	}
+}
+
+// TestSplitSpan pins the trace-context prefix: a flagged frame's body
+// starts with the u64 span id; an unflagged body passes through intact.
+func TestSplitSpan(t *testing.T) {
+	payload := []byte{0xAA, 0xBB}
+	body := append([]byte{0x2A, 0, 0, 0, 0, 0, 0, 0}, payload...)
+	kind, span, rest, ok := SplitSpan(KindGet|FlagSpan, body)
+	if !ok || kind != KindGet || span != 0x2A || !bytes.Equal(rest, payload) {
+		t.Fatalf("SplitSpan(flagged) = (%d, %d, %x, %v)", kind, span, rest, ok)
+	}
+	kind, span, rest, ok = SplitSpan(KindGet, body)
+	if !ok || kind != KindGet || span != 0 || !bytes.Equal(rest, body) {
+		t.Fatalf("SplitSpan(bare) = (%d, %d, %x, %v)", kind, span, rest, ok)
+	}
+	if _, _, _, ok := SplitSpan(KindGet|FlagSpan, []byte{1, 2}); ok {
+		t.Fatal("flagged frame shorter than a span id must not parse")
+	}
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+
+	"github.com/patree/patree/internal/trace"
+)
+
+// AdminConfig carries the engine-side hooks the admin endpoint merges
+// with the server's own wire instrumentation. All fields are optional:
+// a nil hook simply leaves that engine view out.
+type AdminConfig struct {
+	// EngineMetrics serves the engine's Prometheus exposition (e.g.
+	// patree.DB.MetricsHandler()); it is rendered first on /metrics,
+	// followed by the server's patree_server_* families.
+	EngineMetrics http.Handler
+	// EngineStats snapshots the engine's JSON metrics for /statsz.
+	EngineStats func() any
+	// EngineProcs snapshots the engine's trace processes for /trace
+	// (e.g. patree.DB.TraceProcesses), merged and stitched with the
+	// server's span process.
+	EngineProcs func() []trace.Process
+}
+
+// AdminHandler returns the paserve admin mux:
+//
+//	/metrics     Prometheus text: engine families, then patree_server_*
+//	/debug/vars  the process expvar registry (JSON)
+//	/statsz      one JSON document: server wire metrics + engine metrics
+//	/trace       merged Chrome trace JSON (server spans + engine ops,
+//	             stitched with flow arrows); 404 when tracing is off
+func (s *Server) AdminHandler(cfg AdminConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if cfg.EngineMetrics != nil {
+			cfg.EngineMetrics.ServeHTTP(w, r)
+		}
+		s.WritePrometheus(w) //nolint:errcheck // best-effort stream to the scraper
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		var doc struct {
+			Server Metrics `json:"server"`
+			Engine any     `json:"engine,omitempty"`
+		}
+		doc.Server = s.Metrics()
+		if cfg.EngineStats != nil {
+			doc.Engine = cfg.EngineStats()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc) //nolint:errcheck
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		tp := s.TraceProcess("")
+		if tp == nil {
+			http.Error(w, "tracing disabled (start paserve with -trace)", http.StatusNotFound)
+			return
+		}
+		var procs []trace.Process
+		if cfg.EngineProcs != nil {
+			procs = append(procs, cfg.EngineProcs()...)
+		}
+		procs = append(procs, *tp)
+		w.Header().Set("Content-Type", "application/json")
+		trace.WriteChromeJSONFlows(w, procs, trace.Stitch(procs)) //nolint:errcheck
+	})
+	return mux
+}
+
+// PublishExpvar publishes the server's wire Metrics under name in the
+// process expvar registry (served at /debug/vars). Each read takes a
+// fresh snapshot. Like expvar.Publish it panics if name is already
+// registered, so use distinct names for multiple servers.
+func (s *Server) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return s.Metrics() }))
+}

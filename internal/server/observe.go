@@ -1,0 +1,283 @@
+// Server-side observability: always-on wire metrics, sampled
+// request-scoped spans, and the slow-op log.
+//
+// The metrics path is allocation-free per operation: counters are
+// atomics, latency observations land in lazily-allocated log-bucketed
+// histograms behind one mutex (internal/metrics.Histogram is
+// single-threaded by design), and timestamps ride in the pooled
+// burstState arrays next to the decoded ops. Span tracing reuses the
+// same ring tracer as the engine, wrapped for concurrent emitters, and
+// costs nothing when no frame carries a span.
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/patree/patree/internal/metrics"
+	"github.com/patree/patree/internal/trace"
+)
+
+// Server trace event codes. Code 1 is the span anchor the stitcher
+// looks for (trace.SpanCodeAdmit): one slice per sampled op covering
+// burst-flush start → admission, Arg = TryCommit attempts (shrinking-
+// prefix re-admissions included).
+const (
+	stRecv    = iota // instant: request frame decoded (Seq = span)
+	stAdmit          // slice: flush start → admitted (Seq = span, Arg = attempts)
+	stBusy           // instant: refused with StatusBusy (Seq = span, Arg = attempts)
+	stRespond        // slice: response encode → enqueued to the writer (Seq = span)
+)
+
+var serverCodeNames = []string{"recv", trace.SpanCodeAdmit, "busy", trace.SpanCodeRespond}
+
+// Class = bare wire kind (proto.KindPut = 1, ...), 0 unused.
+var serverClassNames = []string{
+	"-", "put", "get", "update", "delete", "scan", "sync", "batch", "hello",
+}
+
+const (
+	numWireKinds    = 9 // class table above
+	numWireStatuses = 8 // proto.StatusOK..StatusInternal
+)
+
+var wireStatusNames = []string{
+	"ok", "busy", "closed", "device-failed", "batch-aborted",
+	"too-large", "bad-request", "internal",
+}
+
+// srvMetrics is the always-on wire instrumentation. One per Server,
+// shared by every connection; the mutex is uncontended relative to the
+// syscalls surrounding each observation.
+type srvMetrics struct {
+	mu        sync.Mutex
+	latKind   [numWireKinds]*metrics.Histogram    // request latency by wire kind
+	latStatus [numWireStatuses]*metrics.Histogram // request latency by response status
+	burst     *metrics.Histogram                  // ops per admitted read burst
+	status    [numWireStatuses]uint64             // responses sent by status
+}
+
+// recordBurst notes one read burst's size at flush.
+func (m *srvMetrics) recordBurst(n int) {
+	m.mu.Lock()
+	if m.burst == nil {
+		m.burst = metrics.NewHistogram()
+	}
+	m.burst.Record(time.Duration(n))
+	m.mu.Unlock()
+}
+
+// recordOp notes one finished request whose response frame bypasses
+// sendStatus: its wire latency (arrival → response enqueued) bucketed
+// by kind and by status, plus the status count.
+func (m *srvMetrics) recordOp(kind, status uint8, d time.Duration) {
+	m.recordLatency(kind, status, d)
+	m.recordStatus(status)
+}
+
+// recordLatency records the latency histograms only; the status count
+// is taken by the sendStatus path the frame travels through.
+func (m *srvMetrics) recordLatency(kind, status uint8, d time.Duration) {
+	if kind >= numWireKinds {
+		kind = 0
+	}
+	if status >= numWireStatuses {
+		status = numWireStatuses - 1
+	}
+	m.mu.Lock()
+	h := m.latKind[kind]
+	if h == nil {
+		h = metrics.NewHistogram()
+		m.latKind[kind] = h
+	}
+	h.Record(d)
+	h = m.latStatus[status]
+	if h == nil {
+		h = metrics.NewHistogram()
+		m.latStatus[status] = h
+	}
+	h.Record(d)
+	m.mu.Unlock()
+}
+
+// recordStatus counts a response that has no measured arrival (bad
+// frames, terminal refusals answered from the read loop).
+func (m *srvMetrics) recordStatus(status uint8) {
+	if status >= numWireStatuses {
+		status = numWireStatuses - 1
+	}
+	m.mu.Lock()
+	m.status[status]++
+	m.mu.Unlock()
+}
+
+// HistSummary is the JSON-safe headline view of one histogram.
+type HistSummary struct {
+	Count uint64        `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+func summarize(h *metrics.Histogram) HistSummary {
+	if h == nil || h.Count() == 0 {
+		return HistSummary{}
+	}
+	return HistSummary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P95:   h.Percentile(95),
+		P99:   h.Percentile(99),
+		Max:   h.Max(),
+	}
+}
+
+// Metrics is a snapshot of the server's wire instrumentation: the
+// lifetime counters plus the always-on latency and burst histograms.
+// All fields are JSON-safe for the /statsz admin endpoint.
+type Metrics struct {
+	Stats
+	BytesIn       uint64                 `json:"bytes_in"`
+	BytesOut      uint64                 `json:"bytes_out"`
+	BurstSize     HistSummary            `json:"burst_size"`
+	WireLatency   map[string]HistSummary `json:"wire_latency"`   // by request kind
+	StatusLatency map[string]HistSummary `json:"status_latency"` // by response status
+	StatusCounts  map[string]uint64      `json:"status_counts"`
+	// BusyRate is Busy / (Ops + BatchOps + Busy): the fraction of
+	// admission attempts refused with StatusBusy — the server-side view
+	// of the client's retransmit rate.
+	BusyRate float64 `json:"busy_rate"`
+}
+
+// Metrics snapshots the wire instrumentation. Safe to call from any
+// goroutine, concurrently with live traffic.
+func (s *Server) Metrics() Metrics {
+	m := Metrics{
+		Stats:         s.Stats(),
+		BytesIn:       s.bytesIn.Load(),
+		BytesOut:      s.bytesOut.Load(),
+		WireLatency:   map[string]HistSummary{},
+		StatusLatency: map[string]HistSummary{},
+		StatusCounts:  map[string]uint64{},
+	}
+	s.met.mu.Lock()
+	m.BurstSize = summarize(s.met.burst)
+	for k := 1; k < numWireKinds; k++ {
+		if h := s.met.latKind[k]; h != nil && h.Count() > 0 {
+			m.WireLatency[serverClassNames[k]] = summarize(h)
+		}
+	}
+	for st := 0; st < numWireStatuses; st++ {
+		if h := s.met.latStatus[st]; h != nil && h.Count() > 0 {
+			m.StatusLatency[wireStatusNames[st]] = summarize(h)
+		}
+		if n := s.met.status[st]; n > 0 {
+			m.StatusCounts[wireStatusNames[st]] = n
+		}
+	}
+	s.met.mu.Unlock()
+	if att := m.Ops + m.BatchOps + m.Busy; att > 0 {
+		m.BusyRate = float64(m.Busy) / float64(att)
+	}
+	return m
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format under the patree_server_* namespace, for the paserve admin
+// endpoint.
+func (s *Server) WritePrometheus(w io.Writer) error {
+	m := s.Metrics()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# TYPE patree_server_connections_accepted_total counter\n")
+	p("patree_server_connections_accepted_total %d\n", m.Accepted)
+	p("# TYPE patree_server_connections_active gauge\n")
+	p("patree_server_connections_active %d\n", m.Active)
+	p("# TYPE patree_server_ops_total counter\n")
+	p("patree_server_ops_total %d\n", m.Ops)
+	p("# TYPE patree_server_batch_ops_total counter\n")
+	p("patree_server_batch_ops_total %d\n", m.BatchOps)
+	p("# TYPE patree_server_wire_batches_total counter\n")
+	p("patree_server_wire_batches_total %d\n", m.WireBatches)
+	p("# TYPE patree_server_busy_total counter\n")
+	p("patree_server_busy_total %d\n", m.Busy)
+	p("# TYPE patree_server_busy_rate gauge\n")
+	p("patree_server_busy_rate %g\n", m.BusyRate)
+	p("# TYPE patree_server_bad_frames_total counter\n")
+	p("patree_server_bad_frames_total %d\n", m.BadFrames)
+	p("# TYPE patree_server_bytes_in_total counter\n")
+	p("patree_server_bytes_in_total %d\n", m.BytesIn)
+	p("# TYPE patree_server_bytes_out_total counter\n")
+	p("patree_server_bytes_out_total %d\n", m.BytesOut)
+	p("# TYPE patree_server_burst_ops summary\n")
+	p("patree_server_burst_ops{quantile=\"0.5\"} %d\n", m.BurstSize.P50)
+	p("patree_server_burst_ops{quantile=\"0.99\"} %d\n", m.BurstSize.P99)
+	p("patree_server_burst_ops_count %d\n", m.BurstSize.Count)
+	p("# TYPE patree_server_responses_total counter\n")
+	for _, st := range sortedKeys(m.StatusCounts) {
+		p("patree_server_responses_total{status=%q} %d\n", st, m.StatusCounts[st])
+	}
+	p("# TYPE patree_server_wire_latency_seconds summary\n")
+	for _, kind := range sortedKeys(m.WireLatency) {
+		h := m.WireLatency[kind]
+		p("patree_server_wire_latency_seconds{kind=%q,quantile=\"0.5\"} %g\n", kind, h.P50.Seconds())
+		p("patree_server_wire_latency_seconds{kind=%q,quantile=\"0.99\"} %g\n", kind, h.P99.Seconds())
+		p("patree_server_wire_latency_seconds_count{kind=%q} %d\n", kind, h.Count)
+	}
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TraceProcess snapshots the server's sampled span events as one
+// trace.Process (default name "server"), ready to merge with the
+// client's and engine's processes. Nil when Options.Trace is off.
+func (s *Server) TraceProcess(name string) *trace.Process {
+	if s.tr == nil {
+		return nil
+	}
+	if name == "" {
+		name = "server"
+	}
+	return &trace.Process{
+		Name:       name,
+		Events:     s.tr.Events(),
+		CodeNames:  serverCodeNames,
+		ClassNames: serverClassNames,
+	}
+}
+
+// slowOp logs one request that blew past Options.SlowOp with its full
+// server-side stage breakdown. kindName indexes serverClassNames.
+func (s *Server) slowOp(id, span uint64, kind, status uint8, attempts int, arrival, flushed, admitted, responded int64) {
+	if kind >= numWireKinds {
+		kind = 0
+	}
+	if status >= numWireStatuses {
+		status = numWireStatuses - 1
+	}
+	s.logf("patree/server: slow op: kind=%s id=%d span=%d status=%s total=%v stage_read=%v stage_admit=%v attempts=%d stage_engine_respond=%v",
+		serverClassNames[kind], id, span, wireStatusNames[status],
+		time.Duration(responded-arrival),
+		time.Duration(flushed-arrival),
+		time.Duration(admitted-flushed),
+		attempts,
+		time.Duration(responded-admitted))
+}

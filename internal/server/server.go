@@ -37,9 +37,11 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	patree "github.com/patree/patree"
 	"github.com/patree/patree/internal/proto"
+	"github.com/patree/patree/internal/trace"
 )
 
 // Options tunes a Server. The zero value selects sensible defaults.
@@ -56,8 +58,25 @@ type Options struct {
 	// ReadBuf/WriteBuf size the per-connection buffered reader/writer
 	// (default 64 KiB).
 	ReadBuf, WriteBuf int
-	// Logf, when set, receives connection-level error logs.
+	// Logf, when set, receives connection-level error logs and the
+	// slow-op log.
 	Logf func(format string, args ...any)
+
+	// Trace enables server-side span recording for requests that arrive
+	// carrying a trace context (proto.FlagSpan). The handshake is always
+	// answered — version negotiation costs nothing — but without Trace
+	// the server offers no trace flag, so clients never sample.
+	Trace bool
+	// TraceEvents sizes the server trace ring (default 65536).
+	TraceEvents int
+	// TraceNow overrides the trace/metrics clock (nanoseconds). Point it
+	// at the engine's clock (patree.DB.TraceNow) so the merged export
+	// shares one time axis; nil uses a process-local monotonic clock.
+	TraceNow func() int64
+	// SlowOp, when positive, logs any request whose wire latency
+	// (arrival → response enqueued) exceeds it, with the full server-side
+	// stage breakdown, through Logf.
+	SlowOp time.Duration
 }
 
 func (o *Options) fill() {
@@ -73,7 +92,19 @@ func (o *Options) fill() {
 	if o.WriteBuf <= 0 {
 		o.WriteBuf = 64 << 10
 	}
+	if o.TraceEvents <= 0 {
+		o.TraceEvents = 65536
+	}
+	if o.TraceNow == nil {
+		o.TraceNow = defaultServerNow
+	}
 }
+
+// serverEpoch anchors the default server clock; package-level so every
+// Server in a process shares one time axis.
+var serverEpoch = time.Now()
+
+func defaultServerNow() int64 { return time.Since(serverEpoch).Nanoseconds() }
 
 // Stats is a snapshot of server activity counters.
 type Stats struct {
@@ -104,17 +135,28 @@ type Server struct {
 	wireBatches atomic.Uint64
 	busy        atomic.Uint64
 	badFrames   atomic.Uint64
+	bytesIn     atomic.Uint64
+	bytesOut    atomic.Uint64
+
+	met srvMetrics    // always-on wire instrumentation
+	tr  *trace.Locked // sampled spans; nil when Options.Trace is off
+	now func() int64
 }
 
 // New returns a Server fronting store.
 func New(store patree.Store, opts Options) *Server {
 	opts.fill()
-	return &Server{
+	s := &Server{
 		store: store,
 		opts:  opts,
 		lns:   make(map[net.Listener]struct{}),
 		conns: make(map[*srvConn]struct{}),
+		now:   opts.TraceNow,
 	}
+	if opts.Trace {
+		s.tr = trace.NewLocked(opts.TraceEvents, serverCodeNames, serverClassNames, opts.TraceNow)
+	}
+	return s
 }
 
 // Stats snapshots the activity counters.
@@ -223,6 +265,8 @@ type burstState struct {
 	ids   []uint64
 	kinds []uint8
 	ops   []patree.BatchOp
+	arr   []int64  // arrival timestamps (server clock), for wire latency
+	spans []uint64 // trace span ids (0 = unsampled), parallel to ops
 }
 
 func (b *burstState) len() int { return len(b.ops) }
@@ -291,24 +335,44 @@ func (c *srvConn) run() {
 			}
 			return
 		}
+		c.s.bytesIn.Add(uint64(4 + len(body)))
 		rbuf = body[:0]
 		id := proto.FrameID(body)
-		kind := proto.FrameKind(body)
-		payload := proto.FrameBody(body)
+		rawKind := proto.FrameKind(body)
+		kind, span, payload, ok := proto.SplitSpan(rawKind, proto.FrameBody(body))
+		if !ok {
+			c.s.badFrames.Add(1)
+			c.sendStatus(id, proto.StatusBadRequest, "short span prefix")
+			continue
+		}
+		arrival := c.s.now()
+		if span != 0 && c.s.tr != nil {
+			c.s.tr.Emit(stRecv, uint16(kind), span, id, arrival, trace.Instant)
+		}
 
+		if kind == proto.KindHello {
+			// Negotiate version/flags. The hello is a pipeline barrier like
+			// a wire batch: admit the pending burst first so the response
+			// order mirrors admission order.
+			if burst != nil {
+				burst = c.flushBurst(burst)
+			}
+			c.handleHello(id, payload)
+			continue
+		}
 		if kind == proto.KindBatch {
 			// A wire batch is its own atomicity unit; admit the pending
 			// burst first so per-connection admission order is preserved.
 			if burst != nil {
 				burst = c.flushBurst(burst)
 			}
-			c.handleWireBatch(id, payload)
+			c.handleWireBatch(id, span, payload, arrival)
 			continue
 		}
 		if burst == nil {
 			burst = burstPool.Get().(*burstState)
 		}
-		if !c.stageSingle(burst, id, kind, payload) {
+		if !c.stageSingle(burst, id, kind, span, payload, arrival) {
 			// Malformed op: answered with BadRequest, nothing staged.
 			c.s.badFrames.Add(1)
 		}
@@ -334,9 +398,29 @@ func (c *srvConn) frameBuffered() bool {
 	return c.br.Buffered() >= 4+int(binary.LittleEndian.Uint32(hdr))
 }
 
+// handleHello answers the protocol handshake: the offered (version,
+// flags) clamped to what this build speaks, with the trace flag only
+// granted when the server itself records spans.
+func (c *srvConn) handleHello(id uint64, p []byte) {
+	v, f, err := proto.ParseHello(p)
+	if err != nil {
+		c.s.badFrames.Add(1)
+		c.sendStatus(id, proto.StatusBadRequest, "malformed hello")
+		return
+	}
+	v, f = proto.Negotiate(v, f)
+	if c.s.tr == nil {
+		f &^= proto.HelloFlagTrace
+	}
+	buf := respBufPool.Get().([]byte)[:0]
+	buf = proto.AppendHello(buf, id, proto.StatusOK, v, f)
+	c.s.met.recordStatus(proto.StatusOK)
+	c.send(buf)
+}
+
 // stageSingle decodes one single-op request into the burst, returning
 // false (after answering BadRequest) when malformed.
-func (c *srvConn) stageSingle(burst *burstState, id uint64, kind uint8, p []byte) bool {
+func (c *srvConn) stageSingle(burst *burstState, id uint64, kind uint8, span uint64, p []byte, arrival int64) bool {
 	bad := func(msg string) bool {
 		c.sendStatus(id, proto.StatusBadRequest, msg)
 		return false
@@ -383,27 +467,37 @@ func (c *srvConn) stageSingle(burst *burstState, id uint64, kind uint8, p []byte
 	default:
 		return bad(fmt.Sprintf("unknown op kind %d", kind))
 	}
+	op.Span = span
 	burst.ids = append(burst.ids, id)
 	burst.kinds = append(burst.kinds, kind)
 	burst.ops = append(burst.ops, op)
+	burst.arr = append(burst.arr, arrival)
+	burst.spans = append(burst.spans, span)
 	return true
 }
 
-// stageOn replays a decoded op onto a batch.
+// stageOn replays a decoded op onto a batch, propagating its trace
+// context to the engine.
 func stageOn(b *patree.Batch, op patree.BatchOp) {
+	var i int
 	switch op.Kind {
 	case patree.OpPut:
-		b.Put(op.Key, op.Value)
+		i = b.Put(op.Key, op.Value)
 	case patree.OpGet:
-		b.Get(op.Key)
+		i = b.Get(op.Key)
 	case patree.OpUpdate:
-		b.Update(op.Key, op.Value)
+		i = b.Update(op.Key, op.Value)
 	case patree.OpDelete:
-		b.Delete(op.Key)
+		i = b.Delete(op.Key)
 	case patree.OpScan:
-		b.Scan(op.Key, op.End, op.Limit)
+		i = b.Scan(op.Key, op.End, op.Limit)
 	case patree.OpSync:
-		b.Sync()
+		i = b.Sync()
+	default:
+		return
+	}
+	if op.Span != 0 {
+		b.SetSpan(i, op.Span)
 	}
 }
 
@@ -418,10 +512,14 @@ func stageOn(b *patree.Batch, op patree.BatchOp) {
 // non-backlog admission error maps through the taxonomy. Always returns
 // nil, for `burst = c.flushBurst(burst)` call sites.
 func (c *srvConn) flushBurst(burst *burstState) *burstState {
+	flushed := c.s.now()
+	c.s.met.recordBurst(len(burst.ops))
 	i := 0
 	for i < len(burst.ops) {
 		n := len(burst.ops) - i
+		attempts := 0
 		for {
+			attempts++
 			b := c.s.store.NewBatch()
 			for _, op := range burst.ops[i : i+n] {
 				stageOn(b, op)
@@ -429,17 +527,29 @@ func (c *srvConn) flushBurst(burst *burstState) *burstState {
 			err := b.TryCommit()
 			if err == nil {
 				c.s.ops.Add(uint64(n))
+				admitted := c.s.now()
+				if c.s.tr != nil {
+					for _, op := range burst.ops[i : i+n] {
+						if op.Span != 0 {
+							c.s.tr.Emit(stAdmit, uint16(proto.WireKind(op.Kind)), op.Span,
+								uint64(attempts), flushed, admitted-flushed)
+						}
+					}
+				}
 				if n == len(burst.ops) && i == 0 {
 					// Common case: the whole burst admitted at once; the
 					// dispatcher takes ownership of the state's slices.
-					c.dispatch(b, burst.ids, burst.kinds, func() { releaseBurst(burst) })
+					c.dispatch(b, burst.ids, burst.kinds, burst.arr, burst.spans, admitted, attempts,
+						func() { releaseBurst(burst) })
 					return nil
 				}
-				// Split admission: copy the chunk's ids/kinds, the state
-				// is reused for the rest of the loop.
+				// Split admission: copy the chunk's ids/kinds/arrivals, the
+				// state is reused for the rest of the loop.
 				ids := append([]uint64(nil), burst.ids[i:i+n]...)
 				kinds := append([]uint8(nil), burst.kinds[i:i+n]...)
-				c.dispatch(b, ids, kinds, nil)
+				arr := append([]int64(nil), burst.arr[i:i+n]...)
+				spans := append([]uint64(nil), burst.spans[i:i+n]...)
+				c.dispatch(b, ids, kinds, arr, spans, admitted, attempts, nil)
 				i += n
 				break
 			}
@@ -454,6 +564,13 @@ func (c *srvConn) flushBurst(burst *burstState) *burstState {
 			}
 			if n == 1 {
 				c.s.busy.Add(1)
+				now := c.s.now()
+				c.s.met.recordLatency(burst.kinds[i], proto.StatusBusy,
+					time.Duration(now-burst.arr[i]))
+				if span := burst.spans[i]; span != 0 && c.s.tr != nil {
+					c.s.tr.Emit(stBusy, uint16(burst.kinds[i]), span, uint64(attempts),
+						now, trace.Instant)
+				}
 				c.sendStatus(burst.ids[i], proto.StatusBusy, "")
 				i++
 				break
@@ -472,6 +589,8 @@ func releaseBurst(b *burstState) {
 		b.ops[i] = patree.BatchOp{} // drop value references
 	}
 	b.ops = b.ops[:0]
+	b.arr = b.arr[:0]
+	b.spans = b.spans[:0]
 	burstPool.Put(b)
 }
 
@@ -479,10 +598,10 @@ func releaseBurst(b *burstState) {
 // busy, which pushes backpressure into the TCP window — and hands the
 // committed batch to a goroutine that streams its responses. cleanup,
 // if set, runs after the batch is released.
-func (c *srvConn) dispatch(b *patree.Batch, ids []uint64, kinds []uint8, cleanup func()) {
+func (c *srvConn) dispatch(b *patree.Batch, ids []uint64, kinds []uint8, arr []int64, spans []uint64, admitted int64, attempts int, cleanup func()) {
 	c.sem <- struct{}{}
 	c.wg.Add(1)
-	go c.dispatchBurst(b, ids, kinds, cleanup)
+	go c.dispatchBurst(b, ids, kinds, arr, spans, admitted, attempts, cleanup)
 }
 
 // dispatchBurst waits for each operation of an admitted burst in
@@ -490,7 +609,7 @@ func (c *srvConn) dispatch(b *patree.Batch, ids []uint64, kinds []uint8, cleanup
 // the batch completes as a group — while responses across concurrently
 // dispatched bursts interleave freely (out-of-order completion, keyed
 // by request id).
-func (c *srvConn) dispatchBurst(b *patree.Batch, ids []uint64, kinds []uint8, cleanup func()) {
+func (c *srvConn) dispatchBurst(b *patree.Batch, ids []uint64, kinds []uint8, arr []int64, spans []uint64, admitted int64, attempts int, cleanup func()) {
 	defer func() {
 		b.Release() // waits for any completions not yet consumed
 		if cleanup != nil {
@@ -504,7 +623,25 @@ func (c *srvConn) dispatchBurst(b *patree.Batch, ids []uint64, kinds []uint8, cl
 	// operation — the response-side mirror of burst admission.
 	buf := respBufPool.Get().([]byte)[:0]
 	for i, id := range ids {
-		buf = appendOpResponse(buf, b, i, id, kinds[i])
+		var t0 int64
+		span := spans[i]
+		if span != 0 && c.s.tr != nil {
+			t0 = c.s.now()
+		}
+		status := proto.StatusOf(b.Err(i))
+		buf = appendOpResponse(buf, b, i, id, kinds[i], status)
+		done := c.s.now()
+		d := time.Duration(done - arr[i])
+		c.s.met.recordOp(kinds[i], status, d)
+		if span != 0 && c.s.tr != nil {
+			c.s.tr.Emit(stRespond, uint16(kinds[i]), span, id, t0, done-t0)
+		}
+		if slow := c.s.opts.SlowOp; slow > 0 && d > slow {
+			// arr[i]..flushed is folded into the admit stage here: the
+			// flush timestamp lives with the burst, and admitted-arr[i]
+			// is the full pre-engine wait either way.
+			c.s.slowOp(id, span, kinds[i], status, attempts, arr[i], arr[i], admitted, done)
+		}
 		if len(buf) >= 32<<10 {
 			if !c.send(buf) {
 				// Connection gone: stop encoding, but fall through to
@@ -523,11 +660,11 @@ func (c *srvConn) dispatchBurst(b *patree.Batch, ids []uint64, kinds []uint8, cl
 }
 
 // appendOpResponse encodes operation i's result as a single-op response
-// frame.
-func appendOpResponse(buf []byte, b *patree.Batch, i int, id uint64, kind uint8) []byte {
-	err := b.Err(i)
-	if err != nil {
-		return proto.AppendFrame(buf, id, proto.StatusOf(err), nil)
+// frame. status is proto.StatusOf(b.Err(i)), computed by the caller for
+// its metrics.
+func appendOpResponse(buf []byte, b *patree.Batch, i int, id uint64, kind, status uint8) []byte {
+	if status != proto.StatusOK {
+		return proto.AppendFrame(buf, id, status, nil)
 	}
 	var at int
 	buf, at = proto.BeginFrame(buf, id, proto.StatusOK)
@@ -546,8 +683,9 @@ func appendOpResponse(buf []byte, b *patree.Batch, i int, id uint64, kind uint8)
 }
 
 // handleWireBatch decodes and admits one wire batch frame as a single
-// patree.Batch TryCommit — the protocol's atomic unit.
-func (c *srvConn) handleWireBatch(id uint64, p []byte) {
+// patree.Batch TryCommit — the protocol's atomic unit. A frame-level
+// span covers every sub-op: the batch is one request to the client.
+func (c *srvConn) handleWireBatch(id, span uint64, p []byte, arrival int64) {
 	if len(p) < 5 {
 		c.s.badFrames.Add(1)
 		c.sendStatus(id, proto.StatusBadRequest, "short batch")
@@ -575,20 +713,33 @@ func (c *srvConn) handleWireBatch(id uint64, p []byte) {
 		c.sendStatus(id, proto.StatusBadRequest, "trailing batch bytes")
 		return
 	}
+	if span != 0 {
+		for i := range kinds {
+			b.SetSpan(i, span)
+		}
+	}
 	if err := b.TryCommit(); err != nil {
 		status := proto.StatusOf(err)
 		if status == proto.StatusBusy {
 			c.s.busy.Add(1)
+			c.s.met.recordLatency(proto.KindBatch, status, time.Duration(c.s.now()-arrival))
+			if span != 0 && c.s.tr != nil {
+				c.s.tr.Emit(stBusy, uint16(proto.KindBatch), span, 1, c.s.now(), trace.Instant)
+			}
 		}
 		b.Release()
 		c.sendStatus(id, status, "")
 		return
 	}
+	admitted := c.s.now()
+	if span != 0 && c.s.tr != nil {
+		c.s.tr.Emit(stAdmit, uint16(proto.KindBatch), span, 1, arrival, admitted-arrival)
+	}
 	c.s.wireBatches.Add(1)
 	c.s.batchOps.Add(uint64(len(kinds)))
 	c.sem <- struct{}{}
 	c.wg.Add(1)
-	go c.dispatchWireBatch(b, id, kinds)
+	go c.dispatchWireBatch(b, id, span, kinds, arrival, admitted)
 }
 
 // stageSub decodes one batch sub-op and stages it, returning its kind
@@ -649,13 +800,14 @@ func stageSub(b *patree.Batch, p []byte) (uint8, []byte, bool) {
 
 // dispatchWireBatch waits out an admitted wire batch and sends its one
 // aggregated response: per-op status, flags and payload.
-func (c *srvConn) dispatchWireBatch(b *patree.Batch, id uint64, kinds []uint8) {
+func (c *srvConn) dispatchWireBatch(b *patree.Batch, id, span uint64, kinds []uint8, arrival, admitted int64) {
 	defer func() {
 		b.Release()
 		<-c.sem
 		c.wg.Done()
 	}()
 	buf := respBufPool.Get().([]byte)[:0]
+	t0 := c.s.now()
 	var at int
 	buf, at = proto.BeginFrame(buf, id, proto.StatusOK)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(kinds)))
@@ -680,11 +832,21 @@ func (c *srvConn) dispatchWireBatch(b *patree.Batch, id uint64, kinds []uint8) {
 		binary.LittleEndian.PutUint32(buf[lenAt:], uint32(len(buf)-lenAt-4))
 	}
 	buf = proto.FinishFrame(buf, at)
+	done := c.s.now()
+	d := time.Duration(done - arrival)
+	c.s.met.recordOp(proto.KindBatch, proto.StatusOK, d)
+	if span != 0 && c.s.tr != nil {
+		c.s.tr.Emit(stRespond, uint16(proto.KindBatch), span, id, t0, done-t0)
+	}
+	if slow := c.s.opts.SlowOp; slow > 0 && d > slow {
+		c.s.slowOp(id, span, proto.KindBatch, proto.StatusOK, 1, arrival, arrival, admitted, done)
+	}
 	c.send(buf)
 }
 
-// sendStatus enqueues a bare status response.
+// sendStatus enqueues a bare status response (and counts it).
 func (c *srvConn) sendStatus(id uint64, status uint8, msg string) {
+	c.s.met.recordStatus(status)
 	buf := respBufPool.Get().([]byte)[:0]
 	buf = proto.AppendFrame(buf, id, status, []byte(msg))
 	c.send(buf)
@@ -712,6 +874,7 @@ func (c *srvConn) writeLoop() {
 		case buf := <-c.resp:
 			for {
 				_, err := bw.Write(buf)
+				c.s.bytesOut.Add(uint64(len(buf)))
 				respBufPool.Put(buf[:0]) //nolint:staticcheck
 				if err != nil {
 					c.shut()

@@ -1,0 +1,51 @@
+package trace
+
+import "sync"
+
+// Locked wraps the single-threaded ring Tracer for emitters that are
+// inherently concurrent — the serving tier's client and server, where
+// issuing goroutines, read/write loops and backoff timers all record
+// into one window. The engine keeps using the bare Tracer: its single
+// working thread needs no lock, and the serving tier's mutex cost only
+// exists when tracing is enabled (a nil *Locked drops everything).
+type Locked struct {
+	mu  sync.Mutex
+	tr  *Tracer
+	now func() int64
+}
+
+// NewLocked builds a locked ring tracer with the given name tables and
+// clock (nanoseconds; shared with the other emitters of a merged
+// export so all processes line up on one time axis).
+func NewLocked(capacity int, codeNames, classNames []string, now func() int64) *Locked {
+	return &Locked{tr: New(capacity, codeNames, classNames), now: now}
+}
+
+// NowNanos reads the tracer's clock; 0 on a nil tracer.
+func (l *Locked) NowNanos() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.now()
+}
+
+// Emit records one event. Safe from any goroutine; a nil receiver
+// drops the event.
+func (l *Locked) Emit(code, class uint16, seq, arg uint64, ts, dur int64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.tr.Emit(code, class, seq, arg, ts, dur)
+	l.mu.Unlock()
+}
+
+// Events snapshots the held events in emission order.
+func (l *Locked) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tr.Events()
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decode parses an export into its event list, failing the test on
+// malformed JSON.
+func decode(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if doc.Unit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", doc.Unit)
+	}
+	return doc.TraceEvents
+}
+
+// TestProcsZeroEvents: an export with no processes at all must still be
+// a valid, empty trace document.
+func TestProcsZeroEvents(t *testing.T) {
+	tr := New(16, []string{"a"}, []string{"k"})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSONProcs(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if evs := decode(t, buf.Bytes()); len(evs) != 0 {
+		t.Fatalf("empty export produced %d events", len(evs))
+	}
+}
+
+// TestProcsEmptyShardProcess: a shard that captured nothing (an idle
+// worker) must still appear as a named process row — operators should
+// see the shard exists, not wonder where it went — with no event rows.
+func TestProcsEmptyShardProcess(t *testing.T) {
+	tr := New(16, []string{"op"}, []string{"search"})
+	procs := []Process{
+		{Name: "patree-shard0", Events: []Event{{TS: 10, Dur: 5, Code: 0, Class: 0, Seq: 1}}},
+		{Name: "patree-shard1"}, // idle: zero events
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSONProcs(&buf, procs); err != nil {
+		t.Fatal(err)
+	}
+	evs := decode(t, buf.Bytes())
+	var procNames []string
+	slices := 0
+	for _, e := range evs {
+		if e["ph"] == "M" {
+			if e["name"] == "process_name" {
+				procNames = append(procNames, e["args"].(map[string]any)["name"].(string))
+			}
+			continue
+		}
+		if e["ph"] == "X" {
+			slices++
+			if e["pid"].(float64) != 1 {
+				t.Fatalf("slice on pid %v, want 1", e["pid"])
+			}
+		}
+	}
+	if len(procNames) != 2 || procNames[0] != "patree-shard0" || procNames[1] != "patree-shard1" {
+		t.Fatalf("process rows = %v, want both shards", procNames)
+	}
+	if slices != 1 {
+		t.Fatalf("got %d slices, want 1", slices)
+	}
+}
+
+// TestProcsPerProcessTables: a process carrying its own name tables
+// must not be labelled by the exporting tracer's vocabulary.
+func TestProcsPerProcessTables(t *testing.T) {
+	tr := New(16, []string{"engine-op"}, []string{"search"})
+	procs := []Process{
+		{Name: "engine", Events: []Event{{TS: 1, Dur: 1}}},
+		{
+			Name:       "client",
+			Events:     []Event{{TS: 2, Dur: 1, Code: 0, Class: 1}},
+			CodeNames:  []string{"request"},
+			ClassNames: []string{"-", "get"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSONProcs(&buf, procs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"request"`, `"engine-op"`, `"op":"get"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %s in:\n%s", want, out)
+		}
+	}
+}
+
+// servingProcs builds a miniature three-tier capture: one sampled
+// request (span 7) traversing client → server → engine op seq 42, plus
+// an unsampled engine op that must not produce an arrow.
+func servingProcs() []Process {
+	return []Process{
+		{
+			Name:       "client",
+			CodeNames:  []string{SpanCodeRequest},
+			ClassNames: []string{"-", "put", "get"},
+			Events: []Event{
+				{TS: 1000, Dur: 9000, Code: 0, Class: 2, Seq: 7}, // request span 7
+			},
+		},
+		{
+			Name:       "server",
+			CodeNames:  []string{"recv", SpanCodeAdmit},
+			ClassNames: []string{"-", "put", "get"},
+			Events: []Event{
+				{TS: 2000, Dur: -1, Code: 0, Class: 2, Seq: 7},  // recv instant
+				{TS: 2500, Dur: 800, Code: 1, Class: 2, Seq: 7}, // admit span 7
+			},
+		},
+		{
+			Name:       "patree-shard0",
+			CodeNames:  []string{SpanCodeOp, SpanCodeLink},
+			ClassNames: []string{"search"},
+			Events: []Event{
+				{TS: 4000, Dur: 3000, Code: 0, Seq: 42},       // op seq 42
+				{TS: 7000, Dur: -1, Code: 1, Seq: 42, Arg: 7}, // span link 42→7
+				{TS: 8000, Dur: 1000, Code: 0, Seq: 43},       // unsampled op
+			},
+		},
+	}
+}
+
+func TestStitchLinksTiers(t *testing.T) {
+	flows := Stitch(servingProcs())
+	if len(flows) != 1 {
+		t.Fatalf("got %d flows, want 1", len(flows))
+	}
+	f := flows[0]
+	if f.ID != 7 {
+		t.Fatalf("flow id = %d, want span 7", f.ID)
+	}
+	if f.Start.Proc != 0 || f.Start.TS != 1000 {
+		t.Fatalf("flow start = %+v, want client request", f.Start)
+	}
+	if len(f.Steps) != 1 || f.Steps[0].Proc != 1 || f.Steps[0].TS != 2500 {
+		t.Fatalf("flow steps = %+v, want server admit", f.Steps)
+	}
+	if f.End.Proc != 2 || f.End.TS != 4000 {
+		t.Fatalf("flow end = %+v, want engine op", f.End)
+	}
+}
+
+func TestStitchDegradesWithoutEngine(t *testing.T) {
+	procs := servingProcs()[:2] // client + server only
+	flows := Stitch(procs)
+	if len(flows) != 1 {
+		t.Fatalf("got %d flows, want 1", len(flows))
+	}
+	if f := flows[0]; len(f.Steps) != 0 || f.End.Proc != 1 {
+		t.Fatalf("client+server flow = %+v, want end at admit", f)
+	}
+	// Client-only: nothing to link, no arrow.
+	if flows := Stitch(procs[:1]); len(flows) != 0 {
+		t.Fatalf("client-only capture produced %d flows", len(flows))
+	}
+}
+
+// TestFlowsExport: the merged writer must emit a well-formed document
+// with s/t/f flow phases at the stitched coordinates, deterministically.
+func TestFlowsExport(t *testing.T) {
+	build := func() []byte {
+		procs := servingProcs()
+		var buf bytes.Buffer
+		if err := WriteChromeJSONFlows(&buf, procs, Stitch(procs)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	out := build()
+	phases := map[string]int{}
+	for _, e := range decode(t, out) {
+		phases[e["ph"].(string)]++
+	}
+	if phases["s"] != 1 || phases["t"] != 1 || phases["f"] != 1 {
+		t.Fatalf("flow phases = %v, want one each of s/t/f", phases)
+	}
+	if phases["X"] != 4 || phases["i"] != 2 {
+		t.Fatalf("event phases = %v, want 4 slices + 2 instants", phases)
+	}
+	if !bytes.Equal(out, build()) {
+		t.Fatal("identical inputs produced different merged JSON")
+	}
+	// An export with zero flows is still valid.
+	var buf bytes.Buffer
+	if err := WriteChromeJSONFlows(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	decode(t, buf.Bytes())
+}

@@ -200,10 +200,38 @@ func (t *Tracer) WriteChromeJSON(w io.Writer, events []Event) error {
 // Process is one Chrome-trace process in a multi-process export: a
 // display name and the event window captured by that process's tracer.
 // Used by sharded exports, where every shard becomes its own process
-// row with the familiar per-code thread lanes underneath.
+// row with the familiar per-code thread lanes underneath, and by the
+// serving tier's merged client/server/engine export.
 type Process struct {
 	Name   string
 	Events []Event
+	// CodeNames/ClassNames, when non-nil, label this process's events
+	// instead of the exporting tracer's tables — the merged serving
+	// export mixes processes from different emitters (client, server,
+	// engine), each with its own vocabulary. Nil keeps the old behavior:
+	// the exporting tracer's tables apply.
+	CodeNames  []string
+	ClassNames []string
+}
+
+func (p *Process) codeName(c uint16, fallback func(uint16) string) string {
+	if p.CodeNames != nil {
+		if int(c) < len(p.CodeNames) {
+			return p.CodeNames[c]
+		}
+		return "code" + strconv.Itoa(int(c))
+	}
+	return fallback(c)
+}
+
+func (p *Process) className(c uint16, fallback func(uint16) string) string {
+	if p.ClassNames != nil {
+		if int(c) < len(p.ClassNames) {
+			return p.ClassNames[c]
+		}
+		return "class" + strconv.Itoa(int(c))
+	}
+	return fallback(c)
 }
 
 // WriteChromeJSONProcs renders several event windows as one Chrome
@@ -226,36 +254,110 @@ func (t *Tracer) WriteChromeJSONProcs(w io.Writer, procs []Process) error {
 		first = false
 		bw.WriteByte('\n')
 	}
-	for pi, p := range procs {
-		pid := pi + 1
+	for pi := range procs {
+		writeProc(bw, comma, pi+1, &procs[pi], t.codeName, t.className)
+	}
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeProc emits one process's metadata rows and events. fallbackCode/
+// fallbackClass label events of processes that carry no tables of their
+// own.
+func writeProc(bw *bufio.Writer, comma func(), pid int, p *Process,
+	fallbackCode, fallbackClass func(uint16) string) {
+	comma()
+	fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%q}}`, pid, p.Name)
+	seen := map[uint16]bool{}
+	for _, e := range p.Events {
+		seen[e.Code] = true
+	}
+	for c := 0; c < 1<<16; c++ {
+		if !seen[uint16(c)] {
+			continue
+		}
 		comma()
-		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%q}}`, pid, p.Name)
-		seen := map[uint16]bool{}
-		for _, e := range p.Events {
-			seen[e.Code] = true
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%q}}`,
+			pid, c+1, p.codeName(uint16(c), fallbackCode))
+		delete(seen, uint16(c))
+		if len(seen) == 0 {
+			break
 		}
-		for c := 0; c < 1<<16; c++ {
-			if !seen[uint16(c)] {
-				continue
-			}
-			comma()
-			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%q}}`,
-				pid, c+1, t.codeName(uint16(c)))
-			delete(seen, uint16(c))
-			if len(seen) == 0 {
-				break
-			}
+	}
+	for _, e := range p.Events {
+		comma()
+		if e.Dur < 0 {
+			fmt.Fprintf(bw, `{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"name":%q,"cat":"patree","args":{"op":%q,"seq":%d,"arg":%d}}`,
+				pid, e.Code+1, usec(e.TS), p.codeName(e.Code, fallbackCode), p.className(e.Class, fallbackClass), e.Seq, e.Arg)
+		} else {
+			fmt.Fprintf(bw, `{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%q,"cat":"patree","args":{"op":%q,"seq":%d,"arg":%d}}`,
+				pid, e.Code+1, usec(e.TS), usec(e.Dur), p.codeName(e.Code, fallbackCode), p.className(e.Class, fallbackClass), e.Seq, e.Arg)
 		}
-		for _, e := range p.Events {
-			comma()
-			if e.Dur < 0 {
-				fmt.Fprintf(bw, `{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"name":%q,"cat":"patree","args":{"op":%q,"seq":%d,"arg":%d}}`,
-					pid, e.Code+1, usec(e.TS), t.codeName(e.Code), t.className(e.Class), e.Seq, e.Arg)
-			} else {
-				fmt.Fprintf(bw, `{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%q,"cat":"patree","args":{"op":%q,"seq":%d,"arg":%d}}`,
-					pid, e.Code+1, usec(e.TS), usec(e.Dur), t.codeName(e.Code), t.className(e.Class), e.Seq, e.Arg)
-			}
+	}
+}
+
+// FlowPoint is one end of a flow arrow: a (process, code track, time)
+// coordinate. The point must fall inside a slice on that track for the
+// viewer to bind the arrow to it (Chrome flow events attach to the
+// enclosing slice).
+type FlowPoint struct {
+	Proc int // index into the procs slice passed to the writer
+	Code uint16
+	TS   int64 // ns, on the same clock as the process's events
+}
+
+// Flow is one flow arrow chain linking a request's spans across
+// processes: start → steps → end, all sharing the span id. Rendered as
+// Chrome "s"/"t"/"f" flow events, which Perfetto draws as arrows
+// between the slices enclosing each point.
+type Flow struct {
+	ID    uint64 // span id; must be unique per chain within one export
+	Name  string
+	Start FlowPoint
+	Steps []FlowPoint
+	End   FlowPoint
+}
+
+// WriteChromeJSONFlows renders several processes plus flow arrows as
+// one Chrome trace-event JSON object. Unlike WriteChromeJSONProcs it is
+// a package function: every process carries its own name tables (the
+// merged serving export mixes client, server and engine vocabularies),
+// with numeric fallbacks for processes that bring none. Output is
+// deterministic for identical inputs.
+func WriteChromeJSONFlows(w io.Writer, procs []Process, flows []Flow) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	comma := func() {
+		if !first {
+			bw.WriteByte(',')
 		}
+		first = false
+		bw.WriteByte('\n')
+	}
+	numericCode := func(c uint16) string { return "code" + strconv.Itoa(int(c)) }
+	numericClass := func(c uint16) string { return "class" + strconv.Itoa(int(c)) }
+	for pi := range procs {
+		writeProc(bw, comma, pi+1, &procs[pi], numericCode, numericClass)
+	}
+	point := func(ph string, f *Flow, p FlowPoint, bind string) {
+		comma()
+		fmt.Fprintf(bw, `{"ph":%q,%s"cat":"span","id":%d,"pid":%d,"tid":%d,"ts":%s,"name":%q}`,
+			ph, bind, f.ID, p.Proc+1, p.Code+1, usec(p.TS), f.Name)
+	}
+	for i := range flows {
+		f := &flows[i]
+		point("s", f, f.Start, "")
+		for _, s := range f.Steps {
+			point("t", f, s, "")
+		}
+		// bp:"e" binds the arrow head to the enclosing slice rather than
+		// the next slice on the track, which is what a span chain means.
+		point("f", f, f.End, `"bp":"e",`)
 	}
 	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n"); err != nil {
 		return err

@@ -251,3 +251,36 @@ func (db *DB) WriteTrace(w io.Writer) error {
 	}
 	return db.shards[0].tracer.WriteChromeJSONProcs(w, procs)
 }
+
+// TraceNow reads the engine's trace clock (nanoseconds, monotonic). A
+// serving tier running in the same process samples this clock for its
+// own spans so a merged client/server/engine export shares one time
+// axis. Usable whether or not tracing is on.
+func (db *DB) TraceNow() int64 { return db.shards[0].tree.NowNanos() }
+
+// TraceProcesses snapshots every shard's trace window as
+// trace.Process entries ("patree-shard0", ...) carrying the engine's
+// own code/class name tables, ready to merge with other emitters'
+// processes in trace.WriteChromeJSONFlows. Each snapshot is taken on
+// its shard's working thread, so it is consistent. Returns nil when the
+// DB was opened without Options.Trace.
+func (db *DB) TraceProcesses() []trace.Process {
+	if db.shards[0].tracer == nil {
+		return nil
+	}
+	codes, classes := core.TraceNames()
+	procs := make([]trace.Process, len(db.shards))
+	for i, s := range db.shards {
+		s := s
+		i := i
+		db.onWorker(s, func() {
+			procs[i] = trace.Process{
+				Name:       fmt.Sprintf("patree-shard%d", i),
+				Events:     s.tracer.Events(),
+				CodeNames:  codes,
+				ClassNames: classes,
+			}
+		})
+	}
+	return procs
+}

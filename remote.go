@@ -84,6 +84,11 @@ type BatchOp struct {
 	End   uint64
 	Limit int
 	Value []byte
+	// Span is the operation's trace span id (0 = unsampled). Set via
+	// Batch.SetSpan by a serving tier that propagates request-scoped
+	// trace context; the embedded backend forwards it to the engine op so
+	// the merged trace can link tiers.
+	Span uint64
 }
 
 // BatchCommitter is the admission backend of a remotely-built Batch
