@@ -234,6 +234,17 @@ func (db *DB) fanOut(mk func() *core.Op, merge func([]core.Result) core.Result) 
 	return h, nil
 }
 
+// resolvedHandle wraps an already-computed result (an optimistic read
+// served outside the pipeline) in a pooled handle so the async and
+// context APIs keep one uniform shape. The handle is born completed:
+// deliver runs before the caller ever sees it, so Wait returns without
+// blocking.
+func resolvedHandle(res core.Result) *Handle {
+	h := acquireHandle()
+	h.deliver(res)
+	return h
+}
+
 // mergeScan merge-sorts per-shard scan results (each already ascending,
 // keyspaces disjoint) into one ascending run, honoring the global limit
 // (<= 0 = unlimited). The first shard error wins and discards the data.
@@ -299,8 +310,16 @@ func (db *DB) PutAsync(key uint64, value []byte) (*Handle, error) {
 	return db.admitAsync(db.shardFor(key), core.AcquireOp().InitInsert(key, value))
 }
 
-// GetAsync admits a point lookup and returns its future.
+// GetAsync admits a point lookup and returns its future. With
+// Options.ConcurrentReads a lookup the optimistic read path can serve is
+// answered immediately: the returned handle is already resolved and its
+// Wait will not block.
 func (db *DB) GetAsync(key uint64) (*Handle, error) {
+	if db.concReads {
+		if res, ok := db.tryConcGet(key); ok {
+			return resolvedHandle(res), nil
+		}
+	}
 	return db.admitAsync(db.shardFor(key), core.AcquireOp().InitSearch(key))
 }
 
@@ -319,6 +338,11 @@ func (db *DB) DeleteAsync(key uint64) (*Handle, error) {
 // — each with the full limit, since any single shard could own the
 // first limit keys of the range — and merges on completion.
 func (db *DB) ScanAsync(lo, hi uint64, limit int) (*Handle, error) {
+	if db.concReads {
+		if res, ok := db.tryConcScan(lo, hi, limit); ok {
+			return resolvedHandle(res), nil
+		}
+	}
 	if len(db.shards) == 1 {
 		return db.admitAsync(db.shards[0], core.AcquireOp().InitRange(lo, hi, limit))
 	}

@@ -1,0 +1,78 @@
+package patree
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkConcurrentGet measures wall-clock point-lookup throughput of
+// the optimistic concurrent-read path against the pipeline control, from
+// one caller and from GOMAXPROCS parallel callers. The optimistic
+// variant answers on the calling goroutine (no worker hand-off), so the
+// single-caller gap is the pipeline's two cross-goroutine hops and the
+// parallel variant shows reads scaling past the single worker. Allocs
+// are reported for the CI guard (TestConcurrentGetAllocs pins the hit
+// path to at most 1 alloc/op).
+func BenchmarkConcurrentGet(b *testing.B) {
+	const keys = 4096
+	mk := func(b *testing.B, conc bool) *DB {
+		b.Helper()
+		db, err := Open(Options{DeviceBlocks: 1 << 16, Shards: 2, BufferPages: 4096, ConcurrentReads: conc})
+		if err != nil {
+			b.Fatalf("open: %v", err)
+		}
+		b.Cleanup(func() { db.Close() })
+		for k := uint64(1); k <= keys; k++ {
+			if err := db.Put(k, []byte("benchvalue")); err != nil {
+				b.Fatalf("put: %v", err)
+			}
+		}
+		// One warm pass so every leaf is buffered (and, with the flag on,
+		// published) before the timed section.
+		for k := uint64(1); k <= keys; k++ {
+			if _, ok, err := db.Get(k); !ok || err != nil {
+				b.Fatalf("warm get %d: %v %v", k, ok, err)
+			}
+		}
+		return db
+	}
+	for _, conc := range []bool{false, true} {
+		name := "pipeline"
+		if conc {
+			name = "optimistic"
+		}
+		b.Run(name, func(b *testing.B) {
+			db := mk(b, conc)
+			b.ReportAllocs()
+			b.ResetTimer()
+			key := uint64(0)
+			for i := 0; i < b.N; i++ {
+				key = key%keys + 1
+				if _, ok, err := db.Get(key); !ok || err != nil {
+					b.Fatalf("get %d: %v %v", key, ok, err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e3, "Kops/s")
+			if conc {
+				m := db.Metrics()
+				b.ReportMetric(100*float64(m.Reader.Served)/float64(m.Reader.Attempts), "served%")
+			}
+		})
+		b.Run(name+"-parallel", func(b *testing.B) {
+			db := mk(b, conc)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var stripe atomic.Uint64
+			b.RunParallel(func(pb *testing.PB) {
+				key := stripe.Add(997) % keys // de-correlate the goroutines
+				for pb.Next() {
+					key = key%keys + 1
+					if _, ok, err := db.Get(key); !ok || err != nil {
+						b.Fatalf("get %d: %v %v", key, ok, err)
+					}
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e3, "Kops/s")
+		})
+	}
+}

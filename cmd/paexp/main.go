@@ -27,7 +27,7 @@ func main() {
 	flag.Parse()
 
 	ids := []string{"fig3a", "fig3b", "fig3c", "fig7", "fig8", "table1", "table2",
-		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "figshards"}
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "figshards", "figreadheavy"}
 	if *list {
 		fmt.Println(strings.Join(ids, "\n"))
 		return
@@ -89,6 +89,8 @@ func main() {
 			reports = append(reports, harness.Fig15(scale))
 		case "figshards":
 			reports = append(reports, harness.FigShards(scale))
+		case "figreadheavy":
+			reports = append(reports, harness.FigReadHeavy(scale))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
 			os.Exit(2)

@@ -108,6 +108,30 @@ func writePrometheus(w io.Writer, m Metrics) {
 	p("patree_probe_abs_err_seconds_sum %s\n", seconds(time.Duration(m.Probe.Matched)*m.Probe.AbsErrMean))
 	p("patree_probe_abs_err_seconds_count %d\n", m.Probe.Matched)
 
+	if m.Reader.Attempts+m.Reader.ScanAttempts > 0 {
+		p("# HELP patree_reader_ops_total Optimistic (ConcurrentReads) read attempts by outcome.\n")
+		p("# TYPE patree_reader_ops_total counter\n")
+		p("patree_reader_ops_total{op=\"get\",outcome=\"served\"} %d\n", m.Reader.Served)
+		p("patree_reader_ops_total{op=\"get\",outcome=\"fallback-pending\"} %d\n", m.Reader.FallbackPending)
+		p("patree_reader_ops_total{op=\"get\",outcome=\"fallback-miss\"} %d\n", m.Reader.FallbackMiss)
+		p("patree_reader_ops_total{op=\"get\",outcome=\"fallback-restarts\"} %d\n", m.Reader.FallbackRestarts)
+		p("patree_reader_ops_total{op=\"scan\",outcome=\"served\"} %d\n", m.Reader.ScanServed)
+		p("patree_reader_ops_total{op=\"scan\",outcome=\"fallback\"} %d\n", m.Reader.ScanAttempts-m.Reader.ScanServed)
+		p("# HELP patree_reader_restarts_total Optimistic-read descent restarts (version changed underfoot).\n")
+		p("# TYPE patree_reader_restarts_total counter\n")
+		p("patree_reader_restarts_total %d\n", m.Reader.Restarts)
+		p("# HELP patree_reader_escapes_total Right-link hops taken to escape concurrent splits.\n")
+		p("# TYPE patree_reader_escapes_total counter\n")
+		p("patree_reader_escapes_total %d\n", m.Reader.Escapes)
+		p("# HELP patree_reader_latency_seconds Latency of served optimistic point reads.\n")
+		p("# TYPE patree_reader_latency_seconds summary\n")
+		p("patree_reader_latency_seconds{quantile=\"0.5\"} %s\n", seconds(m.Reader.Lat.Percentile(50)))
+		p("patree_reader_latency_seconds{quantile=\"0.95\"} %s\n", seconds(m.Reader.Lat.Percentile(95)))
+		p("patree_reader_latency_seconds{quantile=\"0.99\"} %s\n", seconds(m.Reader.Lat.Percentile(99)))
+		p("patree_reader_latency_seconds_sum %s\n", seconds(m.Reader.Lat.Sum))
+		p("patree_reader_latency_seconds_count %d\n", m.Reader.Lat.Count)
+	}
+
 	p("# HELP patree_trace_events_total Lifecycle trace events emitted.\n")
 	p("# TYPE patree_trace_events_total counter\n")
 	p("patree_trace_events_total %d\n", m.TraceEvents)
@@ -143,6 +167,13 @@ func FormatMetrics(m Metrics) string {
 		fmt.Fprintf(&b, "probe model: matched=%d late=%d early=%d dropped=%d bias=%v |err| p50=%v p95=%v p99=%v\n",
 			m.Probe.Matched, m.Probe.Late, m.Probe.Early, m.Probe.Dropped,
 			m.Probe.Bias, m.Probe.AbsErrP50, m.Probe.AbsErrP95, m.Probe.AbsErrP99)
+	}
+	if m.Reader.Attempts > 0 || m.Reader.ScanAttempts > 0 {
+		fmt.Fprintf(&b, "reader: get served=%d/%d scan served=%d/%d restarts=%d escapes=%d fallback pending=%d miss=%d restarts=%d lat mean=%v p99=%v\n",
+			m.Reader.Served, m.Reader.Attempts, m.Reader.ScanServed, m.Reader.ScanAttempts,
+			m.Reader.Restarts, m.Reader.Escapes,
+			m.Reader.FallbackPending, m.Reader.FallbackMiss, m.Reader.FallbackRestarts,
+			m.Reader.Lat.Mean(), m.Reader.Lat.Percentile(99))
 	}
 	if m.TraceEvents > 0 {
 		fmt.Fprintf(&b, "trace: %d events emitted\n", m.TraceEvents)

@@ -59,6 +59,11 @@ type lru struct {
 	head      entry // most-recent sentinel
 	stats     Stats
 	nextEpoch uint64
+	// onEvict, when set, observes every page leaving the buffer — both
+	// capacity evictions and explicit removals. The optimistic read path
+	// mirrors buffer residency in its published-page table, and this hook
+	// is how a departure reaches it.
+	onEvict func(storage.PageID)
 }
 
 func newLRU(capacity int) *lru {
@@ -127,6 +132,9 @@ func (l *lru) put(id storage.PageID, data []byte, dirty bool) (evicted *entry) {
 		l.unlink(victim)
 		delete(l.m, victim.id)
 		l.stats.Evictions++
+		if l.onEvict != nil {
+			l.onEvict(victim.id)
+		}
 		return victim
 	}
 	return nil
@@ -136,6 +144,9 @@ func (l *lru) remove(id storage.PageID) {
 	if e := l.m[id]; e != nil {
 		l.unlink(e)
 		delete(l.m, id)
+		if l.onEvict != nil {
+			l.onEvict(id)
+		}
 	}
 }
 
@@ -169,6 +180,14 @@ func (b *ReadOnly) FillOnWriteComplete(id storage.PageID, data []byte) {
 
 // Invalidate drops id from the cache (e.g. when a page is freed).
 func (b *ReadOnly) Invalidate(id storage.PageID) { b.l.remove(id) }
+
+// SetOnEvict registers fn to observe every page leaving the buffer
+// (capacity eviction or Invalidate). fn runs synchronously under the
+// buffer's caller; it must not call back into the buffer.
+func (b *ReadOnly) SetOnEvict(fn func(storage.PageID)) { b.l.onEvict = fn }
+
+// Cap returns the configured capacity in pages (0 = caching disabled).
+func (b *ReadOnly) Cap() int { return b.l.cap }
 
 // Len returns the number of cached pages.
 func (b *ReadOnly) Len() int { return len(b.l.m) }
@@ -255,6 +274,14 @@ func (b *ReadWrite) Invalidate(id storage.PageID) (Dirty, bool) {
 	}
 	return Dirty{}, false
 }
+
+// SetOnEvict registers fn to observe every page leaving the buffer
+// (capacity eviction or Invalidate). fn runs synchronously under the
+// buffer's caller; it must not call back into the buffer.
+func (b *ReadWrite) SetOnEvict(fn func(storage.PageID)) { b.l.onEvict = fn }
+
+// Cap returns the configured capacity in pages (0 = caching disabled).
+func (b *ReadWrite) Cap() int { return b.l.cap }
 
 // DirtyCount returns the number of dirty pages.
 func (b *ReadWrite) DirtyCount() int {

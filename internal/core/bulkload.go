@@ -81,6 +81,7 @@ func BulkLoad(dev ImageWriter, pairs []KV, fill float64) (*storage.Meta, error) 
 	for len(levelIDs) > 1 {
 		var nextIDs []storage.PageID
 		var nextMin []uint64
+		var inners []*storage.Node
 		for i := 0; i < len(levelIDs); {
 			n := storage.NewInner(alloc(), level)
 			n.Children = []storage.PageID{levelIDs[i]}
@@ -91,9 +92,17 @@ func BulkLoad(dev ImageWriter, pairs []KV, fill float64) (*storage.Meta, error) 
 				n.Children = append(n.Children, levelIDs[i])
 				i++
 			}
-			writeNode(n)
+			inners = append(inners, n)
 			nextIDs = append(nextIDs, n.ID)
 			nextMin = append(nextMin, first)
+		}
+		// Link siblings before writing: like the leaf level, every level
+		// forms a B-link chain (SplitInner maintains it from here on).
+		for j, n := range inners {
+			if j+1 < len(inners) {
+				n.Next = inners[j+1].ID
+			}
+			writeNode(n)
 		}
 		levelIDs, levelMin = nextIDs, nextMin
 		level++

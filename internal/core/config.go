@@ -161,6 +161,16 @@ type Config struct {
 	// code and kind name tables. Tracing is pure observation: it never
 	// charges CPU, so simulated schedules are identical with it on or off.
 	Tracer *trace.Tracer
+	// ConcurrentReads maintains the published-page table that lets
+	// read-only goroutines answer Gets and Scans optimistically
+	// (seqlock-validated B-link descent; see Tree.ConcurrentGet) without
+	// entering the admission pipeline. The worker publishes every page it
+	// buffers, so this requires BufferPages > 0 to have any effect.
+	// Publication is pure observation — it charges no virtual CPU — but
+	// the table's atomics are still extra real work on the worker, so it
+	// is off by default and sim experiments that pin byte-identical
+	// schedules keep it off.
+	ConcurrentReads bool
 }
 
 // WithDefaults fills zero fields.

@@ -253,6 +253,17 @@ type Op struct {
 	// worker-only.
 	keyGated bool
 	keyNext  *Op
+
+	// Concurrent-reader publication state (Config.ConcurrentReads; see
+	// published.go). pendingMark records that this write op's key is
+	// counted in the shard's pending-key registry (set by the admitting
+	// producer, cleared exactly once at teardown or admission failure).
+	// pubSplits logs the splits this op performed and pubImgs captures
+	// weak-mode page images at buffer-write time; finishOp replays both
+	// into the published-page table before acking.
+	pendingMark bool
+	pubSplits   []pubSplit
+	pubImgs     []writeReq
 }
 
 // Kind returns the operation type.
@@ -388,6 +399,12 @@ func (o *Op) reset() {
 	o.pessimistic = false
 	o.keyGated = false
 	o.keyNext = nil
+	o.pendingMark = false
+	o.pubSplits = o.pubSplits[:0]
+	for i := range o.pubImgs {
+		o.pubImgs[i] = writeReq{}
+	}
+	o.pubImgs = o.pubImgs[:0]
 }
 
 // InitSearch configures o as a point search and returns it.

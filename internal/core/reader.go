@@ -1,0 +1,310 @@
+package core
+
+import (
+	"time"
+
+	"github.com/patree/patree/internal/storage"
+)
+
+// This file is the reader side of intra-shard read concurrency: the
+// optimistic descent that read-only goroutines run against the pubTable
+// while the polled worker keeps mutating. The protocol is a hybrid of
+// optimistic lock coupling and Lehman–Yao B-link repair:
+//
+//   - Descend from the published root register, at each level snapshotting
+//     (frame, version) and searching the immutable image directly —
+//     alloc-free until the final value copy, never touching the worker's
+//     latch table or buffers.
+//   - If the image's key-range bound says the key moved right (a
+//     concurrent split), escape along the right-link instead of
+//     restarting; this marks the path "broken" for validation purposes.
+//   - A positive hit is returned after re-checking the leaf frame's
+//     version: the value was current at the instant the still-validated
+//     image was loaded, which lies within [invoke, return] — linearizable.
+//   - A miss needs an absence proof: either every (frame, version) on an
+//     unbroken path from the root is still unchanged (the tree cannot
+//     have moved the key anywhere the descent did not look), or the path
+//     escaped but the final leaf has an explicit bound covering the key
+//     and its version still stands.
+//   - Anything unresolvable — page not published, version storm, restarts
+//     exhausted — falls back to the admission pipeline, which is always
+//     correct. The fast path is an optimization with a proof obligation,
+//     never a second source of truth.
+//
+// Read-your-writes: before descending, the reader consults the shard's
+// pendingKeys registry; a key with an admitted-but-incomplete write takes
+// the pipeline, where keyDeps orders the read behind that write.
+
+const (
+	// maxReadRestarts bounds full-descent retries before the optimistic
+	// read gives up and falls back to the pipeline.
+	maxReadRestarts = 4
+	// maxReadDepth bounds recorded path length (tree heights are ~4 even
+	// at billions of keys; anything deeper is corruption).
+	maxReadDepth = 16
+	// maxReadHops bounds total page visits per descent attempt, covering
+	// right-link chains at every level.
+	maxReadHops = 64
+	// maxScanLeaves bounds one optimistic scan's leaf-chain walk.
+	maxScanLeaves = 1 << 20
+)
+
+// pathEntry is one validated level of an optimistic descent.
+type pathEntry struct {
+	f   *pubFrame
+	ver uint64
+}
+
+// ConcurrentReads reports whether the tree was opened with the optimistic
+// reader table enabled.
+func (t *Tree) ConcurrentReads() bool { return t.pub != nil }
+
+// ReaderSnapshot returns the optimistic-reader counters. Safe from any
+// goroutine; zero-valued when ConcurrentReads is off.
+func (t *Tree) ReaderSnapshot() ReaderStats {
+	if t.pub == nil {
+		return ReaderStats{}
+	}
+	return t.pub.snapshot()
+}
+
+// ReadPending reports whether key has an admitted-but-incomplete write
+// (the read-your-writes fence). Exposed for tests.
+func (t *Tree) ReadPending(key uint64) bool {
+	return t.pub != nil && t.pub.pend.pending(key)
+}
+
+// ConcurrentGet attempts a point lookup on the published-page table from
+// the calling goroutine, without entering the admission pipeline. served
+// reports whether the fast path produced an answer; when false the caller
+// must route the read through the pipeline (Admit), which is always
+// correct. Safe to call from any goroutine at any time; on a tree built
+// with ConcurrentReads off it reports served=false immediately.
+func (t *Tree) ConcurrentGet(key uint64) (value []byte, found, served bool) {
+	p := t.pub
+	if p == nil {
+		return nil, false, false
+	}
+	p.attempts.Add(1)
+	if p.pend.pending(key) {
+		p.fallbackPending.Add(1)
+		return nil, false, false
+	}
+	start := t.env.Now()
+	value, found, served = p.get(key)
+	if served {
+		p.served.Add(1)
+		p.recordLatency(time.Duration(t.env.Now() - start))
+	}
+	return value, found, served
+}
+
+// get runs the optimistic descent loop.
+func (p *pubTable) get(key uint64) (value []byte, found, served bool) {
+restart:
+	for attempt := 0; attempt <= maxReadRestarts; attempt++ {
+		if attempt > 0 {
+			p.restarts.Add(1)
+		}
+		rootPacked := p.rootReg.Load()
+		if rootPacked == 0 {
+			p.fallbackMiss.Add(1)
+			return nil, false, false
+		}
+		id := storage.PageID(rootPacked >> 8)
+		var path [maxReadDepth]pathEntry
+		depth := 0
+		broken := false // true once a right-link escape left the root path
+
+		for hop := 0; hop < maxReadHops; hop++ {
+			f := p.frame(id)
+			if f == nil {
+				p.fallbackMiss.Add(1)
+				return nil, false, false
+			}
+			img, ver, ok := f.loadImage()
+			if !ok {
+				continue restart
+			}
+			if img.hasHigh && key >= img.highKey {
+				// A split moved our key range right since this image's
+				// bound was set; chase the right-link rather than restart.
+				if img.right == storage.NilPage {
+					continue restart // bound and link disagree; re-descend
+				}
+				id = img.right
+				broken = true
+				p.escapes.Add(1)
+				continue
+			}
+			if !storage.PageIsLeaf(img.data) {
+				if depth >= maxReadDepth {
+					continue restart
+				}
+				path[depth] = pathEntry{f, ver}
+				depth++
+				step, err := storage.SearchPageShared(img.data, key)
+				if err != nil || step.Child == storage.NilPage {
+					continue restart
+				}
+				id = step.Child
+				continue
+			}
+
+			step, err := storage.SearchPageShared(img.data, key)
+			if err != nil {
+				continue restart
+			}
+			if step.Found {
+				// The image was current when loaded iff the frame version
+				// still stands; that instant is inside [invoke, return].
+				if f.ver.Load() != ver {
+					continue restart
+				}
+				return step.Value, true, true
+			}
+			// Absence proof. Unbroken path: revalidate every level — no
+			// split or mutation can have moved the key out of the pages
+			// this descent searched without bumping one of them.
+			if !broken {
+				if depth >= maxReadDepth {
+					continue restart
+				}
+				path[depth] = pathEntry{f, ver}
+				depth++
+				if p.rootReg.Load() != rootPacked {
+					continue restart
+				}
+				valid := true
+				for i := 0; i < depth; i++ {
+					if path[i].f.ver.Load() != path[i].ver {
+						valid = false
+						break
+					}
+				}
+				if valid {
+					return nil, false, true
+				}
+				continue restart
+			}
+			// Broken path: the leaf alone must prove absence — its bound
+			// must cover the key (key < highKey checked above, and a leaf
+			// reached by escape covers keys >= its low end by B-link
+			// invariant) and its version must still stand.
+			if img.hasHigh && f.ver.Load() == ver {
+				return nil, false, true
+			}
+			continue restart
+		}
+		// Hop budget exhausted (pathological chain); restart.
+	}
+	p.fallbackRestarts.Add(1)
+	return nil, false, false
+}
+
+// ConcurrentScan attempts a range scan over [lo, hi] (limit 0 = no limit)
+// on the published-page table. served=false means the caller must fall
+// back to the pipeline. Unlike points reads, scans take no pending-key
+// fence: a scan is unordered with respect to concurrent point writes
+// (exactly like a pipeline scan admitted before a write completes).
+func (t *Tree) ConcurrentScan(lo, hi uint64, limit int) (pairs []KV, served bool) {
+	p := t.pub
+	if p == nil {
+		return nil, false
+	}
+	p.scanAttempts.Add(1)
+	pairs, served = p.scan(lo, hi, limit)
+	if served {
+		p.scanServed.Add(1)
+	}
+	return pairs, served
+}
+
+// scan descends to the leaf covering lo, then walks the leaf chain
+// through the published table. Each leaf image is immutable, so every
+// emitted pair existed at that leaf's publication instant; like the
+// pipeline's latch-coupled scan, the walk as a whole is not a snapshot.
+func (p *pubTable) scan(lo, hi uint64, limit int) ([]KV, bool) {
+	if hi < lo {
+		return nil, true
+	}
+restart:
+	for attempt := 0; attempt <= maxReadRestarts; attempt++ {
+		if attempt > 0 {
+			p.restarts.Add(1)
+		}
+		rootPacked := p.rootReg.Load()
+		if rootPacked == 0 {
+			p.fallbackMiss.Add(1)
+			return nil, false
+		}
+		id := storage.PageID(rootPacked >> 8)
+
+		// Inner descent toward the leaf covering lo.
+		var img *pubImage
+		for hop := 0; ; hop++ {
+			if hop >= maxReadHops {
+				continue restart
+			}
+			f := p.frame(id)
+			if f == nil {
+				p.fallbackMiss.Add(1)
+				return nil, false
+			}
+			var ok bool
+			img, _, ok = f.loadImage()
+			if !ok {
+				continue restart
+			}
+			if img.hasHigh && lo >= img.highKey {
+				if img.right == storage.NilPage {
+					continue restart
+				}
+				id = img.right
+				p.escapes.Add(1)
+				continue
+			}
+			if storage.PageIsLeaf(img.data) {
+				break
+			}
+			step, err := storage.SearchPageShared(img.data, lo)
+			if err != nil || step.Child == storage.NilPage {
+				continue restart
+			}
+			id = step.Child
+		}
+
+		// Leaf-chain walk. Right-links subsume split escapes here: a leaf
+		// that split since we routed to it still chains to its new right
+		// sibling, so no pair in [lo, hi] can be skipped.
+		var out []KV
+		for walked := 0; walked < maxScanLeaves; walked++ {
+			next, beyond, err := storage.LeafRangeShared(img.data, lo, hi, func(k uint64, v []byte) bool {
+				out = append(out, KV{Key: k, Value: v})
+				return limit <= 0 || len(out) < limit
+			})
+			if err != nil {
+				continue restart
+			}
+			if beyond || (limit > 0 && len(out) >= limit) || next == storage.NilPage {
+				return out, true
+			}
+			f := p.frame(next)
+			if f == nil {
+				p.fallbackMiss.Add(1)
+				return nil, false
+			}
+			var ok bool
+			img, _, ok = f.loadImage()
+			if !ok {
+				continue restart
+			}
+			if !storage.PageIsLeaf(img.data) {
+				continue restart
+			}
+		}
+		continue restart
+	}
+	p.fallbackRestarts.Add(1)
+	return nil, false
+}

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/patree/patree/internal/storage"
+)
+
+// These tests drive the pubTable and the optimistic descent directly with
+// hand-built page images, so the mid-split states a live worker would race
+// through in nanoseconds can be held still and probed: a stale parent
+// route forcing a right-link escape, a poisoned frame, an unpublished
+// page, split-bound replay over cascades.
+
+// encLeaf builds a sealed leaf image with the given pairs and right link.
+func encLeaf(id storage.PageID, next storage.PageID, pairs map[uint64]string) []byte {
+	n := storage.NewLeaf(id)
+	keys := make([]uint64, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	for i := range keys { // tiny insertion sort; test-sized inputs
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, k := range keys {
+		n.InsertLeaf(k, []byte(pairs[k]))
+	}
+	n.Next = next
+	return n.Encode()
+}
+
+// encInner builds a sealed one-level inner image: children[i] covers keys
+// < seps[i], the last child covers the rest.
+func encInner(id storage.PageID, next storage.PageID, seps []uint64, children []storage.PageID) []byte {
+	n := storage.NewInner(id, 1)
+	n.Keys = append(n.Keys, seps...)
+	n.Children = append(n.Children, children...)
+	n.Next = next
+	return n.Encode()
+}
+
+// splitStormTable builds the published state of a tree caught mid-split:
+// the parent (page 2) still routes keys < 100 to leaf 3, but leaf 3 has
+// already split at 50 into leaf 5 — its published bound says so and its
+// right-link chains to 5. Key 60 therefore lives one escape to the right
+// of where the stale parent sends a descent.
+func splitStormTable() *pubTable {
+	p := newPubTable()
+	p.publishBounded(5, encLeaf(5, 4, map[uint64]string{60: "v60", 70: "v70"}), 100, true)
+	p.publishBounded(3, encLeaf(3, 5, map[uint64]string{10: "v10", 20: "v20"}), 50, true)
+	p.publishFill(4, encLeaf(4, storage.NilPage, map[uint64]string{100: "v100"}))
+	p.publishFill(2, encInner(2, storage.NilPage, []uint64{100}, []storage.PageID{3, 4}))
+	p.publishRoot(2, 2)
+	return p
+}
+
+func TestReaderRightLinkEscape(t *testing.T) {
+	p := splitStormTable()
+	v, found, served := p.get(60)
+	if !served || !found || string(v) != "v60" {
+		t.Fatalf("get(60) = %q/%v served=%v, want v60/true via right-link escape", v, found, served)
+	}
+	if got := p.escapes.Load(); got == 0 {
+		t.Fatalf("escape counter did not move; the descent must have routed stale")
+	}
+	if got := p.restarts.Load(); got != 0 {
+		t.Fatalf("escape path restarted %d times; right-link repair should not restart", got)
+	}
+}
+
+func TestReaderBrokenPathAbsenceProof(t *testing.T) {
+	p := splitStormTable()
+	// 65 is absent but falls in escaped leaf 5's range [50, 100): the leaf's
+	// explicit bound plus a standing version is the absence proof.
+	v, found, served := p.get(65)
+	if !served || found {
+		t.Fatalf("get(65) = %q/%v served=%v, want miss served on bounded leaf", v, found, served)
+	}
+}
+
+func TestReaderUnbrokenAbsenceProof(t *testing.T) {
+	p := splitStormTable()
+	// 15 is routed directly (no escape); absence is proven by revalidating
+	// the whole root-to-leaf path.
+	if _, found, served := p.get(15); !served || found {
+		t.Fatalf("get(15): served=%v found=%v, want clean miss", served, found)
+	}
+	if got := p.escapes.Load(); got != 0 {
+		t.Fatalf("direct descent took %d escapes", got)
+	}
+}
+
+func TestReaderEscapeChain(t *testing.T) {
+	// Two splits since the parent last moved: 3 → 5 → 6. The descent must
+	// chain two escapes.
+	p := newPubTable()
+	p.publishBounded(6, encLeaf(6, storage.NilPage, map[uint64]string{80: "v80"}), 0, false)
+	p.publishBounded(5, encLeaf(5, 6, map[uint64]string{60: "v60"}), 75, true)
+	p.publishBounded(3, encLeaf(3, 5, map[uint64]string{10: "v10"}), 50, true)
+	p.publishFill(2, encInner(2, storage.NilPage, nil, []storage.PageID{3}))
+	p.publishRoot(2, 2)
+	if v, found, served := p.get(80); !served || !found || string(v) != "v80" {
+		t.Fatalf("get(80) = %q/%v served=%v, want v80 after two escapes", v, found, served)
+	}
+	if got := p.escapes.Load(); got != 2 {
+		t.Fatalf("escapes = %d, want 2", got)
+	}
+}
+
+func TestReaderUnpublishedPageFallsBack(t *testing.T) {
+	p := splitStormTable()
+	p.retire(5) // the escape target leaves the buffer
+	if _, _, served := p.get(60); served {
+		t.Fatalf("get(60) served after its leaf was retired; must fall back")
+	}
+	if got := p.fallbackMiss.Load(); got == 0 {
+		t.Fatalf("fallbackMiss did not move")
+	}
+}
+
+func TestReaderNoRootFallsBack(t *testing.T) {
+	p := newPubTable()
+	if _, _, served := p.get(1); served {
+		t.Fatalf("get served with no published root")
+	}
+	p = splitStormTable()
+	p.withdrawRoot()
+	if _, _, served := p.get(60); served {
+		t.Fatalf("get served after root withdrawal")
+	}
+}
+
+func TestReaderPoisonedFrameFallsBack(t *testing.T) {
+	p := splitStormTable()
+	// Poison the root frame mid-update forever: every loadImage fails, every
+	// restart re-lands on it, and the read must give up to the pipeline.
+	f := p.frame(2)
+	f.ver.Add(1)
+	if _, _, served := p.get(60); served {
+		t.Fatalf("get served through a permanently odd seqlock version")
+	}
+	if got := p.fallbackRestarts.Load(); got == 0 {
+		t.Fatalf("fallbackRestarts did not move")
+	}
+}
+
+func TestReaderRetiredFrameNeverRevalidates(t *testing.T) {
+	// The ABA this guards: a reader holds a frame, the page is evicted and
+	// re-published under a fresh frame, and the reader's stale frame must
+	// not validate. retire poisons the old frame's version before deleting
+	// it, so the held pointer fails its version check forever.
+	p := splitStormTable()
+	f := p.frame(3)
+	_, ver, ok := f.loadImage()
+	if !ok {
+		t.Fatalf("setup: frame 3 unreadable")
+	}
+	p.retire(3)
+	p.publishBounded(3, encLeaf(3, 5, map[uint64]string{10: "other"}), 50, true)
+	if f.ver.Load() == ver {
+		t.Fatalf("retired frame's version survived re-publication — ABA window open")
+	}
+	if _, _, ok := f.loadImage(); ok {
+		t.Fatalf("retired frame still serves an image")
+	}
+}
+
+func TestReaderScanAcrossSplit(t *testing.T) {
+	p := splitStormTable()
+	pairs, served := p.scan(0, 200, 0)
+	if !served {
+		t.Fatalf("scan fell back on a fully published chain")
+	}
+	want := []struct {
+		k uint64
+		v string
+	}{{10, "v10"}, {20, "v20"}, {60, "v60"}, {70, "v70"}, {100, "v100"}}
+	if len(pairs) != len(want) {
+		t.Fatalf("scan returned %d pairs, want %d: %v", len(pairs), len(want), pairs)
+	}
+	for i, w := range want {
+		if pairs[i].Key != w.k || string(pairs[i].Value) != w.v {
+			t.Fatalf("scan[%d] = (%d, %q), want (%d, %q)", i, pairs[i].Key, pairs[i].Value, w.k, w.v)
+		}
+	}
+	// Limits bite mid-chain.
+	pairs, served = p.scan(0, 200, 3)
+	if !served || len(pairs) != 3 || pairs[2].Key != 60 {
+		t.Fatalf("limited scan = %v served=%v, want first 3 pairs", pairs, served)
+	}
+	// A scan whose lo lands right of a stale route escapes like a get.
+	pairs, served = p.scan(60, 70, 0)
+	if !served || len(pairs) != 2 {
+		t.Fatalf("scan[60,70] = %v served=%v, want v60,v70", pairs, served)
+	}
+}
+
+func TestReaderScanUnpublishedChainFallsBack(t *testing.T) {
+	p := splitStormTable()
+	p.retire(4) // the chain's last leaf is gone from the table
+	if _, served := p.scan(0, 200, 0); served {
+		t.Fatalf("scan served across a retired chain link")
+	}
+	// But a scan that never reaches the hole still serves.
+	if pairs, served := p.scan(0, 20, 0); !served || len(pairs) != 2 {
+		t.Fatalf("scan[0,20] = %v served=%v, want served 2 pairs", pairs, served)
+	}
+}
+
+func TestBoundsOfSplitReplay(t *testing.T) {
+	p := newPubTable()
+	// Page 7 is published with an existing bound [.., 90): the cascade
+	// 7→8 at 40, then 8→9 at 70, must hand 90 down the chain.
+	p.publishBounded(7, encLeaf(7, storage.NilPage, map[uint64]string{1: "x"}), 90, true)
+	bounds := p.boundsOf([]pubSplit{
+		{left: 7, right: 8, sep: 40},
+		{left: 8, right: 9, sep: 70},
+	})
+	want := map[storage.PageID]struct {
+		high uint64
+		has  bool
+	}{7: {40, true}, 8: {70, true}, 9: {90, true}}
+	if len(bounds) != len(want) {
+		t.Fatalf("boundsOf returned %d entries, want %d: %+v", len(bounds), len(want), bounds)
+	}
+	for _, b := range bounds {
+		w, ok := want[b.id]
+		if !ok || !b.known || b.hasHigh != w.has || b.highKey != w.high {
+			t.Fatalf("bound for page %d = (%d,%v,known=%v), want (%d,%v)", b.id, b.highKey, b.hasHigh, b.known, w.high, w.has)
+		}
+	}
+	// An unbounded (rightmost) left page hands "unbounded" to the right.
+	bounds = p.boundsOf([]pubSplit{{left: 20, right: 21, sep: 500}})
+	for _, b := range bounds {
+		switch b.id {
+		case 20:
+			if !b.hasHigh || b.highKey != 500 {
+				t.Fatalf("left of rightmost split: %+v, want bound 500", b)
+			}
+		case 21:
+			if b.hasHigh {
+				t.Fatalf("right of rightmost split inherited a bound: %+v", b)
+			}
+		}
+	}
+}
+
+func TestPendingKeysFence(t *testing.T) {
+	var pk pendingKeys
+	keys := []uint64{0, 1, 42, 1 << 40, ^uint64(0)}
+	for _, k := range keys {
+		if pk.pending(k) {
+			t.Fatalf("key %d pending before any inc", k)
+		}
+		pk.inc(k)
+		pk.inc(k)
+		if !pk.pending(k) {
+			t.Fatalf("key %d not pending after inc", k)
+		}
+		pk.dec(k)
+		if !pk.pending(k) {
+			t.Fatalf("key %d cleared with one of two writes outstanding", k)
+		}
+		pk.dec(k)
+		if pk.pending(k) {
+			t.Fatalf("key %d still pending after matched decs", k)
+		}
+	}
+}
+
+func TestReaderLatencyHistogram(t *testing.T) {
+	p := newPubTable()
+	for i := 0; i < 100; i++ {
+		p.recordLatency(1000) // 1µs
+	}
+	p.recordLatency(1 << 20) // ~1ms outlier
+	s := p.snapshot()
+	if s.Lat.Count != 101 {
+		t.Fatalf("Count = %d, want 101", s.Lat.Count)
+	}
+	if m := s.Lat.Mean(); m < 900 || m > 20000 {
+		t.Fatalf("Mean = %v, want ~1µs-ish", m)
+	}
+	if p50 := s.Lat.Percentile(50); p50 < 1000 || p50 > 4096 {
+		t.Fatalf("P50 = %v, want within the 1µs bucket's bound", p50)
+	}
+	if p50, p999 := s.Lat.Percentile(50), s.Lat.Percentile(99.9); p999 < p50 {
+		t.Fatalf("percentiles not monotone: p50=%v p99.9=%v", p50, p999)
+	}
+	var merged ReaderLatency
+	merged.Merge(&s.Lat)
+	merged.Merge(&s.Lat)
+	if merged.Count != 202 {
+		t.Fatalf("merged Count = %d, want 202", merged.Count)
+	}
+}
+
+// TestReaderSplitStorm ingests an ascending key stream — every ~30th
+// insert splits the rightmost leaf, and the cascade periodically splits
+// inners and grows the root — probing the published table at the split
+// frontier after every acknowledged write. Acked-write visibility must
+// hold through every split, and deeper trees must keep serving. (The
+// mid-publication interleavings a real concurrent reader can hit are
+// covered deterministically by the hand-built tables above and
+// statistically by the patree-level race suite.)
+func TestReaderSplitStorm(t *testing.T) {
+	r := newRig(t, Config{BufferPages: 4096, ConcurrentReads: true})
+	if !r.tree.ConcurrentReads() {
+		t.Fatalf("ConcurrentReads not enabled on the tree")
+	}
+	for k := uint64(1); k <= 3000; k++ {
+		if res := r.insert(k, fmt.Sprintf("v%d", k)); res.Err != nil {
+			t.Fatalf("insert %d: %v", k, res.Err)
+		}
+		// Probe the frontier (the page that just split, when it did) and a
+		// key deep in the settled region.
+		for _, probe := range []uint64{k, k/2 + 1} {
+			v, found, served := r.tree.ConcurrentGet(probe)
+			if !served {
+				t.Fatalf("acked key %d not served at frontier %d (buffer-resident tree must publish fully)", probe, k)
+			}
+			if !found || string(v) != fmt.Sprintf("v%d", probe) {
+				t.Fatalf("key %d = %q/%v at frontier %d, want v%d/true", probe, v, found, k, probe)
+			}
+		}
+		// An absent key one past the frontier needs an absence proof.
+		if _, found, served := r.tree.ConcurrentGet(k + 1); served && found {
+			t.Fatalf("unwritten key %d reported found at frontier %d", k+1, k)
+		}
+	}
+	if h := r.tree.Height(); h < 3 {
+		t.Fatalf("storm never grew the tree (height %d); splits untested", h)
+	}
+	pairs, served := r.tree.ConcurrentScan(1, 3000, 0)
+	if !served {
+		t.Fatalf("post-storm scan fell back")
+	}
+	if len(pairs) != 3000 {
+		t.Fatalf("post-storm scan saw %d keys, want 3000", len(pairs))
+	}
+	for i, kv := range pairs {
+		if kv.Key != uint64(i+1) {
+			t.Fatalf("scan[%d] = key %d, want %d", i, kv.Key, i+1)
+		}
+	}
+	st := r.tree.ReaderSnapshot()
+	if st.Served == 0 || st.ScanServed == 0 {
+		t.Fatalf("reader counters did not move: %+v", st)
+	}
+}
+
+// TestReaderPendingWriteFallsBack pins the read-your-writes fence at the
+// Tree level: while a write on key k is admitted but not complete, an
+// optimistic read of k must refuse to serve.
+func TestReaderPendingWriteFallsBack(t *testing.T) {
+	r := newRig(t, Config{BufferPages: 1024, ConcurrentReads: true})
+	r.insert(1, "old")
+	op := NewInsert(1, []byte("new"), nil)
+	done := false
+	op.Done = func(*Op) { done = true }
+	r.eng.After(0, func() { r.tree.Admit(op) })
+	// Step just far enough for admission to land but (in all likelihood)
+	// not complete; the fence must hold at every intermediate state.
+	sawPending := false
+	for !done && r.eng.Step() {
+		if r.tree.ReadPending(1) {
+			sawPending = true
+			if _, _, served := r.tree.ConcurrentGet(1); served {
+				t.Fatalf("optimistic read served while its key had a pending write")
+			}
+		}
+	}
+	if !sawPending {
+		t.Fatalf("pending fence never observed; test drove past the window")
+	}
+	if r.tree.ReadPending(1) {
+		t.Fatalf("pending fence stuck after completion")
+	}
+	if v, found, served := r.tree.ConcurrentGet(1); !served || !found || string(v) != "new" {
+		t.Fatalf("post-write read = %q/%v served=%v, want new/true", v, found, served)
+	}
+}

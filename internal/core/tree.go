@@ -130,6 +130,14 @@ type Tree struct {
 	ro      *buffer.ReadOnly  // strong persistence
 	rw      *buffer.ReadWrite // weak persistence
 
+	// pub, when non-nil (Config.ConcurrentReads), is the published-page
+	// table that read-only goroutines traverse optimistically without
+	// entering the admission pipeline. The worker is its sole writer: it
+	// publishes every page image it installs in a buffer and retires
+	// entries as the buffer evicts them (the table mirrors residency, so
+	// its footprint is bounded by BufferPages). See published.go/reader.go.
+	pub *pubTable
+
 	// inflight tracks weak-mode write-backs between submission and
 	// completion so read misses never fetch stale pages from the device.
 	inflight map[storage.PageID][]byte
@@ -303,6 +311,18 @@ func New(dev nvme.Device, cfg Config, env Env, meta *storage.Meta) (*Tree, error
 	} else {
 		t.ro = buffer.NewReadOnly(cfg.BufferPages)
 	}
+	if cfg.ConcurrentReads && cfg.BufferPages > 0 {
+		// The table mirrors buffer residency, so with no buffer there is
+		// nothing to publish and the fast path would never serve: leave it
+		// off and let every read take the pipeline.
+		t.pub = newPubTable()
+		t.pub.publishRoot(t.rootID, t.height)
+		if t.rw != nil {
+			t.rw.SetOnEvict(t.pub.retire)
+		} else {
+			t.ro.SetOnEvict(t.pub.retire)
+		}
+	}
 	if cfg.Prioritized {
 		t.ready = sched.NewPriority()
 	} else {
@@ -432,6 +452,7 @@ func (t *Tree) Admit(o *Op) {
 	// (enqueuedAt − Admitted) measures the backpressure this op absorbed.
 	// The ring's release-store publishes it with the rest of the op.
 	o.enqueuedAt = o.Res.Admitted
+	t.notePending(o)
 	if t.stopped.Load() {
 		t.admitters.Add(-1)
 		t.failAdmit(o)
@@ -466,6 +487,7 @@ func (t *Tree) TryAdmit(o *Op) error {
 	t.admitters.Add(1)
 	o.Res.Admitted = t.now()
 	o.enqueuedAt = o.Res.Admitted
+	t.notePending(o)
 	if t.stopped.Load() {
 		t.admitters.Add(-1)
 		t.failAdmit(o)
@@ -473,6 +495,7 @@ func (t *Tree) TryAdmit(o *Op) error {
 	}
 	if !t.inbox.TryPush(o) {
 		t.admitters.Add(-1)
+		t.unnotePending(o)
 		return ErrBacklog
 	}
 	t.admitters.Add(-1)
@@ -493,6 +516,7 @@ func (t *Tree) AdmitBatch(ops []*Op) {
 	for _, o := range ops {
 		o.Res.Admitted = now
 		o.enqueuedAt = now
+		t.notePending(o)
 	}
 	for len(ops) > 0 {
 		if t.stopped.Load() {
@@ -548,6 +572,7 @@ func (t *Tree) TryAdmitBatch(ops []*Op) error {
 	for _, o := range ops {
 		o.Res.Admitted = now
 		o.enqueuedAt = now
+		t.notePending(o)
 	}
 	if t.stopped.Load() {
 		t.admitters.Add(-1)
@@ -558,6 +583,9 @@ func (t *Tree) TryAdmitBatch(ops []*Op) error {
 	}
 	if !t.inbox.TryPushN(ops) {
 		t.admitters.Add(-1)
+		for _, o := range ops {
+			t.unnotePending(o)
+		}
 		return ErrBacklog
 	}
 	t.admitters.Add(-1)
@@ -617,6 +645,7 @@ func (r Reservation) Publish(ops []*Op) {
 	for i, o := range ops {
 		o.Res.Admitted = now
 		o.enqueuedAt = now
+		r.t.notePending(o)
 		r.t.inbox.publishAt(r.pos, i, o)
 	}
 	r.t.admitters.Add(-1)
@@ -649,10 +678,36 @@ func (r Reservation) Abort() {
 
 // failAdmit completes an operation that cannot be admitted.
 func (t *Tree) failAdmit(o *Op) {
+	t.unnotePending(o)
 	o.Res.Err = ErrStopped
 	o.Res.Completed = o.Res.Admitted
 	if o.Done != nil {
 		o.Done(o)
+	}
+}
+
+// notePending registers a write op's key in the pending-key registry (the
+// optimistic readers' read-your-writes fence). It MUST run before the op
+// is pushed onto the ring: the worker can complete the op (and decrement)
+// the instant it is visible there. Every note is balanced by exactly one
+// unnote, at op teardown or on the admission failure paths; o.pendingMark
+// carries the obligation.
+func (t *Tree) notePending(o *Op) {
+	if t.pub == nil || o.pendingMark {
+		return
+	}
+	switch o.kind {
+	case KindInsert, KindUpdate, KindDelete:
+		o.pendingMark = true
+		t.pub.pend.inc(o.key)
+	}
+}
+
+// unnotePending releases a notePending mark, if any.
+func (t *Tree) unnotePending(o *Op) {
+	if o.pendingMark {
+		o.pendingMark = false
+		t.pub.pend.dec(o.key)
 	}
 }
 
@@ -1371,6 +1426,9 @@ func (t *Tree) splitCurrent(o *Op) {
 		if !t.acquireLatch(o, rightID, latch.Exclusive) {
 			panic("core: fresh split node latch contended")
 		}
+		if t.pub != nil {
+			o.pubSplits = append(o.pubSplits, pubSplit{left: node.ID, right: rightID, sep: sep})
+		}
 		parent.InsertInner(sep, rightID)
 		t.charge(metrics.CatRealWork, costs.Split)
 		t.stats.Splits++
@@ -1406,6 +1464,9 @@ func (t *Tree) splitCurrent(o *Op) {
 		sep, right := target.SplitLeaf(rightID)
 		if !t.acquireLatch(o, rightID, latch.Exclusive) {
 			panic("core: fresh split leaf latch contended")
+		}
+		if t.pub != nil {
+			o.pubSplits = append(o.pubSplits, pubSplit{left: target.ID, right: rightID, sep: sep})
 		}
 		parent.InsertInner(sep, rightID)
 		t.charge(metrics.CatRealWork, costs.Split)
@@ -1473,7 +1534,14 @@ func (o *Op) isModified(id storage.PageID) bool {
 func (t *Tree) beginWriteback(o *Op) bool {
 	if t.cfg.Persistence == WeakPersistence {
 		for _, n := range o.modified {
-			t.bufferWrite(n.ID, n.Encode())
+			img := n.Encode()
+			t.bufferWrite(n.ID, img)
+			if t.pub != nil {
+				// Captured for publication at finishOp: the table is updated
+				// only when the whole op's page group is final, so readers
+				// never see a half-applied split.
+				o.pubImgs = append(o.pubImgs, writeReq{id: n.ID, data: img})
+			}
 		}
 		if t.journalOn {
 			// Acknowledge only once the redo group is durable: the buffered
@@ -1579,6 +1647,9 @@ func (t *Tree) lookupPage(id storage.PageID) ([]byte, bool) {
 			// persisted right now.
 			if victim, ev := t.rw.FillOnRead(id, data); ev {
 				t.queueBG(victim)
+			}
+			if t.pub != nil {
+				t.pub.publishFill(id, data)
 			}
 			return data, true
 		}
@@ -1760,9 +1831,15 @@ func (t *Tree) fillOnRead(id storage.PageID, data []byte) {
 		if victim, ev := t.rw.FillOnRead(id, data); ev {
 			t.queueBG(victim)
 		}
-		return
+	} else {
+		t.ro.FillOnRead(id, data)
 	}
-	t.ro.FillOnRead(id, data)
+	if t.pub != nil {
+		// Publish what entered the buffer: a fill carries no key-range
+		// bound, so publishFill preserves any bound the frame already had
+		// (page ranges only change at splits, which publish via finishOp).
+		t.pub.publishFill(id, data)
+	}
 }
 
 // submitOpWrite issues o.writes[o.wIdx] (strong mode). On completion the
@@ -1872,6 +1949,12 @@ func (t *Tree) enterFailed(cause error) {
 	t.failed = true
 	t.failCause = cause
 	t.bgQueue = t.bgQueue[:0]
+	if t.pub != nil {
+		// Withdraw the fast path: optimistic reads must not keep serving a
+		// frozen snapshot of a failed tree. Every read now falls back to
+		// the pipeline, which drains it with ErrDeviceFailed.
+		t.pub.withdrawRoot()
+	}
 	t.promoteRetries()
 	t.promoteJWaiters()
 }
@@ -2601,6 +2684,12 @@ func (t *Tree) finishOp(o *Op) {
 		o.commit()
 		o.commit = nil
 	}
+	// Publish the op's page group before the pending-key mark is released
+	// in opTeardown and before Done acks the caller: an optimistic read
+	// racing this completion either sees the key still pending (and takes
+	// the pipeline) or sees the published new pages — never stale data
+	// after the ack (acked-write visibility).
+	t.publishGroup(o)
 	t.releaseAll(o)
 	t.opTeardown(o)
 	o.state = stDone
@@ -2635,6 +2724,7 @@ func (t *Tree) failOp(o *Op, err error) {
 // idempotent: finishOp falls through to failOp when pendingErr is set,
 // and both call it.
 func (t *Tree) opTeardown(o *Op) {
+	t.unnotePending(o)
 	if o.keyGated {
 		o.keyGated = false
 		if next := o.keyNext; next != nil {

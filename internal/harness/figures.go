@@ -439,6 +439,6 @@ func All(scale Scale) []Report {
 		Fig7(rows, scale), Fig8(rows, scale),
 		Table1(rows), Table2(rows), Fig9(rows),
 		Fig10(scale), Fig11(scale), Fig12(scale), Fig13(scale),
-		Fig14(scale), Fig15(scale), FigShards(scale),
+		Fig14(scale), Fig15(scale), FigShards(scale), FigReadHeavy(scale),
 	}
 }

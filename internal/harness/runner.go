@@ -83,6 +83,12 @@ type RunStats struct {
 	Ops         uint64
 	LatchWaits  uint64
 	Probes      uint64
+	// ReaderServed / ReaderFallback count point lookups answered by (or
+	// declined by) the optimistic concurrent-read path during the
+	// measurement window. Only the read-heavy driver populates them; both
+	// stay 0 for pipeline-only runs.
+	ReaderServed   uint64
+	ReaderFallback uint64
 }
 
 // machine bundles one simulated testbed.

@@ -79,8 +79,10 @@ func TestShardsOneByteCompat(t *testing.T) {
 // simulated device through a fixed workload and returns the combined
 // multi-process Chrome trace. Called twice with the same seed it must
 // produce byte-identical output — the property the simulated experiments
-// (and every stress reproduction) rely on.
-func shardedTraceRun(t *testing.T, seed uint64) []byte {
+// (and every stress reproduction) rely on. concReads toggles
+// Config.ConcurrentReads: publication is pure observation (no virtual
+// CPU), so it must not change the trace either.
+func shardedTraceRun(t *testing.T, seed uint64, concReads bool) []byte {
 	t.Helper()
 	const shards = 2
 	const blocksPer = 1 << 12
@@ -102,9 +104,10 @@ func shardedTraceRun(t *testing.T, seed uint64) []byte {
 		i := i
 		th := osched.Spawn(fmt.Sprintf("patree-shard%d", i), func(*simos.Thread) { trees[i].Run() })
 		trees[i], err = core.New(part, core.Config{
-			Persistence: core.StrongPersistence,
-			BufferPages: 32,
-			Tracer:      tracers[i],
+			Persistence:     core.StrongPersistence,
+			BufferPages:     32,
+			Tracer:          tracers[i],
+			ConcurrentReads: concReads,
 		}, core.SimEnv{T: th}, meta)
 		if err != nil {
 			t.Fatalf("new tree %d: %v", i, err)
@@ -157,8 +160,8 @@ func shardedTraceRun(t *testing.T, seed uint64) []byte {
 // over N>1 shards export byte-identical multi-process traces.
 func TestShardedTraceDeterminism(t *testing.T) {
 	const seed = 1337
-	t1 := shardedTraceRun(t, seed)
-	t2 := shardedTraceRun(t, seed)
+	t1 := shardedTraceRun(t, seed, false)
+	t2 := shardedTraceRun(t, seed, false)
 	if !bytes.Equal(t1, t2) {
 		t.Fatalf("seed %d: sharded traces diverged between runs (%d vs %d bytes)", seed, len(t1), len(t2))
 	}
@@ -166,5 +169,31 @@ func TestShardedTraceDeterminism(t *testing.T) {
 		if !bytes.Contains(t1, []byte(want)) {
 			t.Fatalf("trace missing %s", want)
 		}
+	}
+}
+
+// TestShardedTraceConcurrentReadsDeterminism is the determinism
+// regression for the optimistic-reader feature: ConcurrentReads defaults
+// to off, and even when on — with no reader goroutines attached, as in
+// every simulated experiment — publication charges no virtual CPU, so a
+// same-seed run must export a byte-identical trace with the flag on or
+// off. If this breaks, the published-page table has started perturbing
+// simulated schedules and every pinned experiment is suspect.
+func TestShardedTraceConcurrentReadsDeterminism(t *testing.T) {
+	if (core.Config{}).ConcurrentReads {
+		t.Fatalf("ConcurrentReads must default to off")
+	}
+	if (core.Config{}).WithDefaults().ConcurrentReads {
+		t.Fatalf("WithDefaults must not switch ConcurrentReads on")
+	}
+	const seed = 99
+	off := shardedTraceRun(t, seed, false)
+	on := shardedTraceRun(t, seed, true)
+	if !bytes.Equal(off, on) {
+		t.Fatalf("seed %d: enabling ConcurrentReads changed the simulated trace (%d vs %d bytes) — publication must stay schedule-invisible", seed, len(off), len(on))
+	}
+	off2 := shardedTraceRun(t, seed, false)
+	if !bytes.Equal(off, off2) {
+		t.Fatalf("seed %d: same-seed ConcurrentReads:false runs diverged (%d vs %d bytes)", seed, len(off), len(off2))
 	}
 }

@@ -9,7 +9,7 @@
 //	  [0]     kind (1=leaf, 2=inner, 3=meta)
 //	  [1]     level (0 for leaves)
 //	  [2:4]   nkeys
-//	  [4:12]  next (leaf right-sibling page id; 0 = none)
+//	  [4:12]  next (right-sibling page id at the same level; 0 = none)
 //	  [12:16] crc32 of the page with this field zeroed
 //
 //	inner node: header, children[0] (8 bytes), then nkeys * (key 8, child 8).
@@ -83,7 +83,9 @@ type Node struct {
 	Children []PageID
 	// Vals has len(Keys) entries on leaves, nil on inner nodes.
 	Vals [][]byte
-	// Next is the right-sibling page of a leaf (NilPage for the last).
+	// Next is the right-sibling page at the same level (NilPage for the
+	// rightmost node of a level). Maintained by SplitLeaf and SplitInner;
+	// nodes that never split leave it NilPage.
 	Next PageID
 }
 
@@ -383,14 +385,19 @@ func (n *Node) SplitLeaf(rightID PageID) (uint64, *Node) {
 
 // SplitInner splits a full inner node: the middle key moves up as the
 // separator, the upper keys/children move to a fresh inner node rightID.
+// Sibling links are fixed so n -> right -> old next, mirroring SplitLeaf:
+// every level forms a B-link chain that optimistic readers can escape
+// along when a concurrent split moves their key range right.
 func (n *Node) SplitInner(rightID PageID) (uint64, *Node) {
 	mid := len(n.Keys) / 2
 	sep := n.Keys[mid]
 	right := NewInner(rightID, n.Level)
 	right.Keys = append(right.Keys, n.Keys[mid+1:]...)
 	right.Children = append(right.Children, n.Children[mid+1:]...)
+	right.Next = n.Next
 	n.Keys = n.Keys[:mid:mid]
 	n.Children = n.Children[:mid+1 : mid+1]
+	n.Next = rightID
 	return sep, right
 }
 

@@ -56,15 +56,24 @@ type ProbeStats struct {
 	AbsErrMean, AbsErrP50, AbsErrP95, AbsErrP99 time.Duration
 }
 
+// ReaderStats reports the optimistic read path's activity: attempts,
+// serves, seqlock restarts, right-link escapes, pipeline fallbacks (by
+// cause) and the served-read latency histogram. All counters are zero
+// unless the DB was opened with Options.ConcurrentReads.
+type ReaderStats = core.ReaderStats
+
 // Metrics is the full observability snapshot: activity counters, the
 // per-stage latency decomposition, the CPU-category breakdown and the
 // probe model's prediction accuracy. Like Stats it is collected on the
-// working thread, so it is a consistent view.
+// working thread, so it is a consistent view. Reader is the exception:
+// the optimistic read path runs on caller goroutines, so its counters
+// are sampled atomically rather than via the workers.
 type Metrics struct {
 	Stats
 	Stages      []StageStats
 	CPU         CPUBreakdown
 	Probe       ProbeStats
+	Reader      ReaderStats
 	TraceEvents uint64 // events emitted so far (0 unless Options.Trace)
 }
 
@@ -187,6 +196,11 @@ func (db *DB) Metrics() Metrics {
 	m.Probe.AbsErrP50 = absErr.Percentile(50)
 	m.Probe.AbsErrP95 = absErr.Percentile(95)
 	m.Probe.AbsErrP99 = absErr.Percentile(99)
+
+	for _, s := range db.shards {
+		rs := s.tree.ReaderSnapshot()
+		m.Reader.Merge(&rs)
+	}
 
 	if classes > 0 {
 		merged := metrics.NewStageSet(classes)

@@ -143,6 +143,18 @@ type Options struct {
 	// single-worker tree). A device formatted with one shard layout
 	// refuses to open under another: reformat or match the count.
 	Shards int
+	// ConcurrentReads lets Get/Scan (and their Async/Context variants) be
+	// answered directly on the calling goroutine via an optimistic,
+	// seqlock-validated B-link descent over pages the worker has
+	// published, instead of queueing through the admission pipeline. The
+	// worker remains the sole mutator; readers retry on version changes
+	// and escape concurrent splits through right-sibling links. A read
+	// whose key has a pending (admitted, unacknowledged) write falls back
+	// to the pipeline, preserving read-your-writes per key; scans are
+	// unordered with respect to concurrent point writes either way. Off
+	// by default — the fast path adds worker-side publication work, and
+	// deterministic simulation runs keep it off to stay byte-identical.
+	ConcurrentReads bool
 }
 
 // Stats reports tree activity, summed across shards.
@@ -198,6 +210,10 @@ type DB struct {
 	// makes multi-shard admissions atomic with respect to Close.
 	mu     sync.RWMutex
 	closed bool
+
+	// concReads mirrors Options.ConcurrentReads; when set, read paths try
+	// the optimistic published-page descent before the pipeline.
+	concReads bool
 }
 
 // minShardBlocks is the smallest device partition a shard accepts: room
@@ -226,7 +242,7 @@ func Open(opts Options) (*DB, error) {
 	if n > 1<<16-1 {
 		return nil, fmt.Errorf("patree: %d shards exceeds the format limit", n)
 	}
-	db := &DB{dev: dev, ownsDev: owns}
+	db := &DB{dev: dev, ownsDev: owns, concReads: opts.ConcurrentReads}
 	if n == 1 {
 		// Single worker: the device is used directly, exactly the
 		// pre-sharding layout (shard identity 0/0 in the superblock).
@@ -322,13 +338,14 @@ func openShard(dev nvme.Device, opts Options, bufferPages int, id, count uint16)
 		tracer = core.NewTracer(opts.TraceEvents)
 	}
 	tree, err := core.New(dev, core.Config{
-		Persistence:  opts.Persistence,
-		BufferPages:  bufferPages,
-		InboxDepth:   opts.InboxDepth,
-		Journal:      opts.Journal,
-		MaxIORetries: opts.MaxIORetries,
-		Policy:       policy,
-		Tracer:       tracer,
+		Persistence:     opts.Persistence,
+		BufferPages:     bufferPages,
+		InboxDepth:      opts.InboxDepth,
+		Journal:         opts.Journal,
+		MaxIORetries:    opts.MaxIORetries,
+		Policy:          policy,
+		Tracer:          tracer,
+		ConcurrentReads: opts.ConcurrentReads,
 	}, env, meta)
 	if err != nil {
 		return nil, err
@@ -399,8 +416,15 @@ func (db *DB) Put(key uint64, value []byte) error {
 	return err
 }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key. With Options.ConcurrentReads
+// it is answered on the calling goroutine when the optimistic read can
+// prove the answer current, falling back to the pipeline otherwise.
 func (db *DB) Get(key uint64) ([]byte, bool, error) {
+	if db.concReads {
+		if res, ok := db.tryConcGet(key); ok {
+			return res.Value, res.Found, nil
+		}
+	}
 	res, err := db.exec(db.shardFor(key), core.AcquireOp().InitSearch(key))
 	return res.Value, res.Found, err
 }
@@ -422,6 +446,11 @@ func (db *DB) Delete(key uint64) (bool, error) {
 // applies to the merged stream, so the result is the same ascending
 // prefix a single tree would return.
 func (db *DB) Scan(lo, hi uint64, limit int) ([]KV, error) {
+	if db.concReads {
+		if res, ok := db.tryConcScan(lo, hi, limit); ok {
+			return res.Pairs, nil
+		}
+	}
 	if len(db.shards) == 1 {
 		res, err := db.exec(db.shards[0], core.AcquireOp().InitRange(lo, hi, limit))
 		return res.Pairs, err
