@@ -174,6 +174,7 @@ func (h *Handle) abandon() {
 func (db *DB) admitAsync(s *shard, op *core.Op) (*Handle, error) {
 	h := acquireHandle()
 	op.Done = h.doneFn
+	db.throttle(s)
 	if err := db.admit(s, op); err != nil {
 		h.abandon()
 		return nil, err

@@ -240,6 +240,19 @@ func (b *Batch) Commit() error {
 	}
 	db := b.db
 	b.materialize()
+	// Hot-shard weighting holds the commit back before the admission lock
+	// is taken (a throttled producer must never delay Close).
+	if db.gov != nil {
+		if len(db.shards) == 1 {
+			db.throttle(db.shards[0])
+		} else {
+			for si, ops := range b.perShard() {
+				if len(ops) > 0 {
+					db.throttle(db.shards[si])
+				}
+			}
+		}
+	}
 	db.mu.RLock()
 	if db.closed {
 		db.mu.RUnlock()
@@ -279,6 +292,16 @@ func (b *Batch) TryCommit() error {
 	}
 	db := b.db
 	b.materialize()
+	// A shard at its admission window refuses the whole batch up front —
+	// same all-or-nothing contract as a full ring, reported as ErrBacklog.
+	if db.gov != nil {
+		for si, ops := range b.perShard() {
+			if len(ops) > 0 && db.throttledNow(db.shards[si]) {
+				b.dropOps()
+				return ErrBacklog
+			}
+		}
+	}
 	db.mu.RLock()
 	if db.closed {
 		db.mu.RUnlock()

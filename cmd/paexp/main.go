@@ -7,6 +7,13 @@
 //	paexp -run all               # everything
 //	paexp -run all -full         # paper-scale (minutes of host time)
 //	paexp -list                  # list experiment ids
+//
+// With -bench-out, paexp instead runs the multi-device scaling sweep
+// (figmultidev's topologies) and writes the measurements as a
+// BENCH_*.json trajectory; -baseline compares against a committed file
+// and exits non-zero on regressions beyond -max-regress. The sweep runs
+// on the deterministic simulator, so the gate is immune to CI host
+// noise — a regression means the code changed the schedule.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"time"
 
 	"github.com/patree/patree/internal/harness"
+	"github.com/patree/patree/internal/loadgen"
 )
 
 func main() {
@@ -24,24 +32,31 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale runs (larger trees, longer windows)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	seed := flag.Uint64("seed", 42, "simulation seed")
+	benchOut := flag.String("bench-out", "", "run the multi-device sweep and write BENCH JSON here")
+	baseline := flag.String("baseline", "", "compare the multi-device sweep against this BENCH JSON")
+	maxReg := flag.Float64("max-regress", 0.15, "regression tolerance vs baseline")
 	flag.Parse()
 
 	ids := []string{"fig3a", "fig3b", "fig3c", "fig7", "fig8", "table1", "table2",
-		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "figshards", "figreadheavy"}
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "figshards", "figmultidev", "figreadheavy"}
 	if *list {
 		fmt.Println(strings.Join(ids, "\n"))
+		return
+	}
+	scale := harness.BenchScale()
+	if *full {
+		scale = harness.FullScale()
+	}
+	scale.Seed = *seed
+
+	if *benchOut != "" {
+		multiDevBench(scale, *benchOut, *baseline, *maxReg)
 		return
 	}
 	if *runID == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	scale := harness.BenchScale()
-	if *full {
-		scale = harness.FullScale()
-	}
-	scale.Seed = *seed
 
 	start := time.Now()
 	var reports []harness.Report
@@ -89,6 +104,8 @@ func main() {
 			reports = append(reports, harness.Fig15(scale))
 		case "figshards":
 			reports = append(reports, harness.FigShards(scale))
+		case "figmultidev":
+			reports = append(reports, harness.FigMultiDev(scale))
 		case "figreadheavy":
 			reports = append(reports, harness.FigReadHeavy(scale))
 		default:
@@ -108,4 +125,48 @@ func main() {
 		fmt.Println(r)
 		fmt.Printf("expected shape (paper): %s\n\n", r.Notes)
 	}
+}
+
+// multiDevBench runs the figmultidev sweep, writes its measurements as a
+// bench trajectory and optionally gates them against a committed
+// baseline.
+func multiDevBench(scale harness.Scale, out, baseline string, maxReg float64) {
+	start := time.Now()
+	fmt.Fprintln(os.Stderr, "running multi-device scaling sweep...")
+	sweep := harness.MultiDevSweep(scale)
+	var entries []loadgen.BenchEntry
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	for i, s := range sweep {
+		topo := harness.MultiDevTopologies[i]
+		prefix := fmt.Sprintf("multidev/%dx%d", topo[0], topo[1])
+		entries = append(entries,
+			loadgen.BenchEntry{Name: prefix + "/throughput", Unit: "ops/s", Value: s.Throughput,
+				Extra: fmt.Sprintf("%d shards on %d devices, %d ops, seed %d", topo[0], topo[1], s.Ops, scale.Seed)},
+			loadgen.BenchEntry{Name: prefix + "/mean", Unit: "us", Value: us(s.MeanLatency)},
+			loadgen.BenchEntry{Name: prefix + "/p99", Unit: "us", Value: us(s.P99Latency)},
+		)
+	}
+	for _, e := range entries {
+		fmt.Fprintf(os.Stderr, "  %-28s %12.1f %s\n", e.Name, e.Value, e.Unit)
+	}
+	if err := loadgen.WriteBench(out, entries); err != nil {
+		fmt.Fprintf(os.Stderr, "paexp: write %s: %v\n", out, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "paexp: wrote %s (%.1fs elapsed)\n", out, time.Since(start).Seconds())
+	if baseline == "" {
+		return
+	}
+	base, err := loadgen.ReadBench(baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paexp: baseline: %v\n", err)
+		os.Exit(1)
+	}
+	if regs := loadgen.Compare(entries, base, maxReg); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "paexp: REGRESSION: %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "paexp: within %.0f%% of %s\n", maxReg*100, baseline)
 }

@@ -68,6 +68,12 @@ func writePrometheus(w io.Writer, m Metrics) {
 	p("# HELP patree_shards Number of shard workers serving the keyspace.\n")
 	p("# TYPE patree_shards gauge\n")
 	p("patree_shards %d\n", m.Shards)
+	p("# HELP patree_devices Number of block devices the shards are spread over.\n")
+	p("# TYPE patree_devices gauge\n")
+	p("patree_devices %d\n", m.Devices)
+	p("# HELP patree_throttle_waits_total Admissions held back by the hot-shard governor.\n")
+	p("# TYPE patree_throttle_waits_total counter\n")
+	p("patree_throttle_waits_total %d\n", m.ThrottleWaits)
 
 	p("# HELP patree_stage_seconds Per-stage operation latency decomposition.\n")
 	p("# TYPE patree_stage_seconds summary\n")
@@ -144,7 +150,11 @@ func FormatMetrics(m Metrics) string {
 	fmt.Fprintf(&b, "ops=%d keys=%d height=%d probes=%d reads=%d writes=%d admitWaits=%d bufferHit=%.2f%%\n",
 		m.Ops, m.NumKeys, m.Height, m.Probes, m.ReadsIssued, m.WritesIssued, m.AdmitWaits, 100*m.BufferHit)
 	if m.Shards > 1 {
-		fmt.Fprintf(&b, "shards: %d\n", m.Shards)
+		fmt.Fprintf(&b, "shards: %d devices: %d", m.Shards, m.Devices)
+		if m.ThrottleWaits > 0 {
+			fmt.Fprintf(&b, " throttleWaits: %d", m.ThrottleWaits)
+		}
+		b.WriteString("\n")
 	}
 	if len(m.Stages) > 0 {
 		fmt.Fprintf(&b, "%-11s %-7s %9s %11s %11s %11s %11s %11s\n",

@@ -1,0 +1,120 @@
+package core
+
+import "time"
+
+// Governor is the per-shard admission-window controller behind hot-shard
+// adaptation: skewed traffic piles operations onto one shard's worker,
+// and every op it admits beyond what the worker can drain just sits in
+// the ready set inflating queue-wait. The governor watches each shard's
+// queue-wait EWMA (Tree.QueueWaitEWMA) against the other shards' and
+// imposes a soft admission window — a cap on that shard's engine depth
+// enforced by the caller (DB.admit, or the harness closed-loop driver) —
+// on any shard whose wait runs hot. Waiting moves out of the engine to
+// the admission side, bounding the hot shard's in-engine queue-wait by a
+// factor of the cold shards' while heavy writers keep the deeper
+// physical ring (the ring is allocated at twice the configured depth
+// when weighting is on, so a throttled shard's window can also grow past
+// the nominal depth when its queue-wait proves the worker keeps up).
+//
+// The control law is AIMD, evaluated only at explicit Adapt calls so it
+// is deterministic: a shard is hot when its wait exceeds HotFactor × the
+// mean of the other shards' waits (and a small absolute floor, so idle
+// noise never triggers); a hot shard's window halves (imposed at half
+// its current depth on first detection), a cool shard's window grows
+// additively and is lifted entirely once it reaches the maximum. A shard
+// with no imposed window is unthrottled — under uniform traffic no shard
+// ever runs hot relative to its peers, no window is ever imposed, and
+// execution is indistinguishable from running without the governor (the
+// byte-identical-schedule property the sim regression tests pin).
+//
+// Not safe for concurrent Adapt calls; Window is safe to read
+// concurrently with enforcement but callers that Adapt from several
+// goroutines must serialize externally (see DB).
+type Governor struct {
+	// HotFactor is the relative queue-wait multiple that marks a shard
+	// hot (default 3).
+	HotFactor float64
+	// MinWait is the absolute queue-wait floor below which a shard is
+	// never marked hot regardless of ratios (default 100µs).
+	MinWait time.Duration
+
+	min, max int   // window clamp range
+	step     int   // additive-increase step
+	win      []int // 0 = unthrottled
+}
+
+// unthrottled is the Window value of a shard with no imposed window.
+const unthrottled = 0
+
+// NewGovernor builds a governor for shards workers whose nominal
+// admission depth is depth: imposed windows live in [depth/4, 2*depth]
+// and a window that grows back to 2*depth is lifted.
+func NewGovernor(shards, depth int) *Governor {
+	if depth < 4 {
+		depth = 4
+	}
+	step := depth / 16
+	if step < 1 {
+		step = 1
+	}
+	return &Governor{
+		HotFactor: 3,
+		MinWait:   100 * time.Microsecond,
+		min:       depth / 4,
+		max:       2 * depth,
+		step:      step,
+		win:       make([]int, shards),
+	}
+}
+
+// Window returns shard i's current admission window: the engine depth
+// beyond which the caller should hold admissions back. 0 means
+// unthrottled.
+func (g *Governor) Window(i int) int { return g.win[i] }
+
+// Throttled reports whether shard i currently has an imposed window and
+// its depth has reached it.
+func (g *Governor) Throttled(i, depth int) bool {
+	return g.win[i] != unthrottled && depth >= g.win[i]
+}
+
+// Adapt runs one AIMD evaluation over the shards' current engine depths
+// and queue-wait EWMAs (both slices indexed by shard, length equal to
+// the governor's shard count). Pure state-machine arithmetic — no
+// clocks, no randomness — so identical call sequences produce identical
+// windows.
+func (g *Governor) Adapt(depth []int, wait []time.Duration) {
+	n := len(g.win)
+	if n < 2 {
+		return // one shard has no peers to run hot against
+	}
+	var total time.Duration
+	for _, w := range wait {
+		total += w
+	}
+	for i := range g.win {
+		others := (total - wait[i]) / time.Duration(n-1)
+		hot := wait[i] > g.MinWait && float64(wait[i]) > float64(others)*g.HotFactor
+		switch {
+		case hot:
+			w := g.win[i]
+			if w == unthrottled {
+				// First detection: impose the window at half the present
+				// depth so the backlog starts draining immediately.
+				w = depth[i] / 2
+			} else {
+				w /= 2
+			}
+			if w < g.min {
+				w = g.min
+			}
+			g.win[i] = w
+		case g.win[i] != unthrottled:
+			// Cooled down: additive recovery, lifted at the ceiling.
+			g.win[i] += g.step
+			if g.win[i] >= g.max {
+				g.win[i] = unthrottled
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGovernorUnthrottledUntilHot(t *testing.T) {
+	g := NewGovernor(4, 64)
+	depth := []int{64, 64, 64, 64}
+	// Uniform waits — far above MinWait but no shard above HotFactor× its
+	// peers — must never impose a window.
+	for round := 0; round < 100; round++ {
+		g.Adapt(depth, []time.Duration{time.Millisecond, time.Millisecond, time.Millisecond, time.Millisecond})
+	}
+	for i := 0; i < 4; i++ {
+		if g.Window(i) != 0 {
+			t.Fatalf("uniform waits imposed a window on shard %d: %d", i, g.Window(i))
+		}
+		if g.Throttled(i, 1<<20) {
+			t.Fatalf("unthrottled shard %d reports throttled", i)
+		}
+	}
+	// Loud but *absolutely* quiet: a 3x relative spread below MinWait is
+	// idle noise, not heat.
+	g.Adapt(depth, []time.Duration{90 * time.Microsecond, time.Microsecond, time.Microsecond, time.Microsecond})
+	if g.Window(0) != 0 {
+		t.Fatalf("sub-floor wait imposed a window: %d", g.Window(0))
+	}
+}
+
+func TestGovernorImposeHalveRecoverLift(t *testing.T) {
+	g := NewGovernor(2, 64) // min=16, max=128, step=4
+	hot := []time.Duration{10 * time.Millisecond, 10 * time.Microsecond}
+	cool := []time.Duration{10 * time.Microsecond, 10 * time.Microsecond}
+
+	// First detection imposes at depth/2.
+	g.Adapt([]int{64, 64}, hot)
+	if got := g.Window(0); got != 32 {
+		t.Fatalf("first detection window = %d, want 32", got)
+	}
+	if g.Window(1) != 0 {
+		t.Fatalf("cold shard got a window: %d", g.Window(1))
+	}
+	if !g.Throttled(0, 32) || g.Throttled(0, 31) {
+		t.Fatalf("throttle boundary wrong: at 32 %v, at 31 %v", g.Throttled(0, 32), g.Throttled(0, 31))
+	}
+
+	// Still hot: multiplicative decrease, floored at depth/4.
+	g.Adapt([]int{32, 64}, hot)
+	if got := g.Window(0); got != 16 {
+		t.Fatalf("second detection window = %d, want 16", got)
+	}
+	g.Adapt([]int{16, 64}, hot)
+	if got := g.Window(0); got != 16 {
+		t.Fatalf("window fell through the floor: %d, want 16", got)
+	}
+
+	// Cooled: additive recovery by step per Adapt.
+	g.Adapt([]int{16, 64}, cool)
+	if got := g.Window(0); got != 20 {
+		t.Fatalf("recovery window = %d, want 20", got)
+	}
+	// Keep recovering; the window grows past the nominal depth (the
+	// deeper physical ring's headroom) and is lifted at 2x depth.
+	rounds := 0
+	for g.Window(0) != 0 {
+		g.Adapt([]int{16, 64}, cool)
+		if rounds++; rounds > 1000 {
+			t.Fatal("window never lifted")
+		}
+	}
+	// (128-20)/4 = 27 recovery rounds to reach the ceiling.
+	if rounds != 27 {
+		t.Fatalf("lift took %d rounds, want 27", rounds)
+	}
+	if g.Throttled(0, 1<<20) {
+		t.Fatal("lifted shard still throttled")
+	}
+}
+
+func TestGovernorSingleShardNeverThrottles(t *testing.T) {
+	g := NewGovernor(1, 64)
+	for i := 0; i < 10; i++ {
+		g.Adapt([]int{1 << 20}, []time.Duration{time.Hour})
+	}
+	if g.Window(0) != 0 || g.Throttled(0, 1<<20) {
+		t.Fatalf("one shard has no peers to run hot against: window=%d", g.Window(0))
+	}
+}
+
+func TestGovernorDeterminism(t *testing.T) {
+	run := func() []int {
+		g := NewGovernor(3, 128)
+		waits := [][]time.Duration{
+			{5 * time.Millisecond, 20 * time.Microsecond, 30 * time.Microsecond},
+			{4 * time.Millisecond, 25 * time.Microsecond, 20 * time.Microsecond},
+			{50 * time.Microsecond, 30 * time.Microsecond, 25 * time.Microsecond},
+			{40 * time.Microsecond, 6 * time.Millisecond, 20 * time.Microsecond},
+			{30 * time.Microsecond, 20 * time.Microsecond, 25 * time.Microsecond},
+		}
+		depths := []int{128, 96, 64}
+		for round := 0; round < 64; round++ {
+			g.Adapt(depths, waits[round%len(waits)])
+		}
+		return []int{g.Window(0), g.Window(1), g.Window(2)}
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same Adapt sequence produced different windows: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestGovernorTinyDepthFloor(t *testing.T) {
+	// Degenerate depths clamp sanely: depth floors at 4, so min=1, step=1.
+	g := NewGovernor(2, 1)
+	g.Adapt([]int{1, 1}, []time.Duration{time.Second, time.Microsecond})
+	if got := g.Window(0); got != 1 {
+		t.Fatalf("tiny-depth window = %d, want 1 (min clamp)", got)
+	}
+	if !g.Throttled(0, 1) {
+		t.Fatal("window of 1 must throttle at depth 1")
+	}
+}

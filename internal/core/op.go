@@ -264,6 +264,11 @@ type Op struct {
 	pendingMark bool
 	pubSplits   []pubSplit
 	pubImgs     []writeReq
+
+	// engMark records that this op is counted in the tree's engine-depth
+	// gauge (set by the admitting producer before the ring push, cleared
+	// exactly once at completion or on admission failure).
+	engMark bool
 }
 
 // Kind returns the operation type.
@@ -400,6 +405,7 @@ func (o *Op) reset() {
 	o.keyGated = false
 	o.keyNext = nil
 	o.pendingMark = false
+	o.engMark = false
 	o.pubSplits = o.pubSplits[:0]
 	for i := range o.pubImgs {
 		o.pubImgs[i] = writeReq{}

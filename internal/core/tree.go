@@ -120,11 +120,14 @@ type Tree struct {
 	syncEpoch uint64
 	alloc     *storage.Allocator
 
-	// Shard identity from the opening meta, copied into every meta image
-	// the tree writes so checkpoints and root moves can never demote a
-	// shard member back to an unsharded superblock (0/0 = unsharded).
-	shardID    uint16
-	shardCount uint16
+	// Shard and device identity from the opening meta, copied into every
+	// meta image the tree writes so checkpoints and root moves can never
+	// demote a shard member back to an unsharded (or single-device)
+	// superblock (0/0 = unsharded, 0/0 = single device).
+	shardID     uint16
+	shardCount  uint16
+	deviceID    uint16
+	deviceCount uint16
 
 	latches *latch.Table
 	ro      *buffer.ReadOnly  // strong persistence
@@ -205,7 +208,17 @@ type Tree struct {
 	inbox      *opRing
 	admitters  atomic.Int64
 	admitWaits atomic.Uint64
-	wake       func()
+	// engineDepth gauges the operations currently inside the engine
+	// (successfully handed to the ring, not yet completed); qwEWMA is a
+	// worker-maintained exponentially weighted moving average (α = 1/8)
+	// of completed operations' queue-wait, in nanoseconds. Both are the
+	// cross-thread signals an admission-weighting governor feeds on
+	// (EngineDepth / QueueWaitEWMA; see governor.go) and cost one atomic
+	// each per admission/completion — they never influence the worker's
+	// own scheduling, so deterministic simulation runs are unaffected.
+	engineDepth atomic.Int64
+	qwEWMA      atomic.Int64
+	wake        func()
 	// spin, when the environment provides SpinWait, busy-polls short
 	// yields while I/O is outstanding instead of parking on an OS timer
 	// whose resolution dwarfs device latency (see Run).
@@ -288,6 +301,8 @@ func New(dev nvme.Device, cfg Config, env Env, meta *storage.Meta) (*Tree, error
 	}
 	t.shardID = meta.ShardID
 	t.shardCount = meta.ShardCount
+	t.deviceID = meta.DeviceID
+	t.deviceCount = meta.DeviceCount
 	t.walStart = meta.WALStart
 	t.walBlocks = meta.WALBlocks
 	t.metaWALGen = meta.WALGen
@@ -350,11 +365,22 @@ func Format(dev nvme.Device) (*storage.Meta, error) {
 // against the requested shard layout, so a device formatted for one
 // layout cannot silently open under another.
 func FormatShard(dev nvme.Device, id, count uint16) (*storage.Meta, error) {
+	return FormatShardDevice(dev, id, count, 0, 0)
+}
+
+// FormatShardDevice is FormatShard with a device placement stamped
+// alongside the shard identity: the shard lives on device devID of
+// devCount in a multi-device topology (0 of 0 = single-device layout).
+// Open-time checks compare it against the offered device list, so a
+// topology formatted across M devices cannot silently open with a
+// different device count or order.
+func FormatShardDevice(dev nvme.Device, id, count, devID, devCount uint16) (*storage.Meta, error) {
 	root := storage.NewLeaf(1)
 	walStart, walBlocks := walGeometry(dev.NumBlocks())
 	meta := &storage.Meta{Root: 1, Height: 1, Watermark: 2,
 		WALStart: walStart, WALBlocks: walBlocks,
-		ShardID: id, ShardCount: count}
+		ShardID: id, ShardCount: count,
+		DeviceID: devID, DeviceCount: devCount}
 	if walBlocks > 0 {
 		meta.WALGen = 1
 		// Zero the region's first block so stale frames from a previous
@@ -453,6 +479,7 @@ func (t *Tree) Admit(o *Op) {
 	// The ring's release-store publishes it with the rest of the op.
 	o.enqueuedAt = o.Res.Admitted
 	t.notePending(o)
+	t.noteEntered(o)
 	if t.stopped.Load() {
 		t.admitters.Add(-1)
 		t.failAdmit(o)
@@ -488,6 +515,7 @@ func (t *Tree) TryAdmit(o *Op) error {
 	o.Res.Admitted = t.now()
 	o.enqueuedAt = o.Res.Admitted
 	t.notePending(o)
+	t.noteEntered(o)
 	if t.stopped.Load() {
 		t.admitters.Add(-1)
 		t.failAdmit(o)
@@ -496,6 +524,7 @@ func (t *Tree) TryAdmit(o *Op) error {
 	if !t.inbox.TryPush(o) {
 		t.admitters.Add(-1)
 		t.unnotePending(o)
+		t.unnoteEntered(o)
 		return ErrBacklog
 	}
 	t.admitters.Add(-1)
@@ -517,6 +546,7 @@ func (t *Tree) AdmitBatch(ops []*Op) {
 		o.Res.Admitted = now
 		o.enqueuedAt = now
 		t.notePending(o)
+		t.noteEntered(o)
 	}
 	for len(ops) > 0 {
 		if t.stopped.Load() {
@@ -573,6 +603,7 @@ func (t *Tree) TryAdmitBatch(ops []*Op) error {
 		o.Res.Admitted = now
 		o.enqueuedAt = now
 		t.notePending(o)
+		t.noteEntered(o)
 	}
 	if t.stopped.Load() {
 		t.admitters.Add(-1)
@@ -585,6 +616,7 @@ func (t *Tree) TryAdmitBatch(ops []*Op) error {
 		t.admitters.Add(-1)
 		for _, o := range ops {
 			t.unnotePending(o)
+			t.unnoteEntered(o)
 		}
 		return ErrBacklog
 	}
@@ -646,6 +678,7 @@ func (r Reservation) Publish(ops []*Op) {
 		o.Res.Admitted = now
 		o.enqueuedAt = now
 		r.t.notePending(o)
+		r.t.noteEntered(o)
 		r.t.inbox.publishAt(r.pos, i, o)
 	}
 	r.t.admitters.Add(-1)
@@ -679,6 +712,7 @@ func (r Reservation) Abort() {
 // failAdmit completes an operation that cannot be admitted.
 func (t *Tree) failAdmit(o *Op) {
 	t.unnotePending(o)
+	t.unnoteEntered(o)
 	o.Res.Err = ErrStopped
 	o.Res.Completed = o.Res.Admitted
 	if o.Done != nil {
@@ -709,6 +743,39 @@ func (t *Tree) unnotePending(o *Op) {
 		o.pendingMark = false
 		t.pub.pend.dec(o.key)
 	}
+}
+
+// noteEntered counts o into the engine-depth gauge. Like notePending it
+// MUST run before the op is visible on the ring (the worker can complete
+// it — and decrement — the instant it is published there), and every
+// mark is balanced exactly once: by completeOp, or by unnoteEntered on
+// the admission-failure paths. Reservation.Abort's internal no-ops are
+// never marked, so they pass through the worker without touching the
+// gauge.
+func (t *Tree) noteEntered(o *Op) {
+	o.engMark = true
+	t.engineDepth.Add(1)
+}
+
+// unnoteEntered releases a noteEntered mark, if any.
+func (t *Tree) unnoteEntered(o *Op) {
+	if o.engMark {
+		o.engMark = false
+		t.engineDepth.Add(-1)
+	}
+}
+
+// EngineDepth reports how many operations are currently inside the
+// engine: admitted onto the ring and not yet completed. Safe from any
+// goroutine; the reading is a momentary gauge, not a fence.
+func (t *Tree) EngineDepth() int { return int(t.engineDepth.Load()) }
+
+// QueueWaitEWMA reports the exponentially weighted moving average
+// (α = 1/8) of recently completed operations' ready-queue wait — the
+// live congestion signal behind per-shard admission weighting. Safe
+// from any goroutine.
+func (t *Tree) QueueWaitEWMA() time.Duration {
+	return time.Duration(t.qwEWMA.Load())
 }
 
 // admitBackoff parks a producer blocked on a full ring. Only the real
@@ -1595,16 +1662,18 @@ func (t *Tree) pendingMeta(o *Op) *storage.Meta {
 		}
 	}
 	return &storage.Meta{
-		Root:       root,
-		Height:     uint8(height),
-		Watermark:  t.alloc.Watermark(),
-		NumKeys:    t.numKeys,
-		SyncEpoch:  t.syncEpoch,
-		WALStart:   t.walStart,
-		WALBlocks:  t.walBlocks,
-		WALGen:     t.walGenCurrent(),
-		ShardID:    t.shardID,
-		ShardCount: t.shardCount,
+		Root:        root,
+		Height:      uint8(height),
+		Watermark:   t.alloc.Watermark(),
+		NumKeys:     t.numKeys,
+		SyncEpoch:   t.syncEpoch,
+		WALStart:    t.walStart,
+		WALBlocks:   t.walBlocks,
+		WALGen:      t.walGenCurrent(),
+		ShardID:     t.shardID,
+		ShardCount:  t.shardCount,
+		DeviceID:    t.deviceID,
+		DeviceCount: t.deviceCount,
 	}
 }
 
@@ -1612,16 +1681,18 @@ func (t *Tree) pendingMeta(o *Op) *storage.Meta {
 // state, preserving the journal region description.
 func (t *Tree) currentMeta() *storage.Meta {
 	return &storage.Meta{
-		Root:       t.rootID,
-		Height:     uint8(t.height),
-		Watermark:  t.alloc.Watermark(),
-		NumKeys:    t.numKeys,
-		SyncEpoch:  t.syncEpoch,
-		WALStart:   t.walStart,
-		WALBlocks:  t.walBlocks,
-		WALGen:     t.walGenCurrent(),
-		ShardID:    t.shardID,
-		ShardCount: t.shardCount,
+		Root:        t.rootID,
+		Height:      uint8(t.height),
+		Watermark:   t.alloc.Watermark(),
+		NumKeys:     t.numKeys,
+		SyncEpoch:   t.syncEpoch,
+		WALStart:    t.walStart,
+		WALBlocks:   t.walBlocks,
+		WALGen:      t.walGenCurrent(),
+		ShardID:     t.shardID,
+		ShardCount:  t.shardCount,
+		DeviceID:    t.deviceID,
+		DeviceCount: t.deviceCount,
 	}
 }
 
@@ -2768,6 +2839,7 @@ func (t *Tree) opTeardown(o *Op) {
 // callback, timing the delivery. The callback may Release o back to the
 // pool, so every field used afterwards is captured first.
 func (t *Tree) completeOp(o *Op) {
+	t.unnoteEntered(o)
 	t.recordStages(o)
 	if t.tr != nil {
 		t.tr.Emit(tcOp, uint16(o.kind), o.seq, uint64(o.key), int64(o.Res.Admitted), int64(o.Res.Latency()))
@@ -2800,6 +2872,10 @@ func (t *Tree) recordStages(o *Op) {
 	}
 	st.Record(metrics.StageInbox, k, o.drainedAt.Sub(o.enqueuedAt))
 	st.Record(metrics.StageQueueWait, k, o.queueWait)
+	// Fold the queue-wait into the cross-thread EWMA (worker is the sole
+	// writer; admission governors read it — see QueueWaitEWMA).
+	old := t.qwEWMA.Load()
+	t.qwEWMA.Store(old - old/8 + int64(o.queueWait)/8)
 	if o.latchWait > 0 {
 		st.Record(metrics.StageLatchWait, k, o.latchWait)
 	}

@@ -1,0 +1,479 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/patree/patree/internal/core"
+	"github.com/patree/patree/internal/nvme"
+	"github.com/patree/patree/internal/sim"
+	"github.com/patree/patree/internal/simos"
+	"github.com/patree/patree/internal/storage"
+)
+
+// The multi-device stress harness extends sharded_stress_test.go to the
+// topology the multi-device store runs in production: N shards placed
+// round-robin over M devices, each device behind its OWN fault wrapper.
+// Crash() is called on exactly one device per crash phase, which is the
+// failure mode sharding across devices exists to contain:
+//
+//   - acked writes on the untouched device must survive WITHOUT journal
+//     replay — its shards were checkpointed and closed cleanly after the
+//     peer device died, so recovery must report zero pages redone;
+//   - acked writes on the crashed device must survive via replay, same
+//     as the single-device harness;
+//   - a cross-shard batch admitted at one instant to shards on BOTH
+//     devices (the multi-device TryCommit shape) must stay
+//     all-or-nothing: if every member was acknowledged, each member's
+//     effect survives the one-device crash unless a later acked op
+//     overwrote that key;
+//   - the untouched device keeps serving after the peer crashes: ops
+//     acked there post-crash enter the oracle and must also survive.
+//
+// Every failure message carries the seed, which reproduces the run
+// bit-for-bit.
+
+const (
+	mdStressShards    = 4
+	mdStressDevices   = 2
+	mdStressShardBlks = 1 << 12
+	mdStressPhases    = 5 // crash one device in the first 4, clean close in the last
+	mdBatchesPhase    = 30
+	mdBatchSize       = 6
+	mdStressKeySpace  = 512
+	mdStressWindow    = 3 // concurrent in-flight batches
+)
+
+// mdDevOf and mdBaseOf mirror nvme.ShardPartitions' round-robin layout:
+// shard i lives on device i%M, and the shards a device hosts split it
+// equally in shard order.
+func mdDevOf(shard int) int     { return shard % mdStressDevices }
+func mdBaseOf(shard int) uint64 { return uint64(shard/mdStressDevices) * mdStressShardBlks }
+
+func mdDevBlocks() uint64 {
+	return uint64(mdStressShards/mdStressDevices) * mdStressShardBlks
+}
+
+// runMultiDevStress executes one multi-phase run over the N×M topology
+// and returns a determinism digest (see runStress).
+func runMultiDevStress(t *testing.T, seed uint64) string {
+	t.Helper()
+	rng := sim.NewRNG(seed ^ 0x3d5de55)
+	persistence := core.WeakPersistence
+	if seed%2 == 1 {
+		persistence = core.StrongPersistence
+	}
+	model := map[uint64][]byte{}
+	amb := map[uint64][]ambState{}
+	lastAck := map[uint64]int{}
+	ackSeq := 0
+	var fullyAcked []*sBatch
+	var imgs []map[uint64][]byte
+	// cleanShard marks shards that were checkpointed and closed cleanly
+	// in the previous phase; their recovery must redo nothing.
+	cleanShard := make([]bool, mdStressShards)
+	var digest strings.Builder
+	fmt.Fprintf(&digest, "seed=%d shards=%d devices=%d persistence=%s\n",
+		seed, mdStressShards, mdStressDevices, persistence)
+
+	verifyBatches := func(phase int, pairs map[uint64][]byte) {
+		for _, b := range fullyAcked {
+			for _, m := range b.members {
+				if lastAck[m.key] != m.ackIdx {
+					continue // a later acked op owns the key now
+				}
+				if len(amb[m.key]) > 0 {
+					continue // a failed op left the key ambiguous
+				}
+				got, ok := pairs[m.key]
+				if m.del && ok {
+					t.Fatalf("seed %d phase %d: torn cross-device batch %d: deleted key %d resurfaced as %q",
+						seed, phase, b.id, m.key, got)
+				}
+				if !m.del && (!ok || !bytes.Equal(got, m.val)) {
+					t.Fatalf("seed %d phase %d: torn cross-device batch %d: member key %d = %q(present=%v), want %q",
+						seed, phase, b.id, m.key, got, ok, m.val)
+				}
+			}
+		}
+	}
+
+	batchID := 0
+	for phase := 0; phase < mdStressPhases; phase++ {
+		crashPhase := phase < mdStressPhases-1
+		crashDev := -1
+		if crashPhase {
+			crashDev = rng.Intn(mdStressDevices)
+		}
+		eng := sim.NewEngine()
+		devs := make([]*nvme.SimDevice, mdStressDevices)
+		for d := range devs {
+			devs[d] = nvme.NewSimDevice(eng, nvme.SimConfig{
+				Seed:      seed + uint64(phase)*977 + uint64(d)*131071,
+				NumBlocks: mdDevBlocks(),
+			})
+		}
+		metas := make([]*storage.Meta, mdStressShards)
+		if imgs == nil {
+			for i := 0; i < mdStressShards; i++ {
+				part, err := nvme.NewPartition(devs[mdDevOf(i)], mdBaseOf(i), mdStressShardBlks)
+				if err != nil {
+					t.Fatalf("seed %d: partition %d: %v", seed, i, err)
+				}
+				metas[i], err = core.FormatShardDevice(part, uint16(i), mdStressShards,
+					uint16(mdDevOf(i)), mdStressDevices)
+				if err != nil {
+					t.Fatalf("seed %d phase %d: format shard %d: %v", seed, phase, i, err)
+				}
+			}
+		} else {
+			for d := range devs {
+				devs[d].LoadImage(imgs[d])
+			}
+			for i := 0; i < mdStressShards; i++ {
+				part, err := nvme.NewPartition(devs[mdDevOf(i)], mdBaseOf(i), mdStressShardBlks)
+				if err != nil {
+					t.Fatalf("seed %d: partition %d: %v", seed, i, err)
+				}
+				m, rep, rerr := core.Recover(part)
+				if rerr != nil {
+					t.Fatalf("seed %d phase %d: recover shard %d (device %d): %v", seed, phase, i, mdDevOf(i), rerr)
+				}
+				if cleanShard[i] && rep.PagesRedone != 0 {
+					t.Fatalf("seed %d phase %d: shard %d on the untouched device %d needed %d pages of replay — a crash on one device must not dirty its peers",
+						seed, phase, i, mdDevOf(i), rep.PagesRedone)
+				}
+				if m.DeviceID != uint16(mdDevOf(i)) || m.DeviceCount != mdStressDevices {
+					t.Fatalf("seed %d phase %d: shard %d device identity %d/%d did not survive, want %d/%d",
+						seed, phase, i, m.DeviceID, m.DeviceCount, mdDevOf(i), mdStressDevices)
+				}
+				metas[i] = m
+				fmt.Fprintf(&digest, "phase=%d shard=%d dev=%d recover gen=%d recs=%d redone=%d keys=%d repaired=%v\n",
+					phase, i, mdDevOf(i), rep.Generation, rep.Records, rep.PagesRedone, rep.KeysCounted, rep.MetaRepaired)
+			}
+			pairs := collectMultiDevPairs(t, seed, phase, devs, metas)
+			verifyOracle(t, seed, phase, pairs, model, amb)
+			verifyBatches(phase, pairs)
+			model = pairs
+			amb = map[uint64][]ambState{}
+			fullyAcked = fullyAcked[:0]
+			fmt.Fprintf(&digest, "phase=%d image crc=%08x keys=%d\n", phase, pairsCRC(pairs), len(pairs))
+		}
+
+		// One fault wrapper per device. Only the crash-target device also
+		// gets mild random injection: the untouched device must stay
+		// error-free so its end-of-phase checkpoint provably succeeds.
+		fdevs := make([]*Device, mdStressDevices)
+		for d := range fdevs {
+			fcfg := Config{Seed: seed*1000003 + uint64(phase)*17 + uint64(d), Now: eng.Now}
+			if crashPhase && d == crashDev {
+				fcfg.Probs = Probs{ReadErr: 0.01, WriteErr: 0.01, LatencySpike: 0.05}
+			}
+			fdevs[d] = New(devs[d], fcfg)
+		}
+
+		osched := simos.New(eng, simos.Config{})
+		trees := make([]*core.Tree, mdStressShards)
+		for i := 0; i < mdStressShards; i++ {
+			part, err := nvme.NewPartition(fdevs[mdDevOf(i)], mdBaseOf(i), mdStressShardBlks)
+			if err != nil {
+				t.Fatalf("seed %d: fault partition %d: %v", seed, i, err)
+			}
+			i := i
+			th := osched.Spawn(fmt.Sprintf("patree-shard%d", i), func(*simos.Thread) { trees[i].Run() })
+			trees[i], err = core.New(part, core.Config{
+				Persistence:  persistence,
+				BufferPages:  48,
+				Journal:      true,
+				MaxIORetries: 8,
+			}, core.SimEnv{T: th}, metas[i])
+			if err != nil {
+				t.Fatalf("seed %d phase %d: new tree %d: %v", seed, phase, i, err)
+			}
+		}
+
+		pending := map[uint64]bool{}
+		inFlight := 0
+		admitted, resolved, acked, failed := 0, 0, 0, 0
+		crashAt := -1
+		if crashPhase {
+			crashAt = mdBatchSize * (2 + rng.Intn(3*mdBatchesPhase/4))
+		}
+		crashCalled := false
+
+		// pickKey draws a unique idle key; with dev >= 0 it resamples until
+		// the key's shard lives on that device, so every batch provably
+		// spans both devices (the cross-device TryCommit shape).
+		pickKey := func(dev int) uint64 {
+			for {
+				key := 1 + rng.Uint64n(mdStressKeySpace)
+				if pending[key] {
+					continue
+				}
+				if dev >= 0 && mdDevOf(core.ShardOf(key, mdStressShards)) != dev {
+					continue
+				}
+				return key
+			}
+		}
+
+		// makeBatch builds one batch of mutations. Before the crash every
+		// batch spans all devices (its first M members pin one per device);
+		// after the crash new batches route entirely to live devices — the
+		// crashed device's trees get no fresh work, the survivors keep
+		// serving and their acks join the oracle.
+		makeBatch := func() []*core.Op {
+			b := &sBatch{id: batchID}
+			batchID++
+			inFlight++
+			ops := make([]*core.Op, 0, mdBatchSize)
+			for j := 0; j < mdBatchSize; j++ {
+				var key uint64
+				switch {
+				case crashCalled:
+					key = pickKey((crashDev + 1 + j%(mdStressDevices-1)) % mdStressDevices)
+				case j < mdStressDevices:
+					key = pickKey(j) // first M members pin one per device
+				default:
+					key = pickKey(-1)
+				}
+				pending[key] = true
+				mi := len(b.members)
+				onDone := func(op *core.Op, key uint64, del bool, val []byte) func(*core.Op) {
+					return func(*core.Op) {
+						resolved++
+						b.resolved++
+						delete(pending, key)
+						if op.Res.Err == nil {
+							acked++
+							ackSeq++
+							if del {
+								delete(model, key)
+							} else {
+								model[key] = val
+							}
+							lastAck[key] = ackSeq
+							b.members[mi].ackIdx = ackSeq
+						} else {
+							failed++
+							b.failed++
+							amb[key] = append(amb[key], ambState{present: !del, val: val})
+						}
+						if b.resolved == len(b.members) {
+							inFlight--
+							if b.failed == 0 {
+								fullyAcked = append(fullyAcked, b)
+							}
+						}
+					}
+				}
+				if rng.Intn(100) < 70 {
+					val := []byte(fmt.Sprintf("s%d.p%d.b%d.%d", seed, phase, b.id, j))
+					b.members = append(b.members, sbMember{key: key, val: val})
+					var op *core.Op
+					op = core.NewInsert(key, val, func(o *core.Op) { onDone(op, key, false, val)(o) })
+					ops = append(ops, op)
+				} else {
+					b.members = append(b.members, sbMember{key: key, del: true})
+					var op *core.Op
+					op = core.NewDelete(key, func(o *core.Op) { onDone(op, key, true, nil)(o) })
+					ops = append(ops, op)
+				}
+			}
+			return ops
+		}
+
+		target := mdBatchesPhase * mdBatchSize
+		for {
+			// Keep admitting after the crash: the untouched device must go
+			// on serving, and its post-crash acks join the oracle.
+			if admitted < target && inFlight < mdStressWindow {
+				ops := makeBatch()
+				admitted += len(ops)
+				eng.After(0, func() {
+					for _, op := range ops {
+						trees[core.ShardOf(op.Key(), mdStressShards)].Admit(op)
+					}
+				})
+			}
+			if crashPhase && !crashCalled && resolved >= crashAt {
+				crashCalled = true
+				eng.After(0, func() {
+					if err := fdevs[crashDev].Crash(); err != nil {
+						t.Errorf("seed %d phase %d: crash device %d: %v", seed, phase, crashDev, err)
+					}
+				})
+			}
+			if resolved == admitted && admitted >= target {
+				break
+			}
+			if !eng.Step() {
+				t.Fatalf("seed %d phase %d: simulation wedged with %d/%d ops resolved",
+					seed, phase, resolved, admitted)
+			}
+		}
+
+		// Checkpoint and cleanly close every shard the crash did not touch
+		// (all of them in the final phase); their recovery next phase must
+		// redo nothing.
+		cleanShard = make([]bool, mdStressShards)
+		var syncOps []*core.Op
+		var syncShards []int
+		syncsDone := 0
+		for i := range trees {
+			if crashPhase && mdDevOf(i) == crashDev {
+				continue
+			}
+			op := core.NewSync(func(*core.Op) { syncsDone++ })
+			syncOps = append(syncOps, op)
+			syncShards = append(syncShards, i)
+			i := i
+			eng.After(0, func() { trees[i].Admit(op) })
+		}
+		for syncsDone < len(syncOps) && eng.Step() {
+		}
+		if syncsDone < len(syncOps) {
+			t.Fatalf("seed %d phase %d: final syncs wedged (%d/%d)", seed, phase, syncsDone, len(syncOps))
+		}
+		for j, op := range syncOps {
+			if op.Res.Err != nil {
+				t.Fatalf("seed %d phase %d: final sync shard %d: %v", seed, phase, syncShards[j], op.Res.Err)
+			}
+			cleanShard[syncShards[j]] = true
+		}
+		for _, tr := range trees {
+			tr.Stop()
+		}
+		eng.RunFor(time.Second)
+
+		var appends, ckpts, ioerrs, retries uint64
+		for _, tr := range trees {
+			st := tr.StatsSnapshot()
+			appends += st.JournalAppends
+			ckpts += st.Checkpoints
+			ioerrs += st.IOErrors
+			retries += st.IORetries
+		}
+		fmt.Fprintf(&digest, "phase=%d crashdev=%d admitted=%d acked=%d failed=%d appends=%d ckpts=%d ioerrs=%d retries=%d\n",
+			phase, crashDev, admitted, acked, failed, appends, ckpts, ioerrs, retries)
+		imgs = make([]map[uint64][]byte, mdStressDevices)
+		for d := range fdevs {
+			var err error
+			if imgs[d], err = fdevs[d].Snapshot(); err != nil {
+				t.Fatalf("seed %d phase %d: snapshot device %d: %v", seed, phase, d, err)
+			}
+			fmt.Fprintf(&digest, "phase=%d dev=%d faults=%+v\n", phase, d, fdevs[d].Counts())
+		}
+	}
+
+	// Final gate: recover the cleanly-closed images; every shard must redo
+	// nothing and the merged view must match the oracle exactly.
+	eng := sim.NewEngine()
+	devs := make([]*nvme.SimDevice, mdStressDevices)
+	for d := range devs {
+		devs[d] = nvme.NewSimDevice(eng, nvme.SimConfig{Seed: seed ^ 0xf1a1 ^ uint64(d), NumBlocks: mdDevBlocks()})
+		devs[d].LoadImage(imgs[d])
+	}
+	metas := make([]*storage.Meta, mdStressShards)
+	for i := 0; i < mdStressShards; i++ {
+		part, err := nvme.NewPartition(devs[mdDevOf(i)], mdBaseOf(i), mdStressShardBlks)
+		if err != nil {
+			t.Fatalf("seed %d: final partition %d: %v", seed, i, err)
+		}
+		m, rep, rerr := core.Recover(part)
+		if rerr != nil {
+			t.Fatalf("seed %d: final recover shard %d: %v", seed, i, rerr)
+		}
+		if rep.PagesRedone != 0 {
+			t.Errorf("seed %d: clean close left %d pages to redo on shard %d", seed, rep.PagesRedone, i)
+		}
+		metas[i] = m
+	}
+	pairs := collectMultiDevPairs(t, seed, mdStressPhases, devs, metas)
+	if len(pairs) != len(model) {
+		t.Fatalf("seed %d: final image has %d keys, oracle %d", seed, len(pairs), len(model))
+	}
+	for k, v := range model {
+		if got, ok := pairs[k]; !ok || !bytes.Equal(got, v) {
+			t.Fatalf("seed %d: final image key %d = %q (present=%v), oracle %q", seed, k, got, ok, v)
+		}
+	}
+	fmt.Fprintf(&digest, "final crc=%08x keys=%d\n", pairsCRC(pairs), len(pairs))
+	return digest.String()
+}
+
+// collectMultiDevPairs walks every shard's on-device image across the
+// device set and merges the disjoint key sets into one map.
+func collectMultiDevPairs(t *testing.T, seed uint64, phase int, devs []*nvme.SimDevice, metas []*storage.Meta) map[uint64][]byte {
+	t.Helper()
+	pairs := map[uint64][]byte{}
+	for i, meta := range metas {
+		sd := devs[mdDevOf(i)]
+		base := mdBaseOf(i)
+		read := func(id storage.PageID) *storage.Node {
+			buf := make([]byte, storage.PageSize)
+			sd.ReadAt(base+uint64(id), buf)
+			n, err := storage.DecodeNode(id, buf)
+			if err != nil {
+				t.Fatalf("seed %d phase %d: shard %d page %d unreadable: %v", seed, phase, i, id, err)
+			}
+			return n
+		}
+		n := read(meta.Root)
+		for !n.IsLeaf() {
+			n = read(n.Children[0])
+		}
+		for {
+			for j, k := range n.Keys {
+				if core.ShardOf(k, mdStressShards) != i {
+					t.Fatalf("seed %d phase %d: key %d found on shard %d, ShardOf says %d",
+						seed, phase, k, i, core.ShardOf(k, mdStressShards))
+				}
+				if _, dup := pairs[k]; dup {
+					t.Fatalf("seed %d phase %d: key %d present on two shards", seed, phase, k)
+				}
+				v := make([]byte, len(n.Vals[j]))
+				copy(v, n.Vals[j])
+				pairs[k] = v
+			}
+			if n.Next == storage.NilPage {
+				break
+			}
+			n = read(n.Next)
+		}
+	}
+	return pairs
+}
+
+// TestMultiDevStressSeeds runs the one-device-crash harness across many
+// seeds (alternating weak/strong persistence by parity). Each run
+// crashes a single randomly-chosen device at 4 random mid-batch points
+// plus a clean close; the peer device's shards must survive every crash
+// without replay. On failure, reproduce with the printed seed.
+func TestMultiDevStressSeeds(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	for s := 1; s <= seeds; s++ {
+		seed := uint64(s)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runMultiDevStress(t, seed)
+		})
+	}
+}
+
+// TestMultiDevStressDeterminism guards reproducibility: the same seed,
+// run twice in-process, must produce byte-identical digests.
+func TestMultiDevStressDeterminism(t *testing.T) {
+	const seed = 2424
+	d1 := runMultiDevStress(t, seed)
+	d2 := runMultiDevStress(t, seed)
+	if d1 != d2 {
+		t.Fatalf("seed %d diverged between two in-process runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			seed, d1, d2)
+	}
+}

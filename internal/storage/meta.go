@@ -32,21 +32,25 @@ const MetaVersion = 1
 //	        checkpoint can never resurrect
 //	[76:78] shard id (0-based position in a sharded DB)
 //	[78:80] shard count (0 = unsharded single-worker tree)
+//	[80:82] device id (0-based index in a multi-device topology)
+//	[82:84] device count (0 = single-device layout)
 //
-// The WAL and shard fields decode as zero on images written before they
-// existed, which reads as "no journal region" and "unsharded" — older
-// images stay openable.
+// The WAL, shard and device fields decode as zero on images written
+// before they existed, which reads as "no journal region", "unsharded"
+// and "single device" — older images stay openable.
 type Meta struct {
-	Root       PageID
-	Height     uint8
-	Watermark  PageID
-	NumKeys    uint64
-	SyncEpoch  uint64
-	WALStart   uint64 // first block of the journal region (0 = none)
-	WALBlocks  uint64 // journal region length in blocks
-	WALGen     uint32 // minimum live journal generation
-	ShardID    uint16 // position of this tree in a sharded keyspace
-	ShardCount uint16 // total shards (0 = unsharded)
+	Root        PageID
+	Height      uint8
+	Watermark   PageID
+	NumKeys     uint64
+	SyncEpoch   uint64
+	WALStart    uint64 // first block of the journal region (0 = none)
+	WALBlocks   uint64 // journal region length in blocks
+	WALGen      uint32 // minimum live journal generation
+	ShardID     uint16 // position of this tree in a sharded keyspace
+	ShardCount  uint16 // total shards (0 = unsharded)
+	DeviceID    uint16 // index of the device this shard was placed on
+	DeviceCount uint16 // total devices in the topology (0 = single device)
 }
 
 // ErrNotMeta reports a page that is not a valid meta page.
@@ -70,6 +74,8 @@ func (m *Meta) EncodeTo(buf []byte) {
 	putU32(buf[72:76], m.WALGen)
 	putU16(buf[76:78], m.ShardID)
 	putU16(buf[78:80], m.ShardCount)
+	putU16(buf[80:82], m.DeviceID)
+	putU16(buf[82:84], m.DeviceCount)
 	seal(buf[:PageSize])
 }
 
@@ -95,16 +101,18 @@ func DecodeMeta(buf []byte) (*Meta, error) {
 		return nil, fmt.Errorf("storage: meta version %d unsupported", buf[1])
 	}
 	return &Meta{
-		Root:       PageID(getU64(buf[20:28])),
-		Height:     buf[28],
-		Watermark:  PageID(getU64(buf[32:40])),
-		NumKeys:    getU64(buf[40:48]),
-		SyncEpoch:  getU64(buf[48:56]),
-		WALStart:   getU64(buf[56:64]),
-		WALBlocks:  getU64(buf[64:72]),
-		WALGen:     getU32(buf[72:76]),
-		ShardID:    getU16(buf[76:78]),
-		ShardCount: getU16(buf[78:80]),
+		Root:        PageID(getU64(buf[20:28])),
+		Height:      buf[28],
+		Watermark:   PageID(getU64(buf[32:40])),
+		NumKeys:     getU64(buf[40:48]),
+		SyncEpoch:   getU64(buf[48:56]),
+		WALStart:    getU64(buf[56:64]),
+		WALBlocks:   getU64(buf[64:72]),
+		WALGen:      getU32(buf[72:76]),
+		ShardID:     getU16(buf[76:78]),
+		ShardCount:  getU16(buf[78:80]),
+		DeviceID:    getU16(buf[80:82]),
+		DeviceCount: getU16(buf[82:84]),
 	}, nil
 }
 

@@ -48,11 +48,11 @@ type CPUBreakdown struct {
 // FIFO within its class, and the signed error is aggregated. A positive
 // Bias means completions are detected later than predicted.
 type ProbeStats struct {
-	Matched uint64 // completions matched to a prediction
-	Late    uint64 // detected after the predicted time
-	Early   uint64 // detected at or before the predicted time
-	Dropped uint64 // submissions untracked (bounded matcher was full)
-	Bias    time.Duration
+	Matched                                     uint64 // completions matched to a prediction
+	Late                                        uint64 // detected after the predicted time
+	Early                                       uint64 // detected at or before the predicted time
+	Dropped                                     uint64 // submissions untracked (bounded matcher was full)
+	Bias                                        time.Duration
 	AbsErrMean, AbsErrP50, AbsErrP95, AbsErrP99 time.Duration
 }
 
@@ -189,6 +189,8 @@ func (db *DB) Metrics() Metrics {
 		m.Stats.BufferHit = float64(hits) / float64(hits+misses)
 	}
 	m.Stats.Shards = len(db.shards)
+	m.Stats.Devices = db.devices
+	m.Stats.ThrottleWaits = db.throttleWaits.Load()
 	if m.Probe.Matched > 0 {
 		m.Probe.Bias = time.Duration(biasWeighted / float64(m.Probe.Matched))
 	}

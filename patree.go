@@ -66,6 +66,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/patree/patree/internal/core"
@@ -143,6 +144,32 @@ type Options struct {
 	// single-worker tree). A device formatted with one shard layout
 	// refuses to open under another: reformat or match the count.
 	Shards int
+	// Devices spreads the shards across several block devices instead of
+	// one: shard i lives on a partition of Devices[Placement[i]] (or of
+	// Devices[i mod len(Devices)] when Placement is nil), so shards on
+	// different devices stop sharing one controller's interference
+	// accounting — the Fig 3c ceiling that caps single-device scaling.
+	// Mutually exclusive with Device; the DB never owns the devices.
+	// Shards must be at least len(Devices) (every device hosts at least
+	// one shard), and the formatted topology is stamped into each shard's
+	// superblock: reopening with a different device count or order is
+	// refused. A single-entry Devices is exactly the classic layout.
+	Devices []nvme.Device
+	// Placement maps shard index to device index (len must equal the
+	// shard count; nil = round-robin). Ignored unless Devices is set.
+	Placement []int
+	// AdmissionWeighting turns on hot-shard adaptation for skewed
+	// traffic: each shard's physical admission ring is allocated at twice
+	// InboxDepth (heavy writers on a hot shard get the deeper ring), and
+	// a per-shard AIMD governor watches the workers' queue-wait EWMAs,
+	// imposing a soft admission window on a shard whose wait runs hot
+	// relative to its peers (see core.Governor). Writes bound for a
+	// throttled shard wait at admission (TryCommit reports ErrBacklog)
+	// until the backlog drains, keeping the hot worker's in-engine
+	// queue-wait within a bounded factor of the cold shards'; with
+	// ConcurrentReads set, optimistically served gets bypass the window
+	// entirely and still land on the hot shard. Off by default.
+	AdmissionWeighting bool
 	// ConcurrentReads lets Get/Scan (and their Async/Context variants) be
 	// answered directly on the calling goroutine via an optimistic,
 	// seqlock-validated B-link descent over pages the worker has
@@ -181,13 +208,20 @@ type Stats struct {
 	JournalAppends uint64
 	Checkpoints    uint64
 	// Shards is the number of independent workers backing this DB (1 for
-	// the classic single-worker tree).
-	Shards int
+	// the classic single-worker tree) and Devices the number of block
+	// devices they are spread over (1 unless Options.Devices named more).
+	Shards  int
+	Devices int
+	// ThrottleWaits counts admissions the hot-shard governor held back
+	// (0 unless Options.AdmissionWeighting; see ErrBacklog for the
+	// non-blocking paths' behavior).
+	ThrottleWaits uint64
 }
 
 // shard is one worker: a tree, its working goroutine, and the
 // per-worker observability state behind Metrics and WriteTrace.
 type shard struct {
+	idx    int
 	tree   *core.Tree
 	policy *sched.Workload
 	tracer *trace.Tracer
@@ -199,6 +233,16 @@ type DB struct {
 	dev     nvme.Device
 	ownsDev bool
 	shards  []*shard
+	devices int // distinct devices backing the shards
+
+	// Hot-shard adaptation (Options.AdmissionWeighting): gov holds the
+	// per-shard admission windows, govMu serializes its Adapt calls,
+	// admitSeq amortizes them (one evaluation every govAdaptEvery
+	// admissions) and throttleWaits counts admissions held back.
+	gov           *core.Governor
+	govMu         sync.Mutex
+	admitSeq      atomic.Uint64
+	throttleWaits atomic.Uint64
 
 	// mu orders admissions against Close: admitting paths hold it shared
 	// while checking closed and handing operations to the trees, Close
@@ -220,12 +264,31 @@ type DB struct {
 // for the superblock, a root, and a useful WAL region.
 const minShardBlocks = 1024
 
+// govAdaptEvery is how many admissions pass between two governor
+// evaluations — frequent enough to track a shifting hot set, amortized
+// enough to stay off the admission fast path.
+const govAdaptEvery = 1024
+
 // Open creates or opens a PA-Tree per opts and starts its working
 // goroutine(s).
 func Open(opts Options) (*DB, error) {
+	if len(opts.Devices) > 0 && opts.Device != nil {
+		return nil, fmt.Errorf("patree: set Options.Device or Options.Devices, not both")
+	}
+	if len(opts.Devices) == 1 {
+		// A one-device topology is exactly the classic layout; normalize
+		// so the single- and multi-device paths stay byte-identical.
+		for i, d := range opts.Placement {
+			if d != 0 {
+				return nil, fmt.Errorf("patree: shard %d placed on device %d, have 1 device", i, d)
+			}
+		}
+		opts.Device = opts.Devices[0]
+		opts.Devices = nil
+	}
 	dev := opts.Device
 	owns := false
-	if dev == nil {
+	if dev == nil && len(opts.Devices) == 0 {
 		if opts.DeviceBlocks == 0 {
 			opts.DeviceBlocks = 1 << 20
 		}
@@ -235,6 +298,9 @@ func Open(opts Options) (*DB, error) {
 	if opts.BufferPages == 0 {
 		opts.BufferPages = 4096
 	}
+	if opts.InboxDepth == 0 {
+		opts.InboxDepth = 4096
+	}
 	n := opts.Shards
 	if n <= 1 {
 		n = 1
@@ -242,11 +308,21 @@ func Open(opts Options) (*DB, error) {
 	if n > 1<<16-1 {
 		return nil, fmt.Errorf("patree: %d shards exceeds the format limit", n)
 	}
-	db := &DB{dev: dev, ownsDev: owns, concReads: opts.ConcurrentReads}
+	db := &DB{dev: dev, ownsDev: owns, devices: 1, concReads: opts.ConcurrentReads}
+	if opts.AdmissionWeighting {
+		// The governor works the nominal depth; the physical ring is
+		// doubled below so a throttled topology still has the deeper ring
+		// the hot shard's writers were promised.
+		db.gov = core.NewGovernor(n, opts.InboxDepth)
+		opts.InboxDepth *= 2
+	}
+	if len(opts.Devices) > 1 {
+		return openMultiDevice(db, opts, n)
+	}
 	if n == 1 {
 		// Single worker: the device is used directly, exactly the
 		// pre-sharding layout (shard identity 0/0 in the superblock).
-		s, err := openShard(dev, opts, opts.BufferPages, 0, 0)
+		s, err := openShard(dev, opts, opts.BufferPages, 0, 0, 0, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -268,7 +344,7 @@ func Open(opts Options) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := openShard(part, opts, bufPer, uint16(i), uint16(n))
+		s, err := openShard(part, opts, bufPer, uint16(i), uint16(n), 0, 0)
 		if err != nil {
 			// Unwind the workers already started so no goroutine leaks.
 			for _, prev := range shards[:i] {
@@ -277,19 +353,80 @@ func Open(opts Options) (*DB, error) {
 			}
 			return nil, fmt.Errorf("patree: shard %d/%d: %w", i, n, err)
 		}
+		s.idx = i
 		shards[i] = s
 	}
 	db.shards = shards
 	return db, nil
 }
 
+// openMultiDevice opens the N-shards × M-devices topology: each shard
+// lives on a partition of its placed device (nvme.ShardPartitions), with
+// the placement stamped into the shard's superblock so the same device
+// list — same count, same order — is required to reopen it.
+func openMultiDevice(db *DB, opts Options, n int) (*DB, error) {
+	m := len(opts.Devices)
+	if n < m {
+		return nil, fmt.Errorf("patree: %d shards cannot cover %d devices — every device must host at least one shard (raise Options.Shards or drop devices)", n, m)
+	}
+	place := opts.Placement
+	if place == nil {
+		place = make([]int, n)
+		for i := range place {
+			place[i] = i % m
+		}
+	}
+	parts, err := nvme.ShardPartitions(opts.Devices, n, place)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range parts {
+		if p.NumBlocks() < minShardBlocks {
+			return nil, fmt.Errorf("patree: device %d of %d blocks too small for its %d shards (shard %d needs %d blocks)",
+				place[i], opts.Devices[place[i]].NumBlocks(), countPlaced(place, place[i]), i, minShardBlocks)
+		}
+	}
+	bufPer := opts.BufferPages / n
+	if bufPer < 64 {
+		bufPer = 64
+	}
+	shards := make([]*shard, n)
+	for i, part := range parts {
+		s, err := openShard(part, opts, bufPer, uint16(i), uint16(n), uint16(place[i]), uint16(m))
+		if err != nil {
+			for _, prev := range shards[:i] {
+				prev.tree.Stop()
+				<-prev.done
+			}
+			return nil, fmt.Errorf("patree: shard %d/%d (device %d/%d): %w", i, n, place[i], m, err)
+		}
+		s.idx = i
+		shards[i] = s
+	}
+	db.shards = shards
+	db.devices = m
+	return db, nil
+}
+
+// countPlaced counts the shards a placement assigns to device d.
+func countPlaced(place []int, d int) int {
+	k := 0
+	for _, p := range place {
+		if p == d {
+			k++
+		}
+	}
+	return k
+}
+
 // openShard formats/recovers one device (or partition) as shard id of
-// count, verifies its recorded shard identity, and starts its worker.
-func openShard(dev nvme.Device, opts Options, bufferPages int, id, count uint16) (*shard, error) {
+// count placed on device devID of devCount, verifies its recorded shard
+// and device identity, and starts its worker.
+func openShard(dev nvme.Device, opts Options, bufferPages int, id, count, devID, devCount uint16) (*shard, error) {
 	meta, err := core.ReadMeta(dev)
 	switch {
 	case opts.Format:
-		if meta, err = core.FormatShard(dev, id, count); err != nil {
+		if meta, err = core.FormatShardDevice(dev, id, count, devID, devCount); err != nil {
 			return nil, fmt.Errorf("patree: format: %w", err)
 		}
 	case err != nil:
@@ -298,21 +435,25 @@ func openShard(dev nvme.Device, opts Options, bufferPages int, id, count uint16)
 		// only a device with no recoverable tree at all is formatted.
 		if m, _, rerr := core.Recover(dev); rerr == nil {
 			meta = m
-		} else if meta, err = core.FormatShard(dev, id, count); err != nil {
+		} else if meta, err = core.FormatShardDevice(dev, id, count, devID, devCount); err != nil {
 			return nil, fmt.Errorf("patree: format: %w", err)
 		}
 	case meta.WALBlocks != 0:
 		// The device describes a journal region: replay whatever an
-		// unclean shutdown left there (a no-op after a clean Close).
+		// unclean shutdown left there (a no-op after a clean Close). A
+		// topology mismatch is diagnosed first — under the wrong partition
+		// geometry the recorded WAL range may not even be addressable.
+		if err := checkShardIdentity(meta, id, count, devID, devCount); err != nil {
+			return nil, err
+		}
 		m, _, rerr := core.Recover(dev)
 		if rerr != nil {
 			return nil, fmt.Errorf("patree: recover: %w", rerr)
 		}
 		meta = m
 	}
-	if meta.ShardID != id || meta.ShardCount != count {
-		return nil, fmt.Errorf("patree: device holds shard %d of %d, opened as %d of %d — set Options.Shards to the formatted count (or Format to repartition)",
-			meta.ShardID, meta.ShardCount, id, count)
+	if err := checkShardIdentity(meta, id, count, devID, devCount); err != nil {
+		return nil, err
 	}
 	env := core.NewRealEnv()
 	// Real-time polling: probes are cheap host work, so use a tight
@@ -363,6 +504,22 @@ func openShard(dev nvme.Device, opts Options, bufferPages int, id, count uint16)
 	return s, nil
 }
 
+// checkShardIdentity compares a superblock's recorded shard and device
+// placement against the topology it is being opened under. The device
+// check runs first so a mis-assembled device list gets the
+// device-flavored diagnosis even when the shard ids also disagree.
+func checkShardIdentity(meta *storage.Meta, id, count, devID, devCount uint16) error {
+	if meta.DeviceID != devID || meta.DeviceCount != devCount {
+		return fmt.Errorf("patree: device holds shard %d placed on device %d of %d, opened as device %d of %d — pass Options.Devices in the formatted count and order (or Format to repartition)",
+			meta.ShardID, meta.DeviceID, meta.DeviceCount, devID, devCount)
+	}
+	if meta.ShardID != id || meta.ShardCount != count {
+		return fmt.Errorf("patree: device holds shard %d of %d, opened as %d of %d — set Options.Shards to the formatted count (or Format to repartition)",
+			meta.ShardID, meta.ShardCount, id, count)
+	}
+	return nil
+}
+
 // mapErr translates internal sentinel errors to their public forms.
 func mapErr(err error) error {
 	if errors.Is(err, core.ErrStopped) {
@@ -377,6 +534,69 @@ func (db *DB) shardFor(key uint64) *shard {
 		return db.shards[0]
 	}
 	return db.shards[core.ShardOf(key, len(db.shards))]
+}
+
+// throttle holds the caller back while s is under an imposed admission
+// window at its cap (Options.AdmissionWeighting). It runs before the
+// admission lock is taken, so a throttled producer never delays Close;
+// a closed DB releases every waiter (the subsequent admit fails with
+// ErrClosed). Observability no-ops (onWorker) skip it — only index
+// operations are weighted.
+func (db *DB) throttle(s *shard) {
+	g := db.gov
+	if g == nil {
+		return
+	}
+	db.maybeAdapt()
+	if !g.Throttled(s.idx, s.tree.EngineDepth()) {
+		return
+	}
+	db.throttleWaits.Add(1)
+	spins := 0
+	for g.Throttled(s.idx, s.tree.EngineDepth()) {
+		spins++
+		if spins%64 == 0 {
+			time.Sleep(time.Microsecond)
+			db.mu.RLock()
+			closed := db.closed
+			db.mu.RUnlock()
+			if closed {
+				return
+			}
+			// Keep adapting while spinning: recovery of the window is what
+			// ends the wait when the worker has drained its backlog.
+			db.maybeAdapt()
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// maybeAdapt runs one governor evaluation every govAdaptEvery
+// admissions, feeding it every shard's live depth and queue-wait EWMA.
+func (db *DB) maybeAdapt() {
+	if db.admitSeq.Add(1)%govAdaptEvery != 0 {
+		return
+	}
+	db.govMu.Lock()
+	defer db.govMu.Unlock()
+	depths := make([]int, len(db.shards))
+	waits := make([]time.Duration, len(db.shards))
+	for i, s := range db.shards {
+		depths[i] = s.tree.EngineDepth()
+		waits[i] = s.tree.QueueWaitEWMA()
+	}
+	db.gov.Adapt(depths, waits)
+}
+
+// throttledNow reports whether s is at its admission window right now —
+// the non-blocking paths' (TryCommit) check.
+func (db *DB) throttledNow(s *shard) bool {
+	if db.gov == nil {
+		return false
+	}
+	db.maybeAdapt()
+	return db.gov.Throttled(s.idx, s.tree.EngineDepth())
 }
 
 // admit checks closed and hands op (whose Done is already set) to s's
@@ -400,6 +620,7 @@ func (db *DB) admit(s *shard, op *core.Op) error {
 func (db *DB) exec(s *shard, op *core.Op) (core.Result, error) {
 	h := acquireHandle()
 	op.Done = h.doneFn
+	db.throttle(s)
 	if err := db.admit(s, op); err != nil {
 		h.abandon()
 		return core.Result{}, err
@@ -532,6 +753,8 @@ func (db *DB) Stats() Stats {
 		out.BufferHit = float64(hits) / float64(hits+misses)
 	}
 	out.Shards = len(db.shards)
+	out.Devices = db.devices
+	out.ThrottleWaits = db.throttleWaits.Load()
 	return out
 }
 
