@@ -31,6 +31,13 @@ type Handle struct {
 	// built once per handle lifetime, it survives pool recycling so a
 	// steady-state async operation allocates neither closure nor channel.
 	doneFn func(*core.Op)
+	// lazyMerge, when non-nil after the completion token is consumed,
+	// computes the final result on the consuming goroutine (resolveLazy)
+	// instead of on the working thread that delivered last — the
+	// off-worker scan merge of Options.Pipelined. Written before the
+	// token is published, read after it is consumed, so the channel
+	// orders the accesses.
+	lazyMerge func() core.Result
 }
 
 // Handle lifecycle states.
@@ -55,6 +62,7 @@ var handlePool = sync.Pool{
 func acquireHandle() *Handle {
 	h := handlePool.Get().(*Handle)
 	h.res = core.Result{}
+	h.lazyMerge = nil
 	h.waited = false
 	h.state.Store(hPending)
 	// Defensive: a well-behaved lifecycle never leaves a token behind,
@@ -94,6 +102,35 @@ func (h *Handle) deliver(res core.Result) {
 	}
 }
 
+// deliverLazy resolves the handle without computing the result yet: the
+// completion token is published immediately, and merge runs on the first
+// goroutine that consumes it (resolveLazy) — the caller — rather than on
+// the working thread that happened to deliver last. This is the
+// off-worker scan merge of Options.Pipelined: large fan-in merges stop
+// stealing poll cycles from the shard whose completion closed the
+// scatter. A handle detached by a cancelled WaitContext has no consumer,
+// so the merge is dropped unrun and the handle recycled.
+func (h *Handle) deliverLazy(merge func() core.Result) {
+	h.lazyMerge = merge
+	if h.state.CompareAndSwap(hPending, hCompleted) {
+		h.ch <- struct{}{} // cap 1: never blocks the working thread
+	} else {
+		h.lazyMerge = nil
+		h.recycle()
+	}
+}
+
+// resolveLazy materializes a lazily delivered result. Must run on the
+// goroutine that just consumed the completion token, before any h.res
+// read.
+func (h *Handle) resolveLazy() {
+	if h.lazyMerge != nil {
+		h.res = h.lazyMerge()
+		h.res.Err = mapErr(h.res.Err)
+		h.lazyMerge = nil
+	}
+}
+
 // Wait blocks until the operation completes and returns its error.
 // It is idempotent: after the first return every further call (and every
 // accessor) returns immediately.
@@ -101,6 +138,7 @@ func (h *Handle) Wait() error {
 	if !h.waited {
 		h.checkLive("Wait")
 		<-h.ch
+		h.resolveLazy()
 		h.waited = true
 	}
 	return h.res.Err
@@ -157,6 +195,7 @@ func (h *Handle) Release() {
 // zeroed result.
 func (h *Handle) recycle() {
 	h.res = core.Result{}
+	h.lazyMerge = nil
 	h.waited = false
 	h.state.Store(hReleased)
 	handlePool.Put(h)
@@ -192,6 +231,9 @@ type fanAgg struct {
 	remaining atomic.Int32
 	res       []core.Result
 	merge     func([]core.Result) core.Result
+	// deferred (Options.Pipelined) delivers the merge lazily so it runs
+	// on the waiting goroutine instead of the last-finishing worker.
+	deferred bool
 }
 
 // done returns the Done callback for shard slot i.
@@ -200,7 +242,11 @@ func (a *fanAgg) done(i int) func(*core.Op) {
 		a.res[i] = o.Res
 		o.Release()
 		if a.remaining.Add(-1) == 0 {
-			a.h.deliver(a.merge(a.res))
+			if a.deferred {
+				a.h.deliverLazy(func() core.Result { return a.merge(a.res) })
+			} else {
+				a.h.deliver(a.merge(a.res))
+			}
 		}
 	}
 }
@@ -211,7 +257,7 @@ func (a *fanAgg) done(i int) func(*core.Op) {
 // either every shard receives its piece or none does.
 func (db *DB) fanOut(mk func() *core.Op, merge func([]core.Result) core.Result) (*Handle, error) {
 	h := acquireHandle()
-	agg := &fanAgg{h: h, res: make([]core.Result, len(db.shards)), merge: merge}
+	agg := &fanAgg{h: h, res: make([]core.Result, len(db.shards)), merge: merge, deferred: db.deferMerge}
 	agg.remaining.Store(int32(len(db.shards)))
 	ops := make([]*core.Op, len(db.shards))
 	for i := range ops {
@@ -244,66 +290,6 @@ func resolvedHandle(res core.Result) *Handle {
 	h := acquireHandle()
 	h.deliver(res)
 	return h
-}
-
-// mergeScan merge-sorts per-shard scan results (each already ascending,
-// keyspaces disjoint) into one ascending run, honoring the global limit
-// (<= 0 = unlimited). The first shard error wins and discards the data.
-func mergeScan(rs []core.Result, limit int) core.Result {
-	out := mergeFirstErr(rs)
-	if out.Err != nil {
-		return out
-	}
-	total := 0
-	for _, r := range rs {
-		total += len(r.Pairs)
-	}
-	if limit > 0 && total > limit {
-		total = limit
-	}
-	if total == 0 {
-		return out
-	}
-	idx := make([]int, len(rs))
-	pairs := make([]KV, 0, total)
-	for len(pairs) < total {
-		best := -1
-		var bestKey uint64
-		for i := range rs {
-			if idx[i] >= len(rs[i].Pairs) {
-				continue
-			}
-			if k := rs[i].Pairs[idx[i]].Key; best < 0 || k < bestKey {
-				best, bestKey = i, k
-			}
-		}
-		if best < 0 {
-			break
-		}
-		pairs = append(pairs, rs[best].Pairs[idx[best]])
-		idx[best]++
-	}
-	out.Pairs = pairs
-	return out
-}
-
-// mergeFirstErr folds per-shard results into one carrying the first
-// (lowest shard index) error and the widest admitted→completed window,
-// so the merged latency covers the whole scattered operation.
-func mergeFirstErr(rs []core.Result) core.Result {
-	var out core.Result
-	for i, r := range rs {
-		if r.Err != nil && out.Err == nil {
-			out.Err = r.Err
-		}
-		if i == 0 || r.Admitted < out.Admitted {
-			out.Admitted = r.Admitted
-		}
-		if r.Completed > out.Completed {
-			out.Completed = r.Completed
-		}
-	}
-	return out
 }
 
 // PutAsync admits an insert-or-replace and returns its future.

@@ -27,6 +27,10 @@
 //	pacli trace [-n ops] [-o file]  same workload with the lifecycle
 //	                                tracer on; exports Chrome trace-event
 //	                                JSON for Perfetto / chrome://tracing
+//
+// For profiling a running server (rather than this process), paserve's
+// admin endpoint also serves Go pprof at /debug/pprof/ — see `help` in
+// the shell.
 package main
 
 import (
@@ -216,6 +220,7 @@ func runShell() {
 			return
 		case "help":
 			fmt.Println("put <key> <value> | get <key> | del <key> | scan <lo> <hi> [limit] | sync | stats | metrics | quit")
+			fmt.Println("profiling a live server: paserve's admin endpoint serves Go pprof at http://<admin>/debug/pprof/ (CPU, heap, block)")
 		case "put":
 			if len(fields) < 3 {
 				fmt.Println("usage: put <key> <value>")

@@ -8,12 +8,14 @@
 //	paexp -run all -full         # paper-scale (minutes of host time)
 //	paexp -list                  # list experiment ids
 //
-// With -bench-out, paexp instead runs the multi-device scaling sweep
-// (figmultidev's topologies) and writes the measurements as a
-// BENCH_*.json trajectory; -baseline compares against a committed file
-// and exits non-zero on regressions beyond -max-regress. The sweep runs
-// on the deterministic simulator, so the gate is immune to CI host
-// noise — a regression means the code changed the schedule.
+// With -bench-out, paexp instead runs a benchmark sweep and writes the
+// measurements as a BENCH_*.json trajectory; -bench selects which
+// sweep ("multidev" = figmultidev's topologies, "pipeline" =
+// figpipeline's classic-vs-pipelined mixes). -baseline compares
+// against a committed file and exits non-zero on regressions beyond
+// -max-regress. The sweeps run on the deterministic simulator, so the
+// gates are immune to CI host noise — a regression means the code
+// changed the schedule.
 package main
 
 import (
@@ -32,13 +34,14 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale runs (larger trees, longer windows)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	seed := flag.Uint64("seed", 42, "simulation seed")
-	benchOut := flag.String("bench-out", "", "run the multi-device sweep and write BENCH JSON here")
-	baseline := flag.String("baseline", "", "compare the multi-device sweep against this BENCH JSON")
+	benchOut := flag.String("bench-out", "", "run a benchmark sweep and write BENCH JSON here")
+	benchID := flag.String("bench", "multidev", "which sweep -bench-out runs (multidev, pipeline)")
+	baseline := flag.String("baseline", "", "compare the sweep against this BENCH JSON")
 	maxReg := flag.Float64("max-regress", 0.15, "regression tolerance vs baseline")
 	flag.Parse()
 
 	ids := []string{"fig3a", "fig3b", "fig3c", "fig7", "fig8", "table1", "table2",
-		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "figshards", "figmultidev", "figreadheavy"}
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "figshards", "figmultidev", "figreadheavy", "figpipeline"}
 	if *list {
 		fmt.Println(strings.Join(ids, "\n"))
 		return
@@ -50,7 +53,15 @@ func main() {
 	scale.Seed = *seed
 
 	if *benchOut != "" {
-		multiDevBench(scale, *benchOut, *baseline, *maxReg)
+		switch *benchID {
+		case "multidev":
+			multiDevBench(scale, *benchOut, *baseline, *maxReg)
+		case "pipeline":
+			pipelineBench(scale, *benchOut, *baseline, *maxReg)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown sweep %q; use multidev or pipeline\n", *benchID)
+			os.Exit(2)
+		}
 		return
 	}
 	if *runID == "" {
@@ -108,6 +119,8 @@ func main() {
 			reports = append(reports, harness.FigMultiDev(scale))
 		case "figreadheavy":
 			reports = append(reports, harness.FigReadHeavy(scale))
+		case "figpipeline":
+			reports = append(reports, harness.FigPipeline(scale))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
 			os.Exit(2)
@@ -148,6 +161,56 @@ func multiDevBench(scale harness.Scale, out, baseline string, maxReg float64) {
 	}
 	for _, e := range entries {
 		fmt.Fprintf(os.Stderr, "  %-28s %12.1f %s\n", e.Name, e.Value, e.Unit)
+	}
+	if err := loadgen.WriteBench(out, entries); err != nil {
+		fmt.Fprintf(os.Stderr, "paexp: write %s: %v\n", out, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "paexp: wrote %s (%.1fs elapsed)\n", out, time.Since(start).Seconds())
+	if baseline == "" {
+		return
+	}
+	base, err := loadgen.ReadBench(baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paexp: baseline: %v\n", err)
+		os.Exit(1)
+	}
+	if regs := loadgen.Compare(entries, base, maxReg); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "paexp: REGRESSION: %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "paexp: within %.0f%% of %s\n", maxReg*100, baseline)
+}
+
+// pipelineBench runs the figpipeline sweep (each committed mix with the
+// overlap machinery off and on), writes the measurements as a bench
+// trajectory and optionally gates them against a committed baseline.
+// The speedup_ops series is what pins the feature's win: the gate fails
+// if pipelining stops beating the classic loop by the committed margin.
+func pipelineBench(scale harness.Scale, out, baseline string, maxReg float64) {
+	start := time.Now()
+	fmt.Fprintln(os.Stderr, "running pipeline overlap sweep...")
+	sweep := harness.PipelineSweep(scale)
+	var entries []loadgen.BenchEntry
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	for _, r := range sweep {
+		prefix := "pipeline/" + r.Mix.Name
+		extra := fmt.Sprintf("%d%% updates, journal=%v, %d ops, seed %d",
+			r.Mix.UpdatePercent, r.Mix.Journal, r.On.Ops, scale.Seed)
+		entries = append(entries,
+			loadgen.BenchEntry{Name: prefix + "/classic/throughput", Unit: "ops/s", Value: r.Off.Throughput},
+			loadgen.BenchEntry{Name: prefix + "/classic/mean", Unit: "us", Value: us(r.Off.MeanLatency)},
+			loadgen.BenchEntry{Name: prefix + "/classic/p99", Unit: "us", Value: us(r.Off.P99Latency)},
+			loadgen.BenchEntry{Name: prefix + "/pipelined/throughput", Unit: "ops/s", Value: r.On.Throughput, Extra: extra},
+			loadgen.BenchEntry{Name: prefix + "/pipelined/mean", Unit: "us", Value: us(r.On.MeanLatency)},
+			loadgen.BenchEntry{Name: prefix + "/pipelined/p99", Unit: "us", Value: us(r.On.P99Latency)},
+			loadgen.BenchEntry{Name: prefix + "/speedup_ops", Unit: "x", Value: r.On.Throughput / r.Off.Throughput},
+		)
+	}
+	for _, e := range entries {
+		fmt.Fprintf(os.Stderr, "  %-40s %14.2f %s\n", e.Name, e.Value, e.Unit)
 	}
 	if err := loadgen.WriteBench(out, entries); err != nil {
 		fmt.Fprintf(os.Stderr, "paexp: write %s: %v\n", out, err)

@@ -6,10 +6,12 @@
 // clients connect with package client or cmd/pabench. The -admin HTTP
 // endpoint exposes the full observability surface:
 //
-//	/metrics     Prometheus text (engine patree_* + wire patree_server_*)
-//	/debug/vars  expvar JSON (engine + server snapshots)
-//	/statsz      one JSON document, read by `pacli stats -remote`
-//	/trace       merged Chrome trace JSON (with -trace)
+//	/metrics       Prometheus text (engine patree_* + wire patree_server_*)
+//	/debug/vars    expvar JSON (engine + server snapshots)
+//	/statsz        one JSON document, read by `pacli stats -remote`
+//	/trace         merged Chrome trace JSON (with -trace)
+//	/debug/pprof/  Go runtime profiles (CPU, heap, block, goroutine);
+//	               block profiling is sampled while -admin is set
 //
 // -trace turns on sampled request-scoped spans (negotiated with v1
 // clients), -slowop logs any request slower than the threshold with its
@@ -24,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -44,6 +47,7 @@ func main() {
 		burst   = flag.Int("burst", 0, "max pipelined ops per admission burst (0 = default)")
 		doTrace = flag.Bool("trace", false, "sample request-scoped spans (engine + wire)")
 		slowOp  = flag.Duration("slowop", 0, "log requests slower than this (0 = disabled)")
+		pipeln  = flag.Bool("pipelined", false, "overlap I/O and computation in the polled workers (speculative prefetch, pipelined WAL writes, off-worker scan merge)")
 	)
 	flag.Parse()
 	if *admin == "" {
@@ -56,6 +60,7 @@ func main() {
 		Journal:      *journal,
 		DeviceBlocks: *blocks,
 		Trace:        *doTrace,
+		Pipelined:    *pipeln,
 	}
 	if *weak {
 		opts.Persistence = patree.Weak
@@ -80,6 +85,11 @@ func main() {
 	log.Printf("paserve: serving on %s (shards=%d journal=%v trace=%v)", ln.Addr(), *shards, *journal, *doTrace)
 
 	if *admin != "" {
+		// Sample goroutine-blocking events (one per ~10µs blocked) so the
+		// admin endpoint's /debug/pprof/block answers worker-stall
+		// questions without a rebuild; cheap enough to leave on whenever
+		// the admin surface itself is on.
+		runtime.SetBlockProfileRate(10_000)
 		db.PublishExpvar("patree")
 		srv.PublishExpvar("patree_server")
 		h := srv.AdminHandler(server.AdminConfig{
@@ -88,7 +98,7 @@ func main() {
 			EngineProcs:   db.TraceProcesses,
 		})
 		go func() {
-			log.Printf("paserve: admin on http://%s/{metrics,statsz,trace,debug/vars}", *admin)
+			log.Printf("paserve: admin on http://%s/{metrics,statsz,trace,debug/vars,debug/pprof}", *admin)
 			s := &http.Server{Addr: *admin, Handler: h, ReadHeaderTimeout: 5 * time.Second}
 			if err := s.ListenAndServe(); err != nil {
 				log.Printf("paserve: admin: %v", err)

@@ -24,6 +24,7 @@ func (h *Handle) WaitContext(ctx context.Context) error {
 	h.checkLive("WaitContext")
 	select {
 	case <-h.ch:
+		h.resolveLazy()
 		h.waited = true
 		return h.res.Err
 	case <-ctx.Done():
@@ -35,6 +36,7 @@ func (h *Handle) WaitContext(ctx context.Context) error {
 		// token is (or is about to be) in the channel, so report the real
 		// outcome rather than a spurious cancellation.
 		<-h.ch
+		h.resolveLazy()
 		h.waited = true
 		return h.res.Err
 	}

@@ -75,6 +75,15 @@ func writePrometheus(w io.Writer, m Metrics) {
 	p("# TYPE patree_throttle_waits_total counter\n")
 	p("patree_throttle_waits_total %d\n", m.ThrottleWaits)
 
+	if m.SpecIssued > 0 {
+		p("# HELP patree_spec_reads_total Speculative prefetch reads (Options.Pipelined) by outcome.\n")
+		p("# TYPE patree_spec_reads_total counter\n")
+		p("patree_spec_reads_total{outcome=\"issued\"} %d\n", m.SpecIssued)
+		p("patree_spec_reads_total{outcome=\"hit\"} %d\n", m.SpecHits)
+		p("patree_spec_reads_total{outcome=\"cancelled\"} %d\n", m.SpecCancelled)
+		p("patree_spec_reads_total{outcome=\"wasted\"} %d\n", m.SpecWasted)
+	}
+
 	p("# HELP patree_stage_seconds Per-stage operation latency decomposition.\n")
 	p("# TYPE patree_stage_seconds summary\n")
 	for _, s := range m.Stages {
@@ -155,6 +164,10 @@ func FormatMetrics(m Metrics) string {
 			fmt.Fprintf(&b, " throttleWaits: %d", m.ThrottleWaits)
 		}
 		b.WriteString("\n")
+	}
+	if m.SpecIssued > 0 {
+		fmt.Fprintf(&b, "speculation: issued=%d hits=%d cancelled=%d wasted=%d\n",
+			m.SpecIssued, m.SpecHits, m.SpecCancelled, m.SpecWasted)
 	}
 	if len(m.Stages) > 0 {
 		fmt.Fprintf(&b, "%-11s %-7s %9s %11s %11s %11s %11s %11s\n",

@@ -21,6 +21,12 @@ type ImageWriter interface {
 //
 // fill is the target occupancy of leaves and inner nodes in (0, 1];
 // 0 selects 0.7, leaving headroom so early inserts don't split everything.
+//
+// When the writer also reports its size (every device and partition
+// does), BulkLoad carves the same journal region Format lays out —
+// provided the loaded tree stays clear of it — so a preloaded tree can
+// run with Config.Journal like a formatted one. A writer without a
+// known size yields a journal-less image, as before.
 func BulkLoad(dev ImageWriter, pairs []KV, fill float64) (*storage.Meta, error) {
 	if fill <= 0 {
 		fill = 0.7
@@ -113,6 +119,14 @@ func BulkLoad(dev ImageWriter, pairs []KV, fill float64) (*storage.Meta, error) 
 		Height:    level,
 		Watermark: next,
 		NumKeys:   uint64(len(pairs)),
+	}
+	if sized, ok := dev.(interface{ NumBlocks() uint64 }); ok {
+		if start, blocks := walGeometry(sized.NumBlocks()); blocks > 0 && uint64(next) <= start {
+			meta.WALStart, meta.WALBlocks, meta.WALGen = start, blocks, 1
+			// Zero the region's first block so stale frames from a previous
+			// life of the device can never be replayed (same as Format).
+			dev.WriteAt(start, make([]byte, storage.PageSize))
+		}
 	}
 	dev.WriteAt(0, meta.Encode())
 	return meta, nil

@@ -1,0 +1,49 @@
+package core
+
+// MergeRuns k-way merges n key-ascending runs, emitting winners in
+// global key order. It is the one merge loop shared by every
+// scatter-gather consumer — the root package's per-shard scan merge and
+// the LSM baseline's compaction and range-scan merges — so the selection
+// logic lives (and is tested) in exactly one place.
+//
+// Runs are addressed through callbacks by (run, index), so callers merge
+// any slice shape without copying into a common element type: length(i)
+// is run i's length and key(i, j) its j-th key. emit receives the
+// winning (run, index); returning false stops the merge early (a limit).
+//
+// When newestWins is true the runs are assumed ordered newest first and
+// every run's entries equal to the emitted key are consumed alongside it
+// — LSM shadowing semantics, where run 0 (the memtable) wins duplicates.
+// When false only the winning entry is consumed, which is all disjoint
+// keyspaces (one run per shard) need.
+func MergeRuns(n int, length func(i int) int, key func(i, j int) uint64, newestWins bool, emit func(i, j int) bool) {
+	idx := make([]int, n)
+	for {
+		best := -1
+		var bestKey uint64
+		for i := 0; i < n; i++ {
+			if idx[i] >= length(i) {
+				continue
+			}
+			if k := key(i, idx[i]); best < 0 || k < bestKey {
+				best, bestKey = i, k
+			}
+		}
+		if best < 0 {
+			return
+		}
+		j := idx[best]
+		if newestWins {
+			for i := 0; i < n; i++ {
+				for idx[i] < length(i) && key(i, idx[i]) == bestKey {
+					idx[i]++
+				}
+			}
+		} else {
+			idx[best]++
+		}
+		if !emit(best, j) {
+			return
+		}
+	}
+}

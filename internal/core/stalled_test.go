@@ -1,0 +1,217 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/patree/patree/internal/fault"
+	"github.com/patree/patree/internal/nvme"
+	"github.com/patree/patree/internal/sim"
+	"github.com/patree/patree/internal/simos"
+	"github.com/patree/patree/internal/storage"
+)
+
+// chokedQP wraps the tree's queue pair and rejects every rejectEvery-th
+// Submit with nvme.ErrQueueFull, so the stalled list and
+// resubmitStalled are exercised deterministically — a genuinely tiny
+// ring would stall too, but the stall and its resubmission both happen
+// inside one simulation step, leaving nothing for the test to observe.
+type chokedQP struct {
+	nvme.QueuePair
+	rejectEvery int
+	submits     int
+	rejected    int
+}
+
+func (q *chokedQP) Submit(cmd *nvme.Command) error {
+	q.submits++
+	if q.rejectEvery > 0 && q.submits%q.rejectEvery == 0 {
+		q.rejected++
+		return nvme.ErrQueueFull
+	}
+	return q.QueuePair.Submit(cmd)
+}
+
+// stormRig is a rig variant whose device is wrapped with fault
+// injection and whose queue pair rejects submissions periodically, so
+// full-queue stalls (the stalled list) and injected timeouts (the
+// retry paths) storm the same submission paths at once.
+type stormRig struct {
+	t    *testing.T
+	eng  *sim.Engine
+	fdev *fault.Device
+	qp   *chokedQP
+	tree *Tree
+}
+
+func newStormRig(t *testing.T, cfg Config) *stormRig {
+	t.Helper()
+	r := &stormRig{t: t}
+	r.eng = sim.NewEngine()
+	osched := simos.New(r.eng, simos.Config{})
+	inner := nvme.NewSimDevice(r.eng, nvme.SimConfig{Seed: 11})
+	meta, err := Format(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Format runs on the raw device; faults are armed by the test only
+	// after the loaded phase, so the storm hits a valid tree.
+	r.fdev = fault.New(inner, fault.Config{Seed: 0x5707})
+	th := osched.Spawn("patree", func(*simos.Thread) { r.tree.Run() })
+	tree, err := New(r.fdev, cfg, SimEnv{T: th}, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interpose the rejecting wrapper before the worker runs; every 7th
+	// submission bounces with ErrQueueFull.
+	r.qp = &chokedQP{QueuePair: tree.qp, rejectEvery: 7}
+	tree.qp = r.qp
+	r.tree = tree
+	t.Cleanup(func() {
+		r.tree.Stop()
+		r.eng.RunFor(time.Second)
+	})
+	return r
+}
+
+// drive admits ops together and steps the simulation until every op's
+// Done fired.
+func (r *stormRig) drive(ops []*Op) {
+	r.t.Helper()
+	remaining := len(ops)
+	for _, op := range ops {
+		op.Done = func(*Op) { remaining-- }
+	}
+	r.eng.After(0, func() {
+		for _, op := range ops {
+			r.tree.Admit(op)
+		}
+	})
+	for remaining > 0 && r.eng.Step() {
+	}
+	if remaining > 0 {
+		r.t.Fatalf("%d operations never completed", remaining)
+	}
+}
+
+// TestResubmitStalledTimeoutStorm drives a concurrent mixed batch
+// while every 7th Submit bounces with ErrQueueFull and ~30% of the
+// commands that do get in complete with nvme.ErrTimeout. Every
+// submission path that can stall (reads and strong-persistence
+// write-backs) must re-queue via the stalled list and eventually
+// succeed: no operation may be lost, every retry must be visible in
+// the stats, and the storm must stay below the terminal failed state
+// because the per-op budget is generous.
+func TestResubmitStalledTimeoutStorm(t *testing.T) {
+	r := newStormRig(t, Config{
+		BufferPages:  0, // no buffering: every access is a device command
+		MaxIORetries: 16,
+		RetryBackoff: 20 * time.Microsecond,
+	})
+
+	// Loaded phase, timeouts off (rejections stay on): build the tree.
+	const n = 256
+	load := make([]*Op, 0, n)
+	for i := uint64(1); i <= n; i++ {
+		load = append(load, NewInsert(i, []byte(fmt.Sprintf("v%d", i)), nil))
+	}
+	r.drive(load)
+	if r.qp.rejected == 0 {
+		t.Fatalf("%d concurrent inserts through the choked queue never stalled a submission", n)
+	}
+
+	// Storm phase: timeouts on ~30% of commands, mixed reads and writes.
+	r.fdev.SetProbs(fault.Probs{Timeout: 0.3})
+	mixed := make([]*Op, 0, n)
+	for i := uint64(1); i <= n; i++ {
+		if i%4 == 0 {
+			mixed = append(mixed, NewInsert(i, []byte(fmt.Sprintf("w%d", i)), nil))
+		} else {
+			mixed = append(mixed, NewSearch(i, nil))
+		}
+	}
+	r.drive(mixed)
+
+	for _, op := range mixed {
+		if op.Res.Err != nil {
+			t.Fatalf("op key %d failed under a transient storm: %v", op.key, op.Res.Err)
+		}
+		if op.kind == KindSearch && !op.Res.Found {
+			t.Fatalf("search %d lost its key", op.key)
+		}
+	}
+	if len(r.tree.stalled) != 0 {
+		t.Fatalf("%d entries left on the stalled list after the storm drained", len(r.tree.stalled))
+	}
+	if got := r.fdev.Counts().Timeouts; got == 0 {
+		t.Fatal("fault injection armed but no timeouts fired")
+	}
+	st := r.tree.stats
+	if st.IOErrors == 0 || st.IORetries == 0 {
+		t.Fatalf("timeout storm left no trace: errors=%d retries=%d", st.IOErrors, st.IORetries)
+	}
+	if st.IORetries > st.IOErrors {
+		t.Fatalf("more retries (%d) than errors (%d)", st.IORetries, st.IOErrors)
+	}
+	if r.tree.failed {
+		t.Fatal("tree entered the failed state despite a generous retry budget")
+	}
+}
+
+// TestResubmitStalledRetryBudgetBound pins the other edge: when every
+// command times out, each operation consumes at most MaxIORetries
+// retries before the tree declares the device failed, and every
+// admitted operation still completes (with ErrDeviceFailed) — drained,
+// not lost.
+func TestResubmitStalledRetryBudgetBound(t *testing.T) {
+	const budget = 2
+	r := newStormRig(t, Config{
+		BufferPages:  0,
+		MaxIORetries: budget,
+		RetryBackoff: 20 * time.Microsecond,
+	})
+
+	const n = 64
+	load := make([]*Op, 0, n)
+	for i := uint64(1); i <= n; i++ {
+		load = append(load, NewInsert(i, []byte("x"), nil))
+	}
+	r.drive(load)
+
+	r.fdev.SetProbs(fault.Probs{Timeout: 1})
+	reads := make([]*Op, 0, n)
+	for i := uint64(1); i <= n; i++ {
+		reads = append(reads, NewSearch(i, nil))
+	}
+	r.drive(reads) // drive fails the test if any op is lost
+
+	var failed int
+	for _, op := range reads {
+		if op.Res.Err != nil {
+			if !errors.Is(op.Res.Err, ErrDeviceFailed) {
+				t.Fatalf("search %d: %v, want ErrDeviceFailed", op.key, op.Res.Err)
+			}
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("every command timed out but no operation failed")
+	}
+	st := r.tree.stats
+	if !r.tree.failed {
+		t.Fatal("exhausted budgets must put the tree in the failed state")
+	}
+	if st.IORetries == 0 {
+		t.Fatal("no retries before giving up")
+	}
+	if max := uint64(n * budget); st.IORetries > max {
+		t.Fatalf("retries %d exceed the %d-op x %d budget bound", st.IORetries, n, budget)
+	}
+	// The page a failing op was reading stays out of the buffers, so no
+	// later read can be served from a half-retried image.
+	if _, ok := r.tree.inflight[storage.PageID(0)]; ok {
+		t.Fatal("meta page left in the in-flight write table")
+	}
+}

@@ -82,6 +82,19 @@ type Stats struct {
 	IORetries      uint64
 	JournalAppends uint64
 	Checkpoints    uint64
+	// Speculative-prefetch instrumentation (Config.SpeculativePrefetch;
+	// see pipeline.go). SpecIssued counts speculative page reads
+	// submitted; SpecHits counts operations that coalesced onto an
+	// in-flight speculative read instead of issuing their own demand
+	// read; SpecCancelled counts speculative completions dropped on
+	// mispredict (intervening write, page already resident another way,
+	// device error or checksum failure); SpecWasted counts speculative
+	// reads installed with no operation waiting — prefetched warmth that
+	// may still serve a later buffer hit, but earned nothing yet.
+	SpecIssued    uint64
+	SpecHits      uint64
+	SpecCancelled uint64
+	SpecWasted    uint64
 	// Stages holds per-stage, per-kind latency histograms: where each
 	// operation's time went between admission and completion (see
 	// metrics.Stage). The conditional stages (admit-wait, latch-wait,
@@ -168,18 +181,43 @@ type Tree struct {
 	jFence          bool
 	jWaiters        []*Op
 
-	// The WAL block writer: one tree-level FIFO issuing block writes
-	// strictly in log order, a single write in flight. Per-op writers
-	// would race on the shared tail block — a stale rewrite landing after
-	// a newer one truncates certified bytes, and an op completing its own
-	// blocks could certify bytes an earlier op still has in flight,
-	// acknowledging records a crash can still revert. A flush that
-	// rewrites a block still pending here supersedes it in place; an
-	// entry's certify watermark is applied to jDurable only when that
-	// entry itself completes, so the durable prefix is always contiguous.
-	jwq       []jwEntry
-	jwBusy    bool
-	jwRetries int
+	// The WAL block writer: one tree-level FIFO issuing block writes in
+	// log order. Per-op writers would race on the shared tail block — a
+	// stale rewrite landing after a newer one truncates certified bytes,
+	// and an op completing its own blocks could certify bytes an earlier
+	// op still has in flight, acknowledging records a crash can still
+	// revert. A flush that rewrites a block still pending here supersedes
+	// it in place; an entry's certify watermark is applied to jDurable
+	// only when the contiguous prefix of entries up to it has completed,
+	// so the durable prefix is always contiguous.
+	//
+	// jwDepth (Config.WALWriteDepth) selects the writer: 1 is the classic
+	// single-in-flight writer (jwBusy/jwRetries, one write at a time,
+	// byte-identical schedules); >1 pipelines writes of distinct log
+	// blocks up to that depth (jwInflight gauges them, retry budgets move
+	// per entry) while a rewrite of a block with a write still in flight
+	// queues behind it. See DESIGN.md §17.
+	jwq        []*jwEntry
+	jwBusy     bool
+	jwRetries  int
+	jwDepth    int
+	jwInflight int
+
+	// Speculative child prefetch (Config.SpeculativePrefetch; see
+	// pipeline.go). specInflight tracks speculative page reads between
+	// submission and completion; an op that reaches a page with a live
+	// speculative read in flight parks on it as a waiter instead of
+	// issuing a duplicate. Every write-submission site calls
+	// specInvalidate with the page it writes, which marks any in-flight
+	// speculative read of that page stale (vetoing its install) and wakes
+	// its waiters onto the fresh in-memory image — so a stale device
+	// image can never mask a newer write, and writes of unrelated pages
+	// never cost the prefetcher anything. specKeys is the per-drain
+	// scratch list of keys to predict paths for; specSeen dedupes them
+	// within one pass.
+	specInflight map[storage.PageID]*specRead
+	specKeys     []uint64
+	specSeen     map[uint64]struct{}
 
 	// syncActive serializes sync/checkpoint pipelines; checkpointPending
 	// is set while an internal checkpoint op is live so the trigger never
@@ -268,11 +306,17 @@ type retryEntry struct {
 
 // jwEntry is one WAL block image queued for the tree-level writer.
 // certify, when non-zero, is the log byte watermark that becomes
-// durable once this write completes (set on a flush's final block).
+// durable once this write (and every entry before it) completes — set
+// on a flush's final block. inflight/done/retries serve the pipelined
+// writer only (Config.WALWriteDepth > 1): the entry's position in its
+// submit→complete lifecycle and its per-entry transient-retry budget.
 type jwEntry struct {
-	id      storage.PageID
-	data    []byte
-	certify int
+	id       storage.PageID
+	data     []byte
+	certify  int
+	inflight bool
+	done     bool
+	retries  int
 }
 
 // New creates a tree on dev using an existing on-device image described
@@ -306,6 +350,7 @@ func New(dev nvme.Device, cfg Config, env Env, meta *storage.Meta) (*Tree, error
 	t.walStart = meta.WALStart
 	t.walBlocks = meta.WALBlocks
 	t.metaWALGen = meta.WALGen
+	t.jwDepth = cfg.WALWriteDepth
 	if cfg.Journal && meta.WALBlocks > 0 && meta.WALStart > 0 {
 		t.wal = wal.NewLog(storage.PageSize, meta.WALBlocks)
 		g := meta.WALGen
@@ -901,6 +946,12 @@ func (t *Tree) drainInbox() {
 			}
 			t.tr.Emit(tcInbox, uint16(o.kind), o.seq, 0, int64(o.enqueuedAt), int64(drainNow.Sub(o.enqueuedAt)))
 		}
+		if t.cfg.SpeculativePrefetch && (pointKind(o.kind) || o.kind == KindRange) {
+			// A range scan's start key predicts its descent path just like
+			// a point key does; the sibling read-ahead takes over once the
+			// scan reaches the leaf level (specScanAhead).
+			t.specKeys = append(t.specKeys, o.key)
+		}
 		if pointKind(o.kind) {
 			o.keyGated = true
 			if tail, ok := t.keyDeps[o.key]; ok {
@@ -919,6 +970,9 @@ func (t *Tree) drainInbox() {
 	}
 	if drained > 0 {
 		t.policy.OnAdmit(drained, drainNow)
+		if t.cfg.SpeculativePrefetch {
+			t.speculate(drainNow)
+		}
 	}
 }
 
@@ -1180,6 +1234,15 @@ func (t *Tree) process(o *Op) {
 					data = o.ioData
 				} else {
 					o.ioData = nil
+					if sr, ok := t.specInflight[o.cur]; ok && !sr.stale && !t.failed {
+						// A live speculative read of this page is already in
+						// flight: coalesce onto it instead of issuing a
+						// duplicate (pipeline.go wakes us when it lands —
+						// or falls back to a demand read on mispredict).
+						sr.waiters = append(sr.waiters, specWaiter{op: o, since: t.now()})
+						t.stats.SpecHits++
+						return // I/O-blocked on the speculative read
+					}
 					if !t.submitRead(o) {
 						return // stalled or waiting
 					}
@@ -1321,6 +1384,9 @@ func (t *Tree) processNode(o *Op) bool {
 	}
 	idx := node.ChildIndex(o.key)
 	child := node.Children[idx]
+	if t.cfg.SpeculativePrefetch && o.kind == KindRange {
+		t.specScanAhead(o, node, idx)
+	}
 	o.prevNode = node
 	o.cur = child
 	o.depth++
@@ -1735,6 +1801,7 @@ func (t *Tree) lookupPage(id storage.PageID) ([]byte, bool) {
 // bufferWrite stores a weak-mode page update and schedules any evicted
 // dirty victim for background write-back.
 func (t *Tree) bufferWrite(id storage.PageID, data []byte) {
+	t.specInvalidate(id)
 	if victim, ev := t.rw.Write(id, data); ev {
 		t.queueBG(victim)
 	}
@@ -1801,6 +1868,7 @@ func (t *Tree) submitBG(w bgWrite) bool {
 	id := w.ID
 	epoch := w.Epoch
 	retries := w.retries
+	t.specInvalidate(id)
 	t.inflight[id] = data
 	submitted := t.now()
 	cmd := &nvme.Command{Op: nvme.OpWrite, LBA: uint64(id), Blocks: 1, Buf: data}
@@ -1918,6 +1986,7 @@ func (t *Tree) fillOnRead(id storage.PageID, data []byte) {
 // and the op advances to the next write.
 func (t *Tree) submitOpWrite(o *Op) bool {
 	w := o.writes[o.wIdx]
+	t.specInvalidate(w.id)
 	submitted := t.now()
 	cmd := &nvme.Command{Op: nvme.OpWrite, LBA: uint64(w.id), Blocks: 1, Buf: w.data}
 	cmd.Callback = func(c nvme.Completion) {
@@ -2028,6 +2097,12 @@ func (t *Tree) enterFailed(cause error) {
 	}
 	t.promoteRetries()
 	t.promoteJWaiters()
+	for _, sr := range t.specInflight {
+		// Wake ops parked on speculative reads: the failed drain at the
+		// top of process() handles them, and the reads' own completions
+		// will find no waiters left.
+		t.promoteSpecWaiters(sr, t.now())
+	}
 }
 
 // Failed reports whether the tree is in the terminal failed state.
@@ -2154,24 +2229,41 @@ func (t *Tree) journalBuild(o *Op) {
 
 // jwEnqueue queues one WAL block image for the tree-level writer. A
 // pending rewrite of the same block (the growing tail) is superseded in
-// place — unless it is the write currently in flight, in which case the
-// newer image queues behind it and lands after, preserving log order.
+// place — unless it is a write currently in flight (or already landed),
+// in which case the newer image queues behind it and lands after,
+// preserving log order.
 func (t *Tree) jwEnqueue(id storage.PageID, data []byte) {
 	// Flush reuses its block buffer between calls: copy.
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	if n := len(t.jwq); n > 0 && t.jwq[n-1].id == id && !(n == 1 && t.jwBusy) {
-		t.jwq[n-1].data = cp
-		return
+	if n := len(t.jwq); n > 0 {
+		tail := t.jwq[n-1]
+		if tail.id == id && !tail.inflight && !tail.done && !(n == 1 && t.jwBusy) {
+			tail.data = cp
+			return
+		}
 	}
-	t.jwq = append(t.jwq, jwEntry{id: id, data: cp})
+	t.jwq = append(t.jwq, &jwEntry{id: id, data: cp})
 }
 
-// jwKick submits the head of the WAL writer queue if nothing is in
-// flight. Called after enqueueing and from the main loop (to recover
-// from a full submission queue). Completions chain the next submit, so
-// the queue drains one ordered write at a time.
+// jwActive reports whether the tree-level WAL writer still has work
+// queued or in flight — the checkpoint pipeline's drain check, valid
+// for both the single-in-flight and the pipelined writer.
+func (t *Tree) jwActive() bool {
+	return t.jwBusy || t.jwInflight > 0 || len(t.jwq) > 0
+}
+
+// jwKick submits queued WAL block writes. Called after enqueueing and
+// from the main loop (to recover from a full submission queue).
+// With WALWriteDepth 1 it is the classic writer: one write in flight,
+// completions chain the next submit, the queue drains one ordered write
+// at a time. With WALWriteDepth > 1 it dispatches to the pipelined
+// writer instead.
 func (t *Tree) jwKick() {
+	if t.jwDepth > 1 {
+		t.jwKickPipelined()
+		return
+	}
 	if t.jwBusy || len(t.jwq) == 0 || t.failed {
 		return
 	}
@@ -2215,6 +2307,102 @@ func (t *Tree) jwKick() {
 	t.ioBlocked++
 	t.stats.WritesIssued++
 	t.jwBusy = true
+}
+
+// jwKickPipelined keeps up to jwDepth WAL block writes in flight at
+// once (Config.WALWriteDepth > 1). Writes of distinct log blocks
+// overlap; an entry whose block has an earlier not-yet-landed entry
+// (an in-flight tail rewrite) stays queued behind it so same-block
+// submission order — and therefore log order on the device — is
+// preserved. The durability watermark advances only over the contiguous
+// completed prefix (jwAdvance), so an out-of-order completion can never
+// certify bytes an earlier write could still revert.
+func (t *Tree) jwKickPipelined() {
+	if t.failed {
+		return
+	}
+	for i := 0; i < len(t.jwq) && t.jwInflight < t.jwDepth; i++ {
+		e := t.jwq[i]
+		if e.inflight || e.done {
+			continue
+		}
+		blocked := false
+		for j := 0; j < i; j++ {
+			if t.jwq[j].id == e.id && !t.jwq[j].done {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		if !t.jwSubmit(e) {
+			return // queue full: the main loop kicks again
+		}
+	}
+}
+
+// jwSubmit issues one pipelined WAL block write. Returns false when the
+// submission queue is full (the entry stays queued).
+func (t *Tree) jwSubmit(e *jwEntry) bool {
+	submitted := t.now()
+	cmd := &nvme.Command{Op: nvme.OpWrite, LBA: uint64(e.id), Blocks: 1, Buf: e.data}
+	cmd.Callback = func(c nvme.Completion) {
+		t.ioBlocked--
+		now := t.now()
+		t.policy.OnDetected(nvme.OpWrite, submitted, now)
+		if t.tr != nil {
+			t.tr.Emit(tcIOWrite, classNone, 0, uint64(e.id), int64(submitted), int64(now.Sub(submitted)))
+		}
+		t.jwInflight--
+		e.inflight = false
+		if c.Err != nil {
+			t.stats.IOErrors++
+			if !t.failed && transientIOErr(c.Err) && e.retries < t.cfg.MaxIORetries {
+				e.retries++
+				t.stats.IORetries++
+				t.jwKick() // entry is queued again; resubmitted in order
+				return
+			}
+			t.enterFailed(c.Err)
+			t.jwq = t.jwq[:0]
+			t.promoteJWaiters() // failed: wake parked ops so they drain
+			return
+		}
+		e.done = true
+		t.jwAdvance()
+		t.jwKick()
+	}
+	t.charge(metrics.CatNVMe, t.cfg.Costs.IOSubmit)
+	if err := t.qp.Submit(cmd); err != nil {
+		return false
+	}
+	t.policy.OnSubmit(nvme.OpWrite, submitted)
+	t.ioBlocked++
+	t.stats.WritesIssued++
+	e.inflight = true
+	t.jwInflight++
+	return true
+}
+
+// jwAdvance pops the contiguous completed prefix of the pipelined
+// writer's queue, advancing the durability watermark over it and waking
+// any ops it covers. A completed entry behind a still-pending earlier
+// one stays queued: its certify bytes are not durable until everything
+// before them has landed.
+func (t *Tree) jwAdvance() {
+	advanced := false
+	for len(t.jwq) > 0 && t.jwq[0].done {
+		if t.jwq[0].certify > t.jDurable {
+			t.jDurable = t.jwq[0].certify
+			advanced = true
+		}
+		t.jwq[0] = nil
+		t.jwq = t.jwq[1:]
+	}
+	if advanced {
+		t.promoteJWaiters()
+	}
 }
 
 // promoteJWaiters wakes ops whose journal bytes became durable (or, in
@@ -2476,7 +2664,7 @@ func (t *Tree) runSyncJournaled(o *Op) bool {
 			return true
 
 		case spMetaLog:
-			if t.jLive > 0 || t.postJournalLive > 0 || t.jwBusy || len(t.jwq) > 0 {
+			if t.jLive > 0 || t.postJournalLive > 0 || t.jwActive() {
 				// Ops whose records are in the retiring generation must
 				// finish their in-place / buffered writes first — and the
 				// shared WAL writer must drain — before the log is retired;
@@ -2594,6 +2782,7 @@ func (t *Tree) syncMetaImage(buf []byte) {
 // caller keeps the entry queued and the stalled list reschedules).
 func (t *Tree) submitSyncPage(o *Op, d buffer.Dirty) bool {
 	id, data, epoch := d.ID, d.Data, d.Epoch
+	t.specInvalidate(id)
 	submitted := t.now()
 	cmd := &nvme.Command{Op: nvme.OpWrite, LBA: uint64(id), Blocks: 1, Buf: data}
 	cmd.Callback = func(c nvme.Completion) {

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/patree/patree/internal/core"
+	"github.com/patree/patree/internal/nvme"
+	"github.com/patree/patree/internal/sim"
+	"github.com/patree/patree/internal/simos"
+	"github.com/patree/patree/internal/trace"
+)
+
+// pipelineTraceRun drives one traced, journaled shard through a fixed
+// mixed workload and returns the Chrome trace. pipelined toggles the
+// overlap machinery — speculative child prefetch and depth-8 WAL write
+// pipelining — which by design DOES change the simulated I/O schedule;
+// what must hold is that any given configuration is same-seed
+// reproducible, and that the default (off) configuration is
+// byte-identical to an explicitly-disabled one.
+func pipelineTraceRun(t *testing.T, seed uint64, pipelined, explicitOff bool) []byte {
+	t.Helper()
+	eng := sim.NewEngine()
+	sd := nvme.NewSimDevice(eng, nvme.SimConfig{Seed: seed, NumBlocks: 1 << 13})
+	osched := simos.New(eng, simos.Config{})
+	meta, err := core.Format(sd)
+	if err != nil {
+		t.Fatalf("format: %v", err)
+	}
+	tracer := core.NewTracer(1 << 15)
+	cfg := core.Config{
+		Persistence: core.StrongPersistence,
+		BufferPages: 32, // tiny: point ops miss, so prefetch has work
+		Journal:     true,
+		Tracer:      tracer,
+	}
+	if pipelined {
+		cfg.SpeculativePrefetch = true
+		cfg.WALWriteDepth = 8
+	} else if explicitOff {
+		cfg.SpeculativePrefetch = false
+		cfg.SpecBudget = 16 // budget without the switch must stay inert
+		cfg.WALWriteDepth = 1
+	}
+	var tree *core.Tree
+	th := osched.Spawn("patree", func(*simos.Thread) { tree.Run() })
+	tree, err = core.New(sd, cfg, core.SimEnv{T: th}, meta)
+	if err != nil {
+		t.Fatalf("new tree: %v", err)
+	}
+
+	rng := sim.NewRNG(seed ^ 0x919e)
+	const total = 400
+	resolved := 0
+	eng.After(0, func() {
+		for i := 0; i < total; i++ {
+			key := 1 + rng.Uint64n(256)
+			var op *core.Op
+			if rng.Intn(100) < 60 {
+				op = core.NewInsert(key, []byte(fmt.Sprintf("v%d", key)), func(*core.Op) { resolved++ })
+			} else {
+				op = core.NewSearch(key, func(*core.Op) { resolved++ })
+			}
+			tree.Admit(op)
+		}
+	})
+	for resolved < total {
+		if !eng.Step() {
+			t.Fatalf("seed %d pipelined=%v: run wedged at %d/%d", seed, pipelined, resolved, total)
+		}
+	}
+	st := tree.StatsSnapshot()
+	if pipelined && st.SpecIssued == 0 {
+		t.Fatalf("seed %d: pipelined run issued no speculative reads — the workload no longer exercises the feature", seed)
+	}
+	if !pipelined && (st.SpecIssued != 0 || st.SpecHits != 0 || st.SpecCancelled != 0 || st.SpecWasted != 0) {
+		t.Fatalf("seed %d: speculation counters moved with the feature off: %+v", seed, st)
+	}
+	tree.Stop()
+	eng.RunFor(time.Second)
+
+	events := tracer.Events()
+	if len(events) == 0 {
+		t.Fatalf("seed %d: no trace events", seed)
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteChromeJSONProcs(&buf, []trace.Process{{Name: "patree", Events: events}}); err != nil {
+		t.Fatalf("seed %d: write trace: %v", seed, err)
+	}
+	return buf.Bytes()
+}
+
+// TestPipelinedOffTraceDeterminism is the determinism regression for
+// the overlap machinery (ISSUE 10): the options default to off, and a
+// default-configured run must export a byte-identical trace to one
+// where speculation and WAL pipelining are explicitly disabled — the
+// gates must leave the classic single-in-flight schedule untouched. If
+// this breaks, every pinned simulated experiment is suspect.
+func TestPipelinedOffTraceDeterminism(t *testing.T) {
+	if (core.Config{}).SpeculativePrefetch {
+		t.Fatal("SpeculativePrefetch must default to off")
+	}
+	d := (core.Config{}).WithDefaults()
+	if d.SpeculativePrefetch {
+		t.Fatal("WithDefaults must not switch SpeculativePrefetch on")
+	}
+	if d.WALWriteDepth != 1 {
+		t.Fatalf("WithDefaults WALWriteDepth = %d, want the classic 1", d.WALWriteDepth)
+	}
+	const seed = 42
+	def := pipelineTraceRun(t, seed, false, false)
+	off := pipelineTraceRun(t, seed, false, true)
+	if !bytes.Equal(def, off) {
+		t.Fatalf("seed %d: explicit-off config changed the simulated trace (%d vs %d bytes) — the pipelining gates leak into the classic path", seed, len(def), len(off))
+	}
+	def2 := pipelineTraceRun(t, seed, false, false)
+	if !bytes.Equal(def, def2) {
+		t.Fatalf("seed %d: same-seed default runs diverged (%d vs %d bytes)", seed, len(def), len(def2))
+	}
+}
+
+// TestPipelinedOnTraceRepeatable pins that the pipelined configuration
+// is itself deterministic: speculation and WAL pipelining reshape the
+// I/O schedule, but the same seed must reshape it identically every
+// time — stress reproductions and the figpipeline experiment depend on
+// it.
+func TestPipelinedOnTraceRepeatable(t *testing.T) {
+	const seed = 77
+	on1 := pipelineTraceRun(t, seed, true, false)
+	on2 := pipelineTraceRun(t, seed, true, false)
+	if !bytes.Equal(on1, on2) {
+		t.Fatalf("seed %d: same-seed pipelined runs diverged (%d vs %d bytes)", seed, len(on1), len(on2))
+	}
+}

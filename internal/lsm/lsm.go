@@ -271,31 +271,23 @@ func (t *Tree) mergeTables(th *simos.Thread, sources []*table) ([]entry, error) 
 		}
 		lists = append(lists, es)
 	}
-	idx := make([]int, len(lists))
 	var out []entry
-	for {
-		best := -1
-		var bestKey uint64
-		for i, l := range lists {
-			if idx[i] >= len(l) {
-				continue
-			}
-			k := l[idx[i]].key
-			if best == -1 || k < bestKey {
-				best, bestKey = i, k
-			}
-		}
-		if best == -1 {
-			return out, nil
-		}
-		out = append(out, lists[best][idx[best]])
-		// Skip the same key in all (older) sources.
-		for i, l := range lists {
-			for idx[i] < len(l) && l[idx[i]].key == bestKey {
-				idx[i]++
-			}
-		}
-	}
+	mergeEntryLists(lists, func(e entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out, nil
+}
+
+// mergeEntryLists k-way merges entry lists ordered newest first: the
+// newest occurrence of each key wins and shadows the rest. emit returns
+// false to stop early.
+func mergeEntryLists(lists [][]entry, emit func(entry) bool) {
+	core.MergeRuns(len(lists),
+		func(i int) int { return len(lists[i]) },
+		func(i, j int) uint64 { return lists[i][j].key },
+		true,
+		func(i, j int) bool { return emit(lists[i][j]) })
 }
 
 // readAll loads every entry of a table.
@@ -428,35 +420,17 @@ func (t *Tree) RangeScan(th *simos.Thread, lo, hi uint64, limit int) ([]core.KV,
 		}
 	}
 	// Merge newest-first (memtable first, then L0 newest-first, then L1).
-	idx := make([]int, len(lists))
 	var out []core.KV
-	for {
-		best := -1
-		var bestKey uint64
-		for i, l := range lists {
-			if idx[i] >= len(l) {
-				continue
-			}
-			if best == -1 || l[idx[i]].key < bestKey {
-				best, bestKey = i, l[idx[i]].key
-			}
-		}
-		if best == -1 {
-			return out, nil
-		}
-		e := lists[best][idx[best]]
-		for i, l := range lists {
-			for idx[i] < len(l) && l[idx[i]].key == bestKey {
-				idx[i]++
-			}
-		}
+	mergeEntryLists(lists, func(e entry) bool {
 		if !e.tombstone {
 			out = append(out, core.KV{Key: e.key, Value: e.value})
 			if limit > 0 && len(out) >= limit {
-				return out, nil
+				return false
 			}
 		}
-	}
+		return true
+	})
+	return out, nil
 }
 
 // SetPersistence switches the persistence mode, returning the previous

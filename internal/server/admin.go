@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"net/http"
+	"net/http/pprof"
 
 	"github.com/patree/patree/internal/trace"
 )
@@ -26,13 +27,22 @@ type AdminConfig struct {
 
 // AdminHandler returns the paserve admin mux:
 //
-//	/metrics     Prometheus text: engine families, then patree_server_*
-//	/debug/vars  the process expvar registry (JSON)
-//	/statsz      one JSON document: server wire metrics + engine metrics
-//	/trace       merged Chrome trace JSON (server spans + engine ops,
-//	             stitched with flow arrows); 404 when tracing is off
+//	/metrics       Prometheus text: engine families, then patree_server_*
+//	/debug/vars    the process expvar registry (JSON)
+//	/statsz        one JSON document: server wire metrics + engine metrics
+//	/trace         merged Chrome trace JSON (server spans + engine ops,
+//	               stitched with flow arrows); 404 when tracing is off
+//	/debug/pprof/  Go runtime profiles (CPU, heap, block, mutex, ...) —
+//	               the admin mux is private, so these are wired here
+//	               explicitly rather than through the default mux, and a
+//	               worker-stall investigation never needs a rebuild
 func (s *Server) AdminHandler(cfg AdminConfig) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if cfg.EngineMetrics != nil {

@@ -97,12 +97,27 @@ func (l *Log) NextLSN() uint64 { return l.nextLSN }
 func (l *Log) PendingBytes() int { return len(l.pending) }
 
 // Append frames rec and buffers it, returning its LSN. The record is not
-// durable until Flush.
+// durable until Flush. The frame is encoded directly into the staging
+// buffer — no per-record scratch allocation — so encode + CRC can run
+// while previously staged blocks are still in flight on the device (the
+// journal pipelining of DESIGN.md §17); the staged bytes are identical
+// to the former copy-through-scratch encoding.
 func (l *Log) Append(rec []byte) (uint64, error) {
 	if len(rec) == 0 {
 		return 0, ErrRecordEmpty
 	}
-	frame := make([]byte, headerBytes+len(rec))
+	frameLen := headerBytes + len(rec)
+	if uint64(l.flushedBytes+len(l.pending)+frameLen) > l.capBlocks*uint64(l.blockSize) {
+		return 0, ErrLogFull
+	}
+	off := len(l.pending)
+	if cap(l.pending) < off+frameLen {
+		grown := make([]byte, off, off+frameLen+len(l.pending))
+		copy(grown, l.pending)
+		l.pending = grown
+	}
+	l.pending = l.pending[:off+frameLen]
+	frame := l.pending[off:]
 	binary.LittleEndian.PutUint16(frame[0:2], frameMagic)
 	binary.LittleEndian.PutUint32(frame[2:6], l.gen)
 	binary.LittleEndian.PutUint32(frame[6:10], uint32(len(rec)))
@@ -110,10 +125,6 @@ func (l *Log) Append(rec []byte) (uint64, error) {
 	crc := crc32.Checksum(frame[2:10], crcTable)
 	crc = crc32.Update(crc, crcTable, rec)
 	binary.LittleEndian.PutUint32(frame[10:14], crc)
-	if uint64(l.flushedBytes+len(l.pending)+len(frame)) > l.capBlocks*uint64(l.blockSize) {
-		return 0, ErrLogFull
-	}
-	l.pending = append(l.pending, frame...)
 	lsn := l.nextLSN
 	l.nextLSN++
 	return lsn, nil

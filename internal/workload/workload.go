@@ -139,6 +139,12 @@ type YCSBConfig struct {
 	Theta float64
 	// ValueSize is the payload size (default 8 bytes).
 	ValueSize int
+	// RangePercent is the share of short range scans (YCSB-E style);
+	// the default 0 keeps the paper's point-only mixes.
+	RangePercent int
+	// RangeLimit is how many pairs each scan asks for (default 64 when
+	// RangePercent > 0).
+	RangeLimit int
 	// Seed drives the generator.
 	Seed uint64
 }
@@ -163,6 +169,9 @@ func NewYCSB(cfg YCSBConfig) *YCSB {
 	}
 	if cfg.ValueSize <= 0 {
 		cfg.ValueSize = 8
+	}
+	if cfg.RangePercent > 0 && cfg.RangeLimit <= 0 {
+		cfg.RangeLimit = 64
 	}
 	rng := sim.NewRNG(cfg.Seed ^ 0x9c5b)
 	name := "ycsb-default"
@@ -200,10 +209,17 @@ func (y *YCSB) Preload() []core.KV {
 // Next implements Generator.
 func (y *YCSB) Next() Op {
 	key := scramble(y.zipf.Next())
-	if int(y.rng.Uint64n(100)) < y.cfg.UpdatePercent {
+	r := int(y.rng.Uint64n(100))
+	if r < y.cfg.UpdatePercent {
 		v := make([]byte, y.cfg.ValueSize)
 		y.rng.FillBytes(v)
 		return Op{Kind: OpUpdate, Key: key, Value: v}
+	}
+	if r < y.cfg.UpdatePercent+y.cfg.RangePercent {
+		// Scans start at a popular key and take the next RangeLimit pairs
+		// in key order, whatever they are (the scrambled domain makes the
+		// span a random slice of the tree).
+		return Op{Kind: OpRange, Key: key, EndKey: ^uint64(0), Limit: y.cfg.RangeLimit}
 	}
 	return Op{Kind: OpSearch, Key: key}
 }

@@ -160,6 +160,10 @@ func (db *DB) Metrics() Metrics {
 		m.Stats.IORetries += snap.stats.IORetries
 		m.Stats.JournalAppends += snap.stats.JournalAppends
 		m.Stats.Checkpoints += snap.stats.Checkpoints
+		m.Stats.SpecIssued += snap.stats.SpecIssued
+		m.Stats.SpecHits += snap.stats.SpecHits
+		m.Stats.SpecCancelled += snap.stats.SpecCancelled
+		m.Stats.SpecWasted += snap.stats.SpecWasted
 		hits += snap.buf.hits
 		misses += snap.buf.misses
 

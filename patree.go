@@ -182,6 +182,27 @@ type Options struct {
 	// by default — the fast path adds worker-side publication work, and
 	// deterministic simulation runs keep it off to stay byte-identical.
 	ConcurrentReads bool
+	// Pipelined enables the overlapped polled loop (DESIGN.md §17), three
+	// coordinated pieces: speculative child prefetch (each worker walks
+	// drained operations' predicted descent paths through resident pages
+	// and issues the first missing page's read ahead of the operation's
+	// turn, budget-bounded and cancelled on mispredict), pipelined WAL
+	// block writes (up to WALWriteDepth journal blocks in flight, log
+	// order and gate-before-mutation preserved — only meaningful with
+	// Journal), and off-worker scan merge (multi-shard Scan results are
+	// k-way merged on the waiting goroutine instead of the last-finishing
+	// worker). Semantics are identical either way; off by default, and
+	// deterministic simulation runs keep it off — speculative reads and
+	// deeper WAL pipelining reshape the simulated I/O schedule.
+	Pipelined bool
+	// SpecBudget caps each shard's speculative prefetch reads in flight
+	// (0 = default 16). Ignored unless Pipelined.
+	SpecBudget int
+	// WALWriteDepth bounds each shard's in-flight journal block writes
+	// (0 = 8 when Pipelined, else the classic single-in-flight writer;
+	// 1 forces the classic writer even when Pipelined). Ignored unless
+	// Journal.
+	WALWriteDepth int
 }
 
 // Stats reports tree activity, summed across shards.
@@ -216,6 +237,15 @@ type Stats struct {
 	// (0 unless Options.AdmissionWeighting; see ErrBacklog for the
 	// non-blocking paths' behavior).
 	ThrottleWaits uint64
+	// Speculative-prefetch counters (all 0 unless Options.Pipelined):
+	// reads issued ahead of need, operations that coalesced onto one,
+	// completions dropped on mispredict, and installs nobody was waiting
+	// for. Hits vs issued is the prediction accuracy; cancelled+wasted
+	// vs issued is the overhead speculation cost the device.
+	SpecIssued    uint64
+	SpecHits      uint64
+	SpecCancelled uint64
+	SpecWasted    uint64
 }
 
 // shard is one worker: a tree, its working goroutine, and the
@@ -258,6 +288,12 @@ type DB struct {
 	// concReads mirrors Options.ConcurrentReads; when set, read paths try
 	// the optimistic published-page descent before the pipeline.
 	concReads bool
+
+	// deferMerge mirrors Options.Pipelined's off-worker merge piece:
+	// fanned scans and syncs deliver their k-way merge lazily, to run on
+	// the goroutine that waits on the handle rather than on the working
+	// thread whose completion closed the scatter.
+	deferMerge bool
 }
 
 // minShardBlocks is the smallest device partition a shard accepts: room
@@ -308,7 +344,10 @@ func Open(opts Options) (*DB, error) {
 	if n > 1<<16-1 {
 		return nil, fmt.Errorf("patree: %d shards exceeds the format limit", n)
 	}
-	db := &DB{dev: dev, ownsDev: owns, devices: 1, concReads: opts.ConcurrentReads}
+	if opts.Pipelined && opts.WALWriteDepth == 0 {
+		opts.WALWriteDepth = 8
+	}
+	db := &DB{dev: dev, ownsDev: owns, devices: 1, concReads: opts.ConcurrentReads, deferMerge: opts.Pipelined}
 	if opts.AdmissionWeighting {
 		// The governor works the nominal depth; the physical ring is
 		// doubled below so a throttled topology still has the deeper ring
@@ -479,14 +518,17 @@ func openShard(dev nvme.Device, opts Options, bufferPages int, id, count, devID,
 		tracer = core.NewTracer(opts.TraceEvents)
 	}
 	tree, err := core.New(dev, core.Config{
-		Persistence:     opts.Persistence,
-		BufferPages:     bufferPages,
-		InboxDepth:      opts.InboxDepth,
-		Journal:         opts.Journal,
-		MaxIORetries:    opts.MaxIORetries,
-		Policy:          policy,
-		Tracer:          tracer,
-		ConcurrentReads: opts.ConcurrentReads,
+		Persistence:         opts.Persistence,
+		BufferPages:         bufferPages,
+		InboxDepth:          opts.InboxDepth,
+		Journal:             opts.Journal,
+		MaxIORetries:        opts.MaxIORetries,
+		Policy:              policy,
+		Tracer:              tracer,
+		ConcurrentReads:     opts.ConcurrentReads,
+		SpeculativePrefetch: opts.Pipelined,
+		SpecBudget:          opts.SpecBudget,
+		WALWriteDepth:       opts.WALWriteDepth,
 	}, env, meta)
 	if err != nil {
 		return nil, err
@@ -746,6 +788,10 @@ func (db *DB) Stats() Stats {
 		out.IORetries += part.IORetries
 		out.JournalAppends += part.JournalAppends
 		out.Checkpoints += part.Checkpoints
+		out.SpecIssued += part.SpecIssued
+		out.SpecHits += part.SpecHits
+		out.SpecCancelled += part.SpecCancelled
+		out.SpecWasted += part.SpecWasted
 		hits += bs.hits
 		misses += bs.misses
 	}
@@ -779,6 +825,10 @@ func (s *shard) statsSnapshot() (Stats, bufferCounts) {
 		IORetries:      st.IORetries,
 		JournalAppends: st.JournalAppends,
 		Checkpoints:    st.Checkpoints,
+		SpecIssued:     st.SpecIssued,
+		SpecHits:       st.SpecHits,
+		SpecCancelled:  st.SpecCancelled,
+		SpecWasted:     st.SpecWasted,
 	}, bufferCounts{hits: bs.Hits, misses: bs.Misses}
 }
 

@@ -1,0 +1,177 @@
+package patree
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/patree/patree/internal/nvme"
+)
+
+// TestPipelinedPropertyOps runs the randomized oracle stream with the
+// full overlap machinery on — speculative prefetch, depth-8 WAL write
+// pipelining and the off-worker scan merge — over 1 and 4 shards. The
+// public surface must be indistinguishable from the classic path.
+func TestPipelinedPropertyOps(t *testing.T) {
+	for _, n := range []int{1, 4} {
+		n := n
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			t.Parallel()
+			db, err := Open(Options{
+				DeviceBlocks: 1 << 16,
+				Shards:       n,
+				BufferPages:  64, // tiny: point ops miss, so speculation fires
+				Journal:      true,
+				Pipelined:    true,
+			})
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			defer db.Close()
+			ops := 2000
+			if testing.Short() {
+				ops = 500
+			}
+			model := runShardedOps(t, db, n, int64(8800+n), ops)
+			st := db.Stats()
+			if st.NumKeys != uint64(len(model)) {
+				t.Fatalf("shards=%d: Stats.NumKeys = %d, oracle %d", n, st.NumKeys, len(model))
+			}
+			// Sharding splits the key space, so at 4 shards each tree fits
+			// its buffer and there is nothing to prefetch; only the 1-shard
+			// run is guaranteed to miss.
+			if n == 1 && st.SpecIssued == 0 {
+				t.Fatalf("shards=%d: pipelined DB issued no speculative reads: %+v", n, st)
+			}
+			if st.SpecHits+st.SpecCancelled+st.SpecWasted > st.SpecIssued {
+				t.Fatalf("shards=%d: speculation accounting inconsistent: %+v", n, st)
+			}
+		})
+	}
+}
+
+// TestPipelinedOptionsDefaults pins the opt-in surface: the zero
+// Options keep every overlap feature off, and Pipelined alone selects
+// the documented WAL write depth.
+func TestPipelinedOptionsDefaults(t *testing.T) {
+	db, err := Open(Options{DeviceBlocks: 1 << 14})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+	for k := uint64(1); k <= 256; k++ {
+		if err := db.Put(k, []byte("v")); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	for k := uint64(1); k <= 256; k++ {
+		if _, _, err := db.Get(k); err != nil {
+			t.Fatalf("get: %v", err)
+		}
+	}
+	if st := db.Stats(); st.SpecIssued != 0 || st.SpecHits != 0 || st.SpecCancelled != 0 || st.SpecWasted != 0 {
+		t.Fatalf("default options moved speculation counters: %+v", st)
+	}
+}
+
+// FuzzPipelinedOps is FuzzShardedOps with the overlap machinery on: a
+// byte stream becomes point ops and scans over a journaled, pipelined
+// 4-shard DB, checked against a flat map oracle, with a close/reopen
+// cycle asserting that speculative reads and pipelined WAL writes
+// never corrupt the persisted image. CI runs this for a bounded smoke
+// window on every push.
+func FuzzPipelinedOps(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 5, 1, 0, 1, 5, 2, 0, 1, 0})
+	f.Add([]byte{4, 1, 0, 3, 0, 1, 0, 7, 3, 0, 0, 0, 2, 1, 0, 0})
+	f.Add(bytes.Repeat([]byte{0, 2, 3, 9, 1, 2, 3, 0, 4, 0, 200, 3}, 30))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const chunk = 4
+		ops := len(data) / chunk
+		if ops == 0 {
+			t.Skip()
+		}
+		if ops > 400 {
+			ops = 400
+		}
+		dev := nvme.NewRAMDevice(nvme.RAMConfig{NumBlocks: 1 << 15})
+		defer dev.Close()
+		open := func() *DB {
+			db, err := Open(Options{
+				Device:      dev,
+				Shards:      4,
+				BufferPages: 64,
+				Journal:     true,
+				Pipelined:   true,
+			})
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			return db
+		}
+		db := open()
+		model := map[uint64][]byte{}
+		for i := 0; i < ops; i++ {
+			b := data[i*chunk : (i+1)*chunk]
+			key := 1 + uint64(b[1])%200 + uint64(b[2])%50*7
+			val := []byte{b[3], byte(key), byte(i)}
+			switch b[0] % 6 {
+			case 0, 1: // put
+				if err := db.Put(key, val); err != nil {
+					t.Fatalf("op %d: put %d: %v", i, key, err)
+				}
+				model[key] = append([]byte(nil), val...)
+			case 2: // delete
+				_, existed := model[key]
+				found, err := db.Delete(key)
+				if err != nil {
+					t.Fatalf("op %d: delete %d: %v", i, key, err)
+				}
+				if found != existed {
+					t.Fatalf("op %d: delete %d found=%v, model %v", i, key, found, existed)
+				}
+				delete(model, key)
+			case 3: // get
+				want, existed := model[key]
+				v, found, err := db.Get(key)
+				if err != nil {
+					t.Fatalf("op %d: get %d: %v", i, key, err)
+				}
+				if found != existed || (existed && !bytes.Equal(v, want)) {
+					t.Fatalf("op %d: get %d = %q/%v, model %q/%v", i, key, v, found, want, existed)
+				}
+			case 4: // update
+				_, existed := model[key]
+				found, err := db.Update(key, val)
+				if err != nil {
+					t.Fatalf("op %d: update %d: %v", i, key, err)
+				}
+				if found != existed {
+					t.Fatalf("op %d: update %d found=%v, model %v", i, key, found, existed)
+				}
+				if existed {
+					model[key] = append([]byte(nil), val...)
+				}
+			default: // scan (merged off-worker under Pipelined)
+				lo := uint64(b[1])
+				hi := lo + uint64(b[3])*3
+				limit := int(b[2]) % 5 // 0 = all
+				pairs, err := db.Scan(lo, hi, limit)
+				if err != nil {
+					t.Fatalf("op %d: scan [%d,%d] limit %d: %v", i, lo, hi, limit, err)
+				}
+				checkScan(t, fmt.Sprintf("op=%d scan[%d,%d]l%d", i, lo, hi, limit),
+					pairs, oracleScan(model, lo, hi, limit))
+			}
+		}
+		if err := db.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		db = open()
+		defer db.Close()
+		pairs, err := db.Scan(0, ^uint64(0), 0)
+		if err != nil {
+			t.Fatalf("final scan: %v", err)
+		}
+		checkScan(t, "after reopen", pairs, oracleScan(model, 0, ^uint64(0), 0))
+	})
+}
